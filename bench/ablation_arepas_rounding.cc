@@ -1,0 +1,70 @@
+// Ablation: AREPAS area-rounding modes. Algorithm 1's literal pseudocode
+// floors the stretched section length (dropping up to a tick of area); the
+// "right-nearest integer" text suggests ceiling; our default preserves the
+// area exactly with a fractional final tick. This ablation quantifies the
+// impact on simulated-run-time accuracy against flighted ground truth.
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+namespace tasq {
+
+int Main() {
+  auto sizes = bench::BenchSizes::FromEnv();
+  auto generator = bench::MakeGenerator();
+  FlightConfig config;
+  config.seed = 555;
+  FlightHarness harness(config);
+  auto flighted =
+      harness.FlightJobs(generator.Generate(5000, sizes.flight_jobs));
+
+  PrintBanner("Ablation: AREPAS area-rounding modes vs flighted ground truth");
+  TextTable table({"Rounding", "MedianAPE", "MeanAPE",
+                   "mean |area drift| (%)"});
+  struct Mode {
+    const char* name;
+    AreaRounding rounding;
+  };
+  for (const Mode& mode :
+       {Mode{"exact (default)", AreaRounding::kExact},
+        Mode{"floor (Algorithm 1 pseudocode)", AreaRounding::kFloor},
+        Mode{"ceil (right-nearest integer)", AreaRounding::kCeil}}) {
+    Arepas arepas{ArepasOptions{mode.rounding}};
+    std::vector<double> predicted;
+    std::vector<double> actual;
+    std::vector<double> drift;
+    for (const FlightedJob& job : flighted) {
+      if (!job.NonAnomalous() || job.flights.size() < 2) continue;
+      const FlightRecord& reference = job.flights.front();
+      for (size_t f = 1; f < job.flights.size(); ++f) {
+        auto simulated =
+            arepas.SimulateSkyline(reference.skyline, job.flights[f].tokens);
+        if (!simulated.ok()) continue;
+        predicted.push_back(
+            static_cast<double>(simulated.value().duration_seconds()));
+        actual.push_back(job.flights[f].runtime_seconds);
+        drift.push_back(std::fabs(simulated.value().Area() /
+                                      reference.skyline.Area() -
+                                  1.0) *
+                        100.0);
+      }
+    }
+    table.AddRow({mode.name,
+                  Cell(MedianAbsolutePercentError(predicted, actual), 1) + "%",
+                  Cell(MeanAbsolutePercentError(predicted, actual), 1) + "%",
+                  Cell(Mean(drift), 3) + "%"});
+  }
+  std::cout << table.ToString();
+  std::cout << "\nExpected shape: all three modes agree to within a tick per "
+               "section (run-time error nearly identical); only the exact "
+               "mode keeps the area drift at zero, which is why it is the "
+               "default for the simulator named after area preservation.\n";
+  return 0;
+}
+
+}  // namespace tasq
+
+int main() { return tasq::Main(); }

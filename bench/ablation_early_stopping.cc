@@ -1,0 +1,71 @@
+// Ablation: validation-based early stopping for the NN. Compares a fixed
+// epoch budget against a large budget cut short by early stopping, on test
+// accuracy and training time.
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "tasq/evaluation.h"
+
+namespace tasq {
+
+int Main() {
+  auto sizes = bench::BenchSizes::FromEnv();
+  auto generator = bench::MakeGenerator();
+  auto train = bench::ObserveJobs(generator, 0, sizes.train_jobs, 21);
+  auto test = bench::ObserveJobs(generator, sizes.train_jobs, sizes.test_jobs,
+                                 22);
+  Dataset test_dataset =
+      bench::Unwrap(DatasetBuilder().Build(test), "test dataset");
+
+  struct Setup {
+    const char* name;
+    int epochs;
+    double validation_fraction;
+  };
+  PrintBanner("Ablation: NN early stopping (validation hold-out)");
+  TextTable table({"Training regime", "Median AE (Run Time)",
+                   "MAE (Curve Params)", "train seconds"});
+  for (const Setup& setup :
+       {Setup{"fixed 40 epochs", 40, 0.0},
+        Setup{"fixed 150 epochs (bench default)", 150, 0.0},
+        Setup{"fixed 600 epochs", 600, 0.0},
+        Setup{"600-epoch budget + early stopping", 600, 0.15}}) {
+    TasqOptions options = bench::BenchTasqOptions(LossForm::kLF2);
+    options.train_gnn = false;
+    options.nn.epochs = setup.epochs;
+    options.nn.validation_fraction = setup.validation_fraction;
+    options.nn.early_stopping_patience = 60;
+    Tasq pipeline(options);
+    auto start = std::chrono::steady_clock::now();
+    Status trained = pipeline.Train(train);
+    double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (!trained.ok()) {
+      std::fprintf(stderr, "training failed: %s\n",
+                   trained.ToString().c_str());
+      return 1;
+    }
+    auto metrics = bench::Unwrap(
+        EvaluateModel(pipeline, ModelKind::kNn, test_dataset), "evaluate");
+    table.AddRow({setup.name,
+                  Cell(metrics.median_ae_runtime_percent, 0) + "%",
+                  Cell(metrics.mae_curve_params, 3), Cell(seconds, 1)});
+  }
+  std::cout << table.ToString();
+  std::cout << "\nExpected shape: over-long fixed budgets degrade (late-"
+               "epoch overfitting visible in the 600-epoch row); early "
+               "stopping cuts the oversized budget back to a small fraction "
+               "of its time while avoiding that degradation. At bench scale "
+               "a well-chosen fixed budget remains competitive because the "
+               "validation hold-out costs 15% of an already small training "
+               "set — the knob matters more at production scale.\n";
+  return 0;
+}
+
+}  // namespace tasq
+
+int main() { return tasq::Main(); }

@@ -1,0 +1,64 @@
+// Ablation: SimGNN-style attention pooling vs plain mean pooling in the
+// GNN (the paper motivates attention as "overweighing the most relevant
+// part of the graph").
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "tasq/evaluation.h"
+
+namespace tasq {
+
+int Main() {
+  auto sizes = bench::BenchSizes::FromEnv();
+  auto generator = bench::MakeGenerator();
+  auto train = bench::ObserveJobs(generator, 0, sizes.train_jobs, 21);
+  auto test = bench::ObserveJobs(generator, sizes.train_jobs, sizes.test_jobs,
+                                 22);
+  Dataset test_dataset =
+      bench::Unwrap(DatasetBuilder().Build(test), "test dataset");
+
+  PrintBanner(
+      "Ablation: GNN pooling (attention vs mean) and aggregator (GCN vs "
+      "SAGE)");
+  TextTable table({"Architecture", "MAE (Curve Params)",
+                   "Median AE (Run Time)"});
+  struct Variant {
+    const char* name;
+    bool attention;
+    GnnAggregator aggregator;
+  };
+  for (const Variant& variant :
+       {Variant{"GCN + attention (SimGNN-style, default)", true,
+                GnnAggregator::kGcn},
+        Variant{"GCN + mean pooling", false, GnnAggregator::kGcn},
+        Variant{"SAGE + attention", true, GnnAggregator::kSage}}) {
+    TasqOptions options = bench::BenchTasqOptions(LossForm::kLF2);
+    options.train_nn = false;
+    options.gnn.attention_pooling = variant.attention;
+    options.gnn.aggregator = variant.aggregator;
+    Tasq pipeline(options);
+    Status trained = pipeline.Train(train);
+    if (!trained.ok()) {
+      std::fprintf(stderr, "training failed: %s\n",
+                   trained.ToString().c_str());
+      return 1;
+    }
+    auto metrics = bench::Unwrap(
+        EvaluateModel(pipeline, ModelKind::kGnn, test_dataset), "evaluate");
+    table.AddRow({variant.name, Cell(metrics.mae_curve_params, 3),
+                  Cell(metrics.median_ae_runtime_percent, 0) + "%"});
+  }
+  std::cout << table.ToString();
+  std::cout << "\nExpected shape: the two poolings are close on this "
+               "synthetic workload (job-level aggregates already carry most "
+               "of the signal); attention's advantage depends on how "
+               "concentrated job cost is in a few operators, which is the "
+               "paper's motivation for it on production plans.\n";
+  return 0;
+}
+
+}  // namespace tasq
+
+int main() { return tasq::Main(); }

@@ -1,0 +1,134 @@
+// Ablation: global model vs fine-grained per-template models (paper §4.2).
+// Fine-grained models specialize to a recurring template but cannot cover
+// ad-hoc jobs at all; the global model covers everything.
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "bench/bench_util.h"
+#include "nn/nn_model.h"
+#include "tasq/evaluation.h"
+
+namespace tasq {
+
+int Main() {
+  auto sizes = bench::BenchSizes::FromEnv();
+  auto generator = bench::MakeGenerator();
+  auto train = bench::ObserveJobs(generator, 0, sizes.train_jobs, 21);
+  auto test = bench::ObserveJobs(generator, sizes.train_jobs, sizes.test_jobs,
+                                 22);
+  Dataset train_dataset =
+      bench::Unwrap(DatasetBuilder().Build(train), "train dataset");
+  Dataset test_dataset =
+      bench::Unwrap(DatasetBuilder().Build(test), "test dataset");
+  auto scalers = bench::Unwrap(FitScalers(train_dataset), "scalers");
+  ApplyScalers(scalers, train_dataset);
+  ApplyScalers(scalers, test_dataset);
+
+  size_t dim = train_dataset.job_feature_dim;
+  auto make_supervision = [&](const Dataset& d, const std::vector<size_t>& idx) {
+    PccSupervision supervision;
+    for (size_t i : idx) {
+      supervision.targets.push_back(d.targets[i]);
+      supervision.observed_tokens.push_back(d.observed_tokens[i]);
+      supervision.observed_runtime.push_back(d.observed_runtime[i]);
+    }
+    return supervision;
+  };
+  auto gather_features = [&](const Dataset& d, const std::vector<size_t>& idx) {
+    std::vector<double> features;
+    for (size_t i : idx) {
+      features.insert(features.end(),
+                      d.job_features.begin() + static_cast<long>(i * dim),
+                      d.job_features.begin() + static_cast<long>((i + 1) * dim));
+    }
+    return features;
+  };
+
+  // ---- Global model over everything. --------------------------------------
+  NnOptions nn_options;
+  nn_options.epochs = 150;
+  nn_options.learning_rate = 2e-3;
+  nn_options.loss_form = LossForm::kLF2;
+  NnPccModel global_model(dim, nn_options);
+  std::vector<size_t> all_train(train_dataset.size());
+  for (size_t i = 0; i < all_train.size(); ++i) all_train[i] = i;
+  bench::Unwrap(global_model.Train(train_dataset.job_features,
+                                   make_supervision(train_dataset, all_train)),
+                "global train");
+
+  // ---- Fine-grained: one model per template with enough history. ---------
+  std::map<int, std::vector<size_t>> train_by_template;
+  for (size_t i = 0; i < train_dataset.size(); ++i) {
+    int tmpl = train_dataset.template_ids[i];
+    if (tmpl >= 0) train_by_template[tmpl].push_back(i);
+  }
+  constexpr size_t kMinHistory = 8;
+  std::map<int, NnPccModel> fine_models;
+  for (const auto& [tmpl, idx] : train_by_template) {
+    if (idx.size() < kMinHistory) continue;
+    NnOptions fine_options = nn_options;
+    fine_options.epochs = 300;  // Tiny per-template sets train fast.
+    auto [it, inserted] = fine_models.try_emplace(tmpl, dim, fine_options);
+    bench::Unwrap(it->second.Train(gather_features(train_dataset, idx),
+                                   make_supervision(train_dataset, idx)),
+                  "fine train");
+  }
+
+  // ---- Evaluate on recurring-covered, recurring-uncovered, ad-hoc. -------
+  std::vector<double> global_err_covered;
+  std::vector<double> fine_err_covered;
+  std::vector<double> global_err_uncovered;
+  size_t covered = 0;
+  size_t uncovered = 0;
+  for (size_t i = 0; i < test_dataset.size(); ++i) {
+    std::vector<double> row(
+        test_dataset.job_features.begin() + static_cast<long>(i * dim),
+        test_dataset.job_features.begin() + static_cast<long>((i + 1) * dim));
+    double tokens = test_dataset.observed_tokens[i];
+    double truth = test_dataset.observed_runtime[i];
+    auto global_pcc = bench::Unwrap(global_model.Predict(row), "predict");
+    double global_error =
+        std::fabs(global_pcc.EvalRunTime(tokens) - truth) / truth * 100.0;
+    int tmpl = test_dataset.template_ids[i];
+    auto it = tmpl >= 0 ? fine_models.find(tmpl) : fine_models.end();
+    if (it != fine_models.end()) {
+      ++covered;
+      auto fine_pcc = bench::Unwrap(it->second.Predict(row), "predict");
+      fine_err_covered.push_back(
+          std::fabs(fine_pcc.EvalRunTime(tokens) - truth) / truth * 100.0);
+      global_err_covered.push_back(global_error);
+    } else {
+      ++uncovered;
+      global_err_uncovered.push_back(global_error);
+    }
+  }
+
+  PrintBanner("Ablation: global model vs fine-grained per-template models");
+  std::printf("fine-grained models trained: %zu (templates with >= %zu "
+              "historical runs)\n\n",
+              fine_models.size(), kMinHistory);
+  TextTable table({"Test jobs", "Count", "Global Median AE",
+                   "Fine-grained Median AE"});
+  table.AddRow({"Recurring, covered template",
+                Cell(static_cast<int64_t>(covered)),
+                Cell(Median(global_err_covered), 0) + "%",
+                Cell(Median(fine_err_covered), 0) + "%"});
+  table.AddRow({"Ad-hoc or uncovered template",
+                Cell(static_cast<int64_t>(uncovered)),
+                Cell(Median(global_err_uncovered), 0) + "%",
+                "no prediction"});
+  std::cout << table.ToString();
+  std::cout << "\nExpected shape: the global model covers every job while "
+               "fine-grained models leave ad-hoc and sparse templates "
+               "unserved; at this history size, fragmenting the training "
+               "data per template also hurts the fine-grained models' own "
+               "accuracy — both effects argue for the paper's global-model "
+               "choice (§4.2).\n";
+  return 0;
+}
+
+}  // namespace tasq
+
+int main() { return tasq::Main(); }

@@ -1,0 +1,115 @@
+// Baseline comparison (paper §6.2): AutoToken's per-group peak prediction
+// vs TASQ's PCC-based recommendations, on coverage, token savings, and
+// realized slowdown over a test workload.
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "baselines/autotoken.h"
+#include "bench/bench_util.h"
+#include "simcluster/cluster_simulator.h"
+#include "tasq/tasq.h"
+
+namespace tasq {
+
+int Main() {
+  auto sizes = bench::BenchSizes::FromEnv();
+  auto generator = bench::MakeGenerator();
+  std::printf("training on %lld observed jobs...\n",
+              static_cast<long long>(sizes.train_jobs));
+  auto train = bench::ObserveJobs(generator, 0, sizes.train_jobs, 21);
+
+  AutoToken autotoken;
+  if (!autotoken.Train(train).ok()) return 1;
+  TasqOptions options = bench::BenchTasqOptions(LossForm::kLF2);
+  options.train_gnn = false;
+  Tasq tasq(options);
+  if (!tasq.Train(train).ok()) return 1;
+
+  auto test_jobs = generator.Generate(sizes.train_jobs, sizes.test_jobs);
+  ClusterSimulator simulator;
+  NoiseModel noise;
+  noise.enabled = true;
+
+  struct PolicyStats {
+    size_t covered = 0;
+    double requested = 0.0;
+    double allocated = 0.0;
+    double baseline_runtime = 0.0;
+    double runtime = 0.0;
+  };
+  PolicyStats autotoken_stats;
+  PolicyStats tasq_stats;
+  PolicyStats tasq_bounded_stats;
+
+  auto run_at = [&](const Job& job, double tokens) {
+    RunConfig run_config{std::max(1.0, tokens), noise,
+                         static_cast<uint64_t>(job.id)};
+    auto run = simulator.Run(job.plan, run_config);
+    return run.ok() ? run.value().runtime_seconds : 0.0;
+  };
+
+  for (const Job& job : test_jobs) {
+    double base_runtime = run_at(job, job.default_tokens);
+    // AutoToken: allocate the predicted peak; uncovered jobs keep their
+    // default request (no prediction available).
+    Result<double> peak = autotoken.PredictPeakTokens(job);
+    if (peak.ok()) {
+      double tokens = std::round(peak.value());
+      ++autotoken_stats.covered;
+      autotoken_stats.requested += job.default_tokens;
+      autotoken_stats.allocated += tokens;
+      autotoken_stats.baseline_runtime += base_runtime;
+      autotoken_stats.runtime += run_at(job, tokens);
+    }
+    // TASQ: covers every job, with and without a 10% slowdown SLO.
+    auto aggressive = tasq.RecommendTokens(job.graph, ModelKind::kNn,
+                                           job.default_tokens, 1.0);
+    auto bounded = tasq.RecommendTokens(job.graph, ModelKind::kNn,
+                                        job.default_tokens, 1.0, 0.10);
+    if (aggressive.ok() && bounded.ok()) {
+      ++tasq_stats.covered;
+      tasq_stats.requested += job.default_tokens;
+      tasq_stats.allocated += aggressive.value().tokens;
+      tasq_stats.baseline_runtime += base_runtime;
+      tasq_stats.runtime += run_at(job, aggressive.value().tokens);
+      ++tasq_bounded_stats.covered;
+      tasq_bounded_stats.requested += job.default_tokens;
+      tasq_bounded_stats.allocated += bounded.value().tokens;
+      tasq_bounded_stats.baseline_runtime += base_runtime;
+      tasq_bounded_stats.runtime += run_at(job, bounded.value().tokens);
+    }
+  }
+
+  PrintBanner(
+      "Baseline (paper §6.2): AutoToken peak prediction vs TASQ "
+      "recommendations");
+  TextTable table({"Policy", "Coverage", "Token savings vs request",
+                   "Realized slowdown"});
+  auto add_row = [&](const char* name, const PolicyStats& stats) {
+    table.AddRow(
+        {name,
+         Cell(100.0 * static_cast<double>(stats.covered) /
+                  static_cast<double>(test_jobs.size()),
+              0) +
+             "%",
+         Cell(100.0 * (1.0 - stats.allocated / stats.requested), 0) + "%",
+         Cell(100.0 * (stats.runtime / stats.baseline_runtime - 1.0), 1) +
+             "%"});
+  };
+  add_row("AutoToken (peak, recurring only)", autotoken_stats);
+  add_row("TASQ NN (1%/token)", tasq_stats);
+  add_row("TASQ NN (1%/token, <=10% SLO)", tasq_bounded_stats);
+  std::cout << table.ToString();
+  std::cout << "\nExpected shape: AutoToken is safe (peak allocation, ~no "
+               "slowdown) but only covers recurring jobs and leaves the "
+               "sub-peak savings of Figure 2 untouched; TASQ covers every "
+               "job and reclaims more tokens at a policy-controlled "
+               "slowdown.\n";
+  return 0;
+}
+
+}  // namespace tasq
+
+int main() { return tasq::Main(); }

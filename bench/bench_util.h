@@ -1,0 +1,154 @@
+#ifndef TASQ_BENCH_BENCH_UTIL_H_
+#define TASQ_BENCH_BENCH_UTIL_H_
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "arepas/arepas.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "selection/flighting.h"
+#include "tasq/dataset.h"
+#include "tasq/tasq.h"
+#include "workload/generator.h"
+
+namespace tasq::bench {
+
+/// Experiment sizes shared by the bench binaries. Every size scales with
+/// the TASQ_SCALE environment variable (default 1.0), so
+/// `TASQ_SCALE=10 ./table04_06_models` runs a 10x larger experiment.
+struct BenchSizes {
+  int64_t train_jobs;
+  int64_t test_jobs;
+  int64_t survey_jobs;   ///< For workload-level surveys (Fig 2, Fig 11).
+  int64_t flight_jobs;   ///< Jobs flighted at multiple token counts.
+
+  static BenchSizes FromEnv() {
+    double scale = ScaleFromEnv();
+    auto scaled = [scale](double base) {
+      return static_cast<int64_t>(base * scale);
+    };
+    BenchSizes sizes;
+    sizes.train_jobs = std::max<int64_t>(200, scaled(1200));
+    sizes.test_jobs = std::max<int64_t>(60, scaled(300));
+    sizes.survey_jobs = std::max<int64_t>(100, scaled(800));
+    sizes.flight_jobs = std::max<int64_t>(30, scaled(120));
+    return sizes;
+  }
+};
+
+/// The canonical bench workload: fixed seed so every binary sees the same
+/// jobs.
+inline WorkloadGenerator MakeGenerator(uint64_t seed = 7) {
+  WorkloadConfig config;
+  config.seed = seed;
+  return WorkloadGenerator(config);
+}
+
+/// Observes `count` jobs starting at `first_id` with production-like noise.
+inline std::vector<ObservedJob> ObserveJobs(const WorkloadGenerator& generator,
+                                            int64_t first_id, int64_t count,
+                                            uint64_t seed, bool noisy = true) {
+  NoiseModel noise;
+  noise.enabled = noisy;
+  auto observed =
+      ObserveWorkload(generator.Generate(first_id, count), noise, seed);
+  if (!observed.ok()) {
+    std::fprintf(stderr, "observation failed: %s\n",
+                 observed.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(observed.value());
+}
+
+/// Aborts the bench with a message when a Result is an error.
+template <typename T>
+T Unwrap(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result.value());
+}
+
+/// AREPAS validation data shared by Figure 12/13 and Table 3: flight jobs
+/// at several token counts, then compare AREPAS's prediction (simulated
+/// from the largest-allocation flight's skyline) against each smaller
+/// flight's measured run time.
+struct ArepasValidation {
+  std::vector<FlightedJob> flighted;
+  std::vector<const FlightedJob*> non_anomalous;
+  /// Jobs among non_anomalous whose executions all conserve area within
+  /// 30% (zero outliers) — the paper's "fully-matched" subset.
+  std::vector<const FlightedJob*> fully_matched;
+  /// Per-execution percent errors, one entry per (job, lower flight).
+  std::vector<double> errors_non_anomalous;
+  std::vector<double> errors_fully_matched;
+  /// Per-job median percent errors.
+  std::vector<double> per_job_error_non_anomalous;
+  std::vector<double> per_job_error_fully_matched;
+};
+
+inline ArepasValidation RunArepasValidation(int64_t first_id, int64_t count,
+                                            uint64_t seed) {
+  auto generator = MakeGenerator();
+  FlightConfig config;
+  config.seed = seed;
+  FlightHarness harness(config);
+  ArepasValidation validation;
+  validation.flighted = harness.FlightJobs(generator.Generate(first_id, count));
+
+  Arepas arepas;
+  for (const FlightedJob& job : validation.flighted) {
+    if (!job.NonAnomalous() || job.flights.size() < 2) continue;
+    validation.non_anomalous.push_back(&job);
+    std::vector<Skyline> skylines;
+    for (const FlightRecord& record : job.flights) {
+      skylines.push_back(record.skyline);
+    }
+    bool fully_matched = CountAreaOutliers(skylines, 30.0) == 0;
+    if (fully_matched) validation.fully_matched.push_back(&job);
+
+    const FlightRecord& reference = job.flights.front();
+    std::vector<double> job_errors;
+    for (size_t f = 1; f < job.flights.size(); ++f) {
+      const FlightRecord& flight = job.flights[f];
+      Result<double> predicted =
+          arepas.SimulateRunTimeSeconds(reference.skyline, flight.tokens);
+      if (!predicted.ok() || flight.runtime_seconds <= 0.0) continue;
+      double error = std::fabs(predicted.value() - flight.runtime_seconds) /
+                     flight.runtime_seconds * 100.0;
+      job_errors.push_back(error);
+      validation.errors_non_anomalous.push_back(error);
+      if (fully_matched) validation.errors_fully_matched.push_back(error);
+    }
+    if (!job_errors.empty()) {
+      double median = Median(job_errors);
+      validation.per_job_error_non_anomalous.push_back(median);
+      if (fully_matched) {
+        validation.per_job_error_fully_matched.push_back(median);
+      }
+    }
+  }
+  return validation;
+}
+
+/// Default pipeline options tuned for bench-scale workloads.
+inline TasqOptions BenchTasqOptions(LossForm loss_form = LossForm::kLF2) {
+  TasqOptions options;
+  options.nn.epochs = 150;
+  options.nn.learning_rate = 2e-3;
+  options.nn.loss_form = loss_form;
+  options.gnn.epochs = 35;
+  options.gnn.learning_rate = 2e-3;
+  options.gnn.loss_form = loss_form;
+  options.xgb.gbdt.num_trees = 120;
+  return options;
+}
+
+}  // namespace tasq::bench
+
+#endif  // TASQ_BENCH_BENCH_UTIL_H_

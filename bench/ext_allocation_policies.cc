@@ -1,0 +1,108 @@
+// Extension: Figure 1's over-allocation comparison lifted to the workload
+// level — total wasted token-seconds across a whole workload under the
+// Default / Peak / Adaptive-Peak policies (prior work's ladder), with the
+// TASQ-recommended request shown alongside.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "skyline/skyline.h"
+#include "tasq/tasq.h"
+
+namespace tasq {
+
+int Main() {
+  auto sizes = bench::BenchSizes::FromEnv();
+  auto generator = bench::MakeGenerator();
+  auto train = bench::ObserveJobs(generator, 0, sizes.train_jobs, 21);
+  TasqOptions options = bench::BenchTasqOptions(LossForm::kLF2);
+  options.train_gnn = false;
+  Tasq pipeline(options);
+  if (!pipeline.Train(train).ok()) return 1;
+
+  auto observed =
+      bench::ObserveJobs(generator, sizes.train_jobs, sizes.survey_jobs, 44);
+  double used = 0.0;
+  double default_alloc = 0.0;
+  double peak_alloc = 0.0;
+  double adaptive_alloc = 0.0;
+  double tasq_slo_alloc = 0.0;
+  double tasq_aggressive_alloc = 0.0;
+  ClusterSimulator simulator;
+  NoiseModel noise;
+  noise.enabled = true;
+  double tasq_slo_runtime = 0.0;
+  double tasq_aggressive_runtime = 0.0;
+  double default_runtime = 0.0;
+  for (const ObservedJob& entry : observed) {
+    const Skyline& sky = entry.skyline;
+    used += sky.Area();
+    double duration = static_cast<double>(sky.duration_seconds());
+    default_alloc += std::max(entry.observed_tokens, sky.Peak()) * duration;
+    peak_alloc += sky.Peak() * duration;
+    auto adaptive = AllocationSeries(sky, AllocationPolicy::kAdaptivePeak);
+    for (double a : adaptive) adaptive_alloc += a;
+    default_runtime += entry.runtime_seconds;
+    // TASQ: re-run the job at the recommended (sub-peak) request; its
+    // reservation is request x its own (possibly longer) duration.
+    auto run_policy = [&](double slo, double& alloc_acc,
+                          double& runtime_acc) -> Status {
+      auto recommendation = pipeline.RecommendTokens(
+          entry.job.graph, ModelKind::kNn, entry.observed_tokens, 1.0, slo);
+      if (!recommendation.ok()) return recommendation.status();
+      RunConfig config{recommendation.value().tokens, noise,
+                       static_cast<uint64_t>(entry.job.id) ^ 0x5EEDULL};
+      auto run = simulator.Run(entry.job.plan, config);
+      if (!run.ok()) return run.status();
+      alloc_acc += recommendation.value().tokens *
+                   std::ceil(run.value().runtime_seconds);
+      runtime_acc += run.value().runtime_seconds;
+      return Status::Ok();
+    };
+    if (!run_policy(0.10, tasq_slo_alloc, tasq_slo_runtime).ok()) return 1;
+    if (!run_policy(-1.0, tasq_aggressive_alloc, tasq_aggressive_runtime)
+             .ok()) {
+      return 1;
+    }
+  }
+
+  PrintBanner(
+      "Extension: workload-level over-allocation by policy (Figure 1 at "
+      "scale)");
+  TextTable table({"Policy", "Reserved tok-s", "Used tok-s", "Waste",
+                   "Needs"});
+  auto add = [&](const char* name, double reserved, double used_ts,
+                 const char* needs) {
+    table.AddRow({name, Cell(reserved, 0), Cell(used_ts, 0),
+                  Cell(100.0 * (1.0 - used_ts / reserved), 0) + "%", needs});
+  };
+  add("Default Allocation", default_alloc, used, "nothing (status quo)");
+  add("Peak Allocation (AutoToken-style)", peak_alloc, used,
+      "peak prediction");
+  add("Adaptive Peak (progressive release)", adaptive_alloc, used,
+      "online scheduler integration");
+  add("TASQ request (1%/token, <=10% SLO)", tasq_slo_alloc, used,
+      "compile-time PCC only");
+  add("TASQ request (1%/token, no SLO)", tasq_aggressive_alloc, used,
+      "compile-time PCC only");
+  std::cout << table.ToString();
+  std::printf(
+      "\nTASQ workload slowdown vs default: %.1f%% (SLO) / %.1f%% "
+      "(aggressive)\n",
+      100.0 * (tasq_slo_runtime / default_runtime - 1.0),
+      100.0 * (tasq_aggressive_runtime / default_runtime - 1.0));
+  std::cout << "Expected shape: Default > Peak > Adaptive waste — the prior-"
+               "work ladder of §1, each rung needing deeper integration. "
+               "TASQ attacks the *request* with compile-time information "
+               "only: a tight SLO already beats the default, and the "
+               "aggressive policy approaches or beats peak allocation at a "
+               "user-chosen slowdown. (The approaches compose: a TASQ-sized "
+               "request can still be peak-predicted or adaptively "
+               "released.)\n";
+  return 0;
+}
+
+}  // namespace tasq
+
+int main() { return tasq::Main(); }

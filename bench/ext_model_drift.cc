@@ -1,0 +1,103 @@
+// Extension: model freshness under workload drift. The paper (§1, §3.1)
+// motivates compile-time models over historical skylines partly because
+// workloads drift ("the skyline could change significantly over time due
+// to changes in workloads, such as changes in the input sizes"). This
+// experiment grows every job's input size day over day and compares a
+// stale day-0 model against a model retrained each day.
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "tasq/evaluation.h"
+
+namespace tasq {
+namespace {
+
+std::vector<ObservedJob> DayWorkload(double input_scale, double level_scale,
+                                     int64_t first_id, int64_t count,
+                                     uint64_t seed) {
+  WorkloadConfig config;
+  config.seed = 7;  // Same template structure every day.
+  config.global_input_scale = input_scale;
+  // Calibration drift: tasks get slower per unit of estimated cost (a
+  // cluster/hardware/runtime change the optimizer's estimates do not see)
+  // — a *relationship* change between compile-time features and run time,
+  // unlike pure input growth.
+  config.seconds_per_cost_unit = level_scale;
+  WorkloadGenerator generator(config);
+  NoiseModel noise;
+  noise.enabled = true;
+  auto observed = ObserveWorkload(generator.Generate(first_id, count), noise,
+                                  seed);
+  if (!observed.ok()) {
+    std::fprintf(stderr, "observation failed: %s\n",
+                 observed.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(observed.value());
+}
+
+Tasq TrainOn(const std::vector<ObservedJob>& observed) {
+  TasqOptions options = bench::BenchTasqOptions(LossForm::kLF2);
+  options.train_gnn = false;
+  Tasq pipeline(options);
+  Status trained = pipeline.Train(observed);
+  if (!trained.ok()) {
+    std::fprintf(stderr, "training failed: %s\n", trained.ToString().c_str());
+    std::exit(1);
+  }
+  return pipeline;
+}
+
+}  // namespace
+
+int Main() {
+  auto sizes = bench::BenchSizes::FromEnv();
+  std::printf("training the day-0 model on %lld jobs...\n",
+              static_cast<long long>(sizes.train_jobs));
+  Tasq stale = TrainOn(DayWorkload(1.0, 1.0, 0, sizes.train_jobs, 21));
+
+  PrintBanner(
+      "Extension: stale vs retrained model under workload drift "
+      "(input growth + cluster-level slowdown)");
+  TextTable table({"day", "input scale", "level scale", "median runtime (s)",
+                   "stale day-0 model Median AE", "retrained Median AE"});
+  double input_scale = 1.0;
+  double level_scale = 1.0;
+  for (int day = 0; day <= 4; ++day) {
+    auto test = DayWorkload(input_scale, level_scale, 100000 + day * 10000,
+                            sizes.test_jobs, 30 + static_cast<uint64_t>(day));
+    Dataset test_dataset =
+        bench::Unwrap(DatasetBuilder().Build(test), "dataset");
+    auto stale_metrics = bench::Unwrap(
+        EvaluateModel(stale, ModelKind::kNn, test_dataset), "evaluate");
+    // Retrained: same training budget, on that day's (separate) slice.
+    Tasq fresh = TrainOn(DayWorkload(input_scale, level_scale,
+                                     200000 + day * 10000, sizes.train_jobs,
+                                     40 + static_cast<uint64_t>(day)));
+    auto fresh_metrics = bench::Unwrap(
+        EvaluateModel(fresh, ModelKind::kNn, test_dataset), "evaluate");
+    std::vector<double> runtimes = test_dataset.observed_runtime;
+    table.AddRow({Cell(static_cast<int64_t>(day)), Cell(input_scale, 2) + "x",
+                  Cell(level_scale, 2) + "x", Cell(Median(runtimes), 0),
+                  Cell(stale_metrics.median_ae_runtime_percent, 0) + "%",
+                  Cell(fresh_metrics.median_ae_runtime_percent, 0) + "%"});
+    input_scale *= 1.25;
+    level_scale *= 1.30;
+  }
+  std::cout << table.ToString();
+  std::cout << "\nExpected shape: pure input growth alone is absorbed by "
+               "the log-scaled compile-time features, but the cluster-level "
+               "slowdown changes the feature-to-runtime *relationship*: the "
+               "stale model's error climbs day over day while the retrained "
+               "model stays flat — why the paper's pipeline retrains on "
+               "rolling telemetry instead of reusing historical skylines "
+               "(§1, §3.1).\n";
+  return 0;
+}
+
+}  // namespace tasq
+
+int main() { return tasq::Main(); }

@@ -1,0 +1,132 @@
+// Extension experiment (paper §1's motivation, quantified): replaying a
+// congested submission trace on a shared token pool under three request
+// policies — the users' defaults, TASQ's recommended allocations, and peak
+// allocation — and measuring queueing delay, end-to-end latency, and pool
+// pressure.
+
+#include <cstdio>
+#include <functional>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "simcluster/cluster_scheduler.h"
+#include "tasq/tasq.h"
+
+namespace tasq {
+
+int Main() {
+  auto sizes = bench::BenchSizes::FromEnv();
+  auto generator = bench::MakeGenerator();
+  std::printf("training pipeline on %lld jobs...\n",
+              static_cast<long long>(sizes.train_jobs));
+  auto train = bench::ObserveJobs(generator, 0, sizes.train_jobs, 21);
+  TasqOptions options = bench::BenchTasqOptions(LossForm::kLF2);
+  options.train_gnn = false;
+  Tasq pipeline(options);
+  if (!pipeline.Train(train).ok()) return 1;
+
+  // A congested arrival trace: mean inter-arrival tuned so default
+  // requests keep the pool saturated.
+  int64_t num_jobs = std::max<int64_t>(60, sizes.test_jobs);
+  auto incoming = generator.Generate(30000, num_jobs);
+  double cluster_tokens = 600.0;
+  Rng rng(4242);
+  std::vector<double> arrivals;
+  double at = 0.0;
+  for (int64_t i = 0; i < num_jobs; ++i) {
+    at += rng.LogNormal(std::log(8.0), 0.8);
+    arrivals.push_back(at);
+  }
+
+  auto build_trace = [&](auto request_of) {
+    std::vector<Submission> submissions;
+    for (size_t i = 0; i < incoming.size(); ++i) {
+      Submission submission;
+      submission.job_id = incoming[i].id;
+      submission.arrival_seconds = arrivals[i];
+      submission.requested_tokens =
+          std::min(cluster_tokens, std::max(1.0, request_of(incoming[i])));
+      submission.plan = incoming[i].plan;
+      submissions.push_back(std::move(submission));
+    }
+    return submissions;
+  };
+
+  NoiseModel noise;
+  noise.enabled = true;
+  ClusterScheduler scheduler(SchedulerConfig{cluster_tokens, false, noise, 99});
+  ClusterScheduler adaptive_scheduler(
+      SchedulerConfig{cluster_tokens, true, noise, 99});
+
+  PrintBanner(
+      "Extension: cluster wait times under request policies (shared pool)");
+  std::printf("pool %.0f tokens, %lld jobs, FIFO gang admission\n\n",
+              cluster_tokens, static_cast<long long>(num_jobs));
+  TextTable table({"Request policy", "mean wait (s)", "p95 wait (s)",
+                   "mean runtime (s)", "mean latency (s)",
+                   "pool reserved"});
+  struct Policy {
+    const char* name;
+    std::function<double(const Job&)> request;
+    bool adaptive = false;
+  };
+  std::vector<Policy> policies;
+  policies.push_back({"User default (over-provisioned)",
+                      [](const Job& job) { return job.default_tokens; }});
+  policies.push_back({"User default + adaptive release ([9]-style)",
+                      [](const Job& job) { return job.default_tokens; },
+                      /*adaptive=*/true});
+  policies.push_back(
+      {"Peak allocation", [](const Job& job) {
+         return static_cast<double>(job.plan.MaxStageTasks());
+       }});
+  policies.push_back(
+      {"TASQ recommendation (1%/token)", [&](const Job& job) {
+         auto rec = pipeline.RecommendTokens(job.graph, ModelKind::kNn,
+                                             job.default_tokens, 1.0);
+         return rec.ok() ? rec.value().tokens : job.default_tokens;
+       }});
+  policies.push_back(
+      {"TASQ recommendation (3%/token)", [&](const Job& job) {
+         auto rec = pipeline.RecommendTokens(job.graph, ModelKind::kNn,
+                                             job.default_tokens, 3.0);
+         return rec.ok() ? rec.value().tokens : job.default_tokens;
+       }});
+  for (const Policy& policy : policies) {
+    auto trace = (policy.adaptive ? adaptive_scheduler : scheduler)
+                     .Run(build_trace(policy.request));
+    if (!trace.ok()) {
+      std::fprintf(stderr, "trace failed: %s\n",
+                   trace.status().ToString().c_str());
+      return 1;
+    }
+    TraceSummary summary = SummarizeTrace(trace.value(), cluster_tokens);
+    double mean_latency = 0.0;
+    for (const ScheduledJob& job : trace.value()) {
+      mean_latency += (job.finish_seconds - job.arrival_seconds) /
+                      static_cast<double>(trace.value().size());
+    }
+    table.AddRow({policy.name, Cell(summary.mean_wait_seconds, 0),
+                  Cell(summary.p95_wait_seconds, 0),
+                  Cell(summary.mean_runtime_seconds, 0),
+                  Cell(mean_latency, 0),
+                  // Reservation accounting assumes full-request holding, so
+                  // it is not meaningful for the adaptive-release policy.
+                  policy.adaptive
+                      ? std::string("n/a (varies)")
+                      : Cell(100.0 * summary.mean_reserved_fraction, 0) +
+                            "%"});
+  }
+  std::cout << table.ToString();
+  std::cout << "\nExpected shape: TASQ's sub-peak recommendations trade a "
+               "modest runtime increase for sharply lower queueing delay "
+               "and end-to-end latency than default or peak requests — the "
+               "paper's motivation that \"utilizing fewer tokens reduces "
+               "job wait time and improves overall resource "
+               "availability\".\n";
+  return 0;
+}
+
+}  // namespace tasq
+
+int main() { return tasq::Main(); }

@@ -1,0 +1,96 @@
+// Extension experiment (paper §2.3): the AutoExecutor adaptation for Spark
+// SQL. Trains the TASQ recipe with executors as the resource unit and
+// evaluates executor-PCC accuracy and executor savings against ground-truth
+// executor sweeps.
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "spark/autoexecutor.h"
+
+namespace tasq {
+
+int Main() {
+  auto sizes = bench::BenchSizes::FromEnv();
+  auto generator = bench::MakeGenerator();
+  AutoExecutorOptions options;
+  options.nn.epochs = 120;
+  options.nn.learning_rate = 2e-3;
+  std::printf("training AutoExecutor on %lld Spark-like queries "
+              "(%d cores/executor)...\n",
+              static_cast<long long>(sizes.train_jobs),
+              options.platform.cores_per_executor);
+  AutoExecutor auto_executor(options);
+  Status trained = auto_executor.Train(
+      generator.Generate(0, sizes.train_jobs));
+  if (!trained.ok()) {
+    std::fprintf(stderr, "training failed: %s\n", trained.ToString().c_str());
+    return 1;
+  }
+
+  // Accuracy: predicted vs ground-truth runtime across an executor sweep.
+  auto test_jobs = generator.Generate(sizes.train_jobs, sizes.test_jobs / 3);
+  std::vector<double> fractions = {1.0, 0.6, 0.3};
+  std::vector<std::vector<double>> predicted(fractions.size());
+  std::vector<std::vector<double>> actual(fractions.size());
+  double executors_requested = 0.0;
+  double executors_recommended = 0.0;
+  double runtime_default = 0.0;
+  double runtime_recommended = 0.0;
+  for (const Job& job : test_jobs) {
+    Result<PowerLawPcc> pcc = auto_executor.PredictPcc(job.graph);
+    if (!pcc.ok()) continue;
+    int default_executors = std::max(
+        1, static_cast<int>(std::ceil(
+               job.default_tokens /
+               static_cast<double>(options.platform.cores_per_executor))));
+    for (size_t f = 0; f < fractions.size(); ++f) {
+      int executors = std::max(
+          1, static_cast<int>(std::round(default_executors * fractions[f])));
+      auto truth = RunOnExecutors(job.plan, executors, options.platform);
+      if (!truth.ok()) continue;
+      predicted[f].push_back(pcc.value().EvalRunTime(executors));
+      actual[f].push_back(truth.value().runtime_seconds);
+    }
+    // Savings at the 1%-per-executor bar, measured on the simulator.
+    Result<int> recommended =
+        auto_executor.RecommendExecutors(job.graph, default_executors, 1.0);
+    if (!recommended.ok()) continue;
+    auto at_default =
+        RunOnExecutors(job.plan, default_executors, options.platform);
+    auto at_recommended =
+        RunOnExecutors(job.plan, recommended.value(), options.platform);
+    if (!at_default.ok() || !at_recommended.ok()) continue;
+    executors_requested += default_executors;
+    executors_recommended += recommended.value();
+    runtime_default += at_default.value().runtime_seconds;
+    runtime_recommended += at_recommended.value().runtime_seconds;
+  }
+
+  PrintBanner("Extension: AutoExecutor for Spark SQL (paper §2.3)");
+  TextTable accuracy({"executor sweep point", "Median AE (runtime)"});
+  for (size_t f = 0; f < fractions.size(); ++f) {
+    accuracy.AddRow({Cell(100.0 * fractions[f], 0) + "% of default executors",
+                     Cell(MedianAbsolutePercentError(predicted[f], actual[f]),
+                          0) +
+                         "%"});
+  }
+  std::cout << accuracy.ToString();
+  std::printf(
+      "\nworkload executor savings at 1%%/executor bar: %.0f -> %.0f "
+      "executors (%.0f%%), realized slowdown %.1f%%\n",
+      executors_requested, executors_recommended,
+      100.0 * (1.0 - executors_recommended / executors_requested),
+      100.0 * (runtime_recommended / runtime_default - 1.0));
+  std::cout << "Expected shape: the same recipe that predicts token PCCs "
+               "predicts executor PCCs — bounded error across the sweep and "
+               "meaningful executor savings at modest slowdown, as in the "
+               "AutoExecutor companion work.\n";
+  return 0;
+}
+
+}  // namespace tasq
+
+int main() { return tasq::Main(); }

@@ -1,0 +1,84 @@
+// Reproduces Figure 1: the skyline of one SCOPE-like job against the
+// Default, Peak, and Adaptive-Peak allocation policies, quantifying the
+// over-allocation (wasted token-seconds) under each.
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "skyline/skyline.h"
+
+namespace tasq {
+namespace {
+
+void PrintSkylineSparkline(const Skyline& skyline, double allocation) {
+  // Render the skyline as rows of (second, used, allocated) at ~25 sample
+  // points — the textual analogue of the figure.
+  size_t n = skyline.duration_seconds();
+  size_t step = std::max<size_t>(1, n / 25);
+  TextTable table({"t (s)", "tokens used", "default alloc"});
+  for (size_t t = 0; t < n; t += step) {
+    table.AddRow({Cell(static_cast<int64_t>(t)), Cell(skyline.UsageAt(t), 1),
+                  Cell(allocation, 0)});
+  }
+  std::cout << table.ToString();
+}
+
+}  // namespace
+
+int Main() {
+  auto generator = bench::MakeGenerator();
+  // Find a job with a visibly peaky skyline and meaningful over-allocation,
+  // like the paper's example (125 requested, < 80 used).
+  ObservedJob example;
+  for (const ObservedJob& candidate :
+       bench::ObserveJobs(generator, 0, 60, 1)) {
+    UtilizationSummary bands = ClassifyUtilization(candidate.skyline);
+    bool peaky = bands.seconds_high < 0.5 * bands.total();
+    if (peaky && candidate.peak_tokens >= 20.0 &&
+        candidate.observed_tokens > candidate.peak_tokens * 1.3) {
+      example = candidate;
+      break;
+    }
+  }
+  if (example.skyline.duration_seconds() == 0) {
+    std::fprintf(stderr, "no suitable example job found\n");
+    return 1;
+  }
+
+  PrintBanner("Figure 1: skyline and allocation policies");
+  std::printf("job %lld: runtime %.0f s, peak usage %.0f tokens, "
+              "default allocation %.0f tokens\n\n",
+              static_cast<long long>(example.job.id), example.runtime_seconds,
+              example.peak_tokens, example.observed_tokens);
+  PrintSkylineSparkline(example.skyline, example.observed_tokens);
+
+  const Skyline& sky = example.skyline;
+  double used = sky.Area();
+  TextTable table({"Policy", "Allocated tok-s", "Used tok-s", "Wasted tok-s",
+                   "Waste %"});
+  struct PolicyRow {
+    const char* name;
+    AllocationPolicy policy;
+  };
+  for (const PolicyRow& row :
+       {PolicyRow{"Default Allocation", AllocationPolicy::kDefault},
+        PolicyRow{"Peak Allocation", AllocationPolicy::kPeak},
+        PolicyRow{"Adaptive Peak Allocation",
+                  AllocationPolicy::kAdaptivePeak}}) {
+    auto series = AllocationSeries(sky, row.policy, example.observed_tokens);
+    double waste = bench::Unwrap(OverAllocation(sky, series), "overalloc");
+    double allocated = used + waste;
+    table.AddRow({row.name, Cell(allocated, 0), Cell(used, 0), Cell(waste, 0),
+                  Cell(100.0 * waste / allocated, 1)});
+  }
+  std::cout << "\n" << table.ToString();
+  std::cout << "\nExpected shape: Default >= Peak >= Adaptive Peak waste; "
+               "all policies leave valleys unexploited.\n";
+  return 0;
+}
+
+}  // namespace tasq
+
+int main() { return tasq::Main(); }

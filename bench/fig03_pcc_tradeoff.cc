@@ -1,0 +1,61 @@
+// Reproduces Figure 3: the run time vs token trade-off of one job measured
+// on the cluster simulator (ground truth, not AREPAS), with the curve's
+// elbow marked.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "pcc/pcc.h"
+#include "simcluster/cluster_simulator.h"
+
+namespace tasq {
+
+int Main() {
+  auto generator = bench::MakeGenerator();
+  // A wide job shows the trade-off across a large token range.
+  Job job;
+  for (const Job& candidate : generator.Generate(0, 80)) {
+    if (candidate.plan.MaxStageTasks() >= 150) {
+      job = candidate;
+      break;
+    }
+  }
+  if (job.plan.stages.empty()) job = generator.GenerateJob(0);
+
+  ClusterSimulator simulator;
+  std::vector<PccSample> samples;
+  double max_tokens = job.default_tokens;
+  for (double tokens = std::max(2.0, max_tokens / 40.0); tokens <= max_tokens;
+       tokens += std::max(1.0, max_tokens / 40.0)) {
+    RunConfig config;
+    config.tokens = tokens;
+    auto run = bench::Unwrap(simulator.Run(job.plan, config), "run");
+    samples.push_back({tokens, run.runtime_seconds});
+  }
+
+  PrintBanner("Figure 3: run time vs token allocation (ground truth)");
+  std::printf("job %lld: widest stage %d tasks, default allocation %.0f\n\n",
+              static_cast<long long>(job.id), job.plan.MaxStageTasks(),
+              job.default_tokens);
+  TextTable table({"tokens", "runtime (s)"});
+  for (const PccSample& s : samples) {
+    table.AddRow({Cell(s.tokens, 0), Cell(s.runtime_seconds, 0)});
+  }
+  std::cout << table.ToString();
+  Result<double> elbow = FindElbowTokens(samples);
+  if (elbow.ok()) {
+    std::printf("\nelbow (red marker in the paper's figure): ~%.0f tokens\n",
+                elbow.value());
+  } else {
+    std::printf("\nno elbow detected: %s\n",
+                elbow.status().ToString().c_str());
+  }
+  std::cout << "Expected shape: steep improvement at low tokens flattening "
+               "into diminishing returns (power-law-like decay).\n";
+  return 0;
+}
+
+}  // namespace tasq
+
+int main() { return tasq::Main(); }

@@ -1,0 +1,58 @@
+// Reproduces Figure 9: one job's AREPAS-simulated performance
+// characteristic curve against the fitted power law, in absolute and
+// log-log space (where the power law is a straight line).
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "arepas/arepas.h"
+#include "bench/bench_util.h"
+#include "pcc/pcc.h"
+
+namespace tasq {
+
+int Main() {
+  auto generator = bench::MakeGenerator();
+  auto observed = bench::ObserveJobs(generator, 0, 60, 5);
+  const ObservedJob* example = nullptr;
+  for (const ObservedJob& job : observed) {
+    if (job.peak_tokens >= 40) {
+      example = &job;
+      break;
+    }
+  }
+  if (example == nullptr) example = &observed.front();
+
+  double peak = example->peak_tokens;
+  std::vector<double> grid;
+  for (double fraction = 0.1; fraction <= 1.001; fraction += 0.1) {
+    double tokens = std::max(1.0, std::round(peak * fraction));
+    if (grid.empty() || tokens > grid.back()) grid.push_back(tokens);
+  }
+  auto samples = bench::Unwrap(SamplePcc(example->skyline, grid), "pcc");
+  auto fit = bench::Unwrap(FitPowerLaw(samples), "fit");
+
+  PrintBanner("Figure 9: simulated PCC vs fitted power law");
+  std::printf("job %lld: fitted runtime = %.1f * A^(%.3f), log-log R^2 = "
+              "%.4f\n\n",
+              static_cast<long long>(example->job.id), fit.pcc.b, fit.pcc.a,
+              fit.log_log_r2);
+  TextTable table({"tokens", "target runtime (s)", "fitted runtime (s)",
+                   "log(tokens)", "log(target)", "log(fitted)"});
+  for (const PccSample& s : samples) {
+    double fitted = fit.pcc.EvalRunTime(s.tokens);
+    table.AddRow({Cell(s.tokens, 0), Cell(s.runtime_seconds, 0),
+                  Cell(fitted, 0), Cell(std::log(s.tokens), 2),
+                  Cell(std::log(s.runtime_seconds), 2),
+                  Cell(std::log(fitted), 2)});
+  }
+  std::cout << table.ToString();
+  std::cout << "\nExpected shape: the log-log columns fall on a straight "
+               "line (high R^2), matching the paper's bottom panel.\n";
+  return 0;
+}
+
+}  // namespace tasq
+
+int main() { return tasq::Main(); }

@@ -1,0 +1,75 @@
+// Reproduces Figure 12: validation of AREPAS's constant-area assumption.
+// Top — CDF over tolerance ranges of the fraction of execution pairs whose
+// skyline areas match. Bottom — number of outlier executions per job at
+// several tolerance ranges.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+namespace tasq {
+
+int Main() {
+  auto sizes = bench::BenchSizes::FromEnv();
+  auto generator = bench::MakeGenerator();
+  FlightConfig config;
+  config.seed = 1212;
+  FlightHarness harness(config);
+  auto flighted =
+      harness.FlightJobs(generator.Generate(2000, sizes.flight_jobs));
+
+  // All pairwise area deviations across each job's flighted executions.
+  std::vector<double> deviations;
+  std::vector<std::vector<Skyline>> per_job_skylines;
+  for (const FlightedJob& job : flighted) {
+    std::vector<Skyline> skylines;
+    for (const FlightRecord& record : job.flights) {
+      skylines.push_back(record.skyline);
+    }
+    auto pair_devs = PairwiseAreaDeviations(skylines);
+    deviations.insert(deviations.end(), pair_devs.begin(), pair_devs.end());
+    per_job_skylines.push_back(std::move(skylines));
+  }
+
+  PrintBanner(
+      "Figure 12 (top): execution pairs whose token-seconds match, by "
+      "tolerance");
+  TextTable cdf({"tolerance", "% matching pairs"});
+  for (double tolerance : {5.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 80.0,
+                           100.0}) {
+    cdf.AddRow({Cell(tolerance, 0) + "%",
+                Cell(100.0 * EmpiricalCdf(deviations, tolerance), 0) + "%"});
+  }
+  std::cout << cdf.ToString();
+  std::printf("(%zu pairs across %zu jobs)\n", deviations.size(),
+              flighted.size());
+
+  PrintBanner("Figure 12 (bottom): outlier executions per job, by tolerance");
+  TextTable outliers({"tolerance", "0 outliers", "<=1 outlier", ">=2 outliers"});
+  for (double tolerance : {30.0, 50.0, 80.0}) {
+    int zero = 0;
+    int at_most_one = 0;
+    int more = 0;
+    for (const auto& skylines : per_job_skylines) {
+      int count = CountAreaOutliers(skylines, tolerance);
+      if (count == 0) ++zero;
+      if (count <= 1) ++at_most_one;
+      if (count >= 2) ++more;
+    }
+    double n = static_cast<double>(per_job_skylines.size());
+    outliers.AddRow({Cell(tolerance, 0) + "%",
+                     Cell(100.0 * zero / n, 0) + "%",
+                     Cell(100.0 * at_most_one / n, 0) + "%",
+                     Cell(100.0 * more / n, 0) + "%"});
+  }
+  std::cout << outliers.ToString();
+  std::cout << "\nPaper: ~50% of pairs within 10% tolerance, 65% within 30%, "
+               "90% within 80%; 83% of jobs have <=1 outlier at 30% "
+               "tolerance.\n";
+  return 0;
+}
+
+}  // namespace tasq
+
+int main() { return tasq::Main(); }

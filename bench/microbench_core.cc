@@ -1,0 +1,122 @@
+// google-benchmark microbenchmarks for the core kernels: AREPAS skyline
+// simulation, cluster-simulator runs, power-law fitting, GBDT prediction,
+// NN/GNN forward passes, and featurization.
+
+#include <benchmark/benchmark.h>
+
+#include "arepas/arepas.h"
+#include "feat/featurizer.h"
+#include "gnn/gnn_model.h"
+#include "nn/nn_model.h"
+#include "pcc/pcc.h"
+#include "simcluster/cluster_simulator.h"
+#include "tasq/dataset.h"
+#include "workload/generator.h"
+
+namespace tasq {
+namespace {
+
+const WorkloadGenerator& Generator() {
+  static const auto& generator = *new WorkloadGenerator(WorkloadConfig{});
+  return generator;
+}
+
+const ObservedJob& SampleObservation() {
+  static const auto& observation = *new ObservedJob([] {
+    auto observed =
+        ObserveWorkload(Generator().Generate(0, 1), NoiseModel{}, 1);
+    return observed.value()[0];
+  }());
+  return observation;
+}
+
+void BM_ArepasSimulate(benchmark::State& state) {
+  const Skyline& skyline = SampleObservation().skyline;
+  double tokens = std::max(1.0, SampleObservation().peak_tokens *
+                                    static_cast<double>(state.range(0)) /
+                                    100.0);
+  Arepas arepas;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(arepas.SimulateSkyline(skyline, tokens));
+  }
+}
+BENCHMARK(BM_ArepasSimulate)->Arg(20)->Arg(50)->Arg(80);
+
+void BM_ClusterRun(benchmark::State& state) {
+  Job job = Generator().GenerateJob(4);
+  ClusterSimulator simulator;
+  RunConfig config;
+  config.tokens = std::max(1.0, job.default_tokens *
+                                    static_cast<double>(state.range(0)) /
+                                    100.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulator.Run(job.plan, config));
+  }
+}
+BENCHMARK(BM_ClusterRun)->Arg(20)->Arg(100);
+
+void BM_FitPowerLaw(benchmark::State& state) {
+  const Skyline& skyline = SampleObservation().skyline;
+  auto grid = LinearTokenGrid(2.0, SampleObservation().peak_tokens, 10);
+  auto samples = SamplePcc(skyline, grid).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FitPowerLaw(samples));
+  }
+}
+BENCHMARK(BM_FitPowerLaw);
+
+void BM_Featurize(benchmark::State& state) {
+  Job job = Generator().GenerateJob(9);
+  Featurizer featurizer;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(featurizer.Featurize(job.graph));
+  }
+}
+BENCHMARK(BM_Featurize);
+
+void BM_NnPredict(benchmark::State& state) {
+  static const auto& model = *new NnPccModel([] {
+    auto observed = ObserveWorkload(Generator().Generate(0, 64), {}, 1);
+    Dataset dataset = DatasetBuilder().Build(observed.value()).value();
+    PccSupervision supervision;
+    supervision.targets = dataset.targets;
+    supervision.observed_tokens = dataset.observed_tokens;
+    supervision.observed_runtime = dataset.observed_runtime;
+    NnOptions options;
+    options.epochs = 2;
+    NnPccModel model(dataset.job_feature_dim, options);
+    model.Train(dataset.job_features, supervision);
+    return model;
+  }());
+  std::vector<double> row(Featurizer::kJobFeatureDim, 0.1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Predict(row));
+  }
+}
+BENCHMARK(BM_NnPredict);
+
+void BM_GnnPredict(benchmark::State& state) {
+  static const auto& setup = *new std::pair<GnnPccModel, GraphExample>([] {
+    auto observed = ObserveWorkload(Generator().Generate(0, 32), {}, 1);
+    Dataset dataset = DatasetBuilder().Build(observed.value()).value();
+    PccSupervision supervision;
+    supervision.targets = dataset.targets;
+    supervision.observed_tokens = dataset.observed_tokens;
+    supervision.observed_runtime = dataset.observed_runtime;
+    GnnOptions options;
+    options.epochs = 1;
+    GnnPccModel model(dataset.op_feature_dim, options);
+    model.Train(dataset.graphs, supervision);
+    return std::pair<GnnPccModel, GraphExample>(std::move(model),
+                                                dataset.graphs[0]);
+  }());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(setup.first.Predict(setup.second));
+  }
+}
+BENCHMARK(BM_GnnPredict);
+
+}  // namespace
+}  // namespace tasq
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// Quickstart: train TASQ on a small historical workload and predict the
+// performance characteristic curve (PCC) and optimal token count for an
+// unseen job — the end-to-end flow of the paper's Figure 4.
+//
+// Build and run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "tasq/tasq.h"
+#include "workload/generator.h"
+
+int main() {
+  using namespace tasq;
+
+  // 1. A synthetic SCOPE-like workload stands in for the production job
+  //    repository (see DESIGN.md for the substitution rationale).
+  WorkloadConfig workload_config;
+  workload_config.seed = 7;
+  WorkloadGenerator generator(workload_config);
+
+  // 2. "Historical" telemetry: each job ran once, at its requested tokens,
+  //    on the (noisy) simulated cluster.
+  NoiseModel noise;
+  noise.enabled = true;
+  Result<std::vector<ObservedJob>> observed =
+      ObserveWorkload(generator.Generate(0, 400), noise, /*seed=*/1);
+  if (!observed.ok()) {
+    std::fprintf(stderr, "observation failed: %s\n",
+                 observed.status().ToString().c_str());
+    return 1;
+  }
+
+  // 3. Train the pipeline: AREPAS augmentation, power-law targets, and the
+  //    XGBoost / NN / GNN models.
+  TasqOptions options;
+  options.nn.epochs = 60;
+  options.gnn.epochs = 10;
+  Tasq tasq(options);
+  Status trained = tasq.Train(observed.value());
+  if (!trained.ok()) {
+    std::fprintf(stderr, "training failed: %s\n", trained.ToString().c_str());
+    return 1;
+  }
+  std::printf("trained on %zu jobs\n", observed.value().size());
+
+  // 4. Score an unseen job at compile time: predict its PCC and recommend
+  //    the minimum allocation whose marginal benefit stays above 1% per
+  //    token.
+  Job incoming = generator.GenerateJob(10001);
+  Result<PowerLawPcc> pcc =
+      tasq.PredictPcc(incoming.graph, ModelKind::kNn, incoming.default_tokens);
+  if (!pcc.ok()) {
+    std::fprintf(stderr, "prediction failed: %s\n",
+                 pcc.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("incoming job requests %.0f tokens\n", incoming.default_tokens);
+  std::printf("predicted PCC: runtime = %.1f * tokens^(%.3f)\n",
+              pcc.value().b, pcc.value().a);
+  for (double tokens : {10.0, 25.0, 50.0, incoming.default_tokens}) {
+    std::printf("  runtime at %3.0f tokens: %.0f s\n", tokens,
+                pcc.value().EvalRunTime(tokens));
+  }
+
+  Result<TokenRecommendation> recommendation = tasq.RecommendTokens(
+      incoming.graph, ModelKind::kNn, incoming.default_tokens,
+      /*min_improvement_percent=*/1.0);
+  if (recommendation.ok()) {
+    std::printf(
+        "recommended allocation: %.0f tokens (predicted slowdown %.1f%% vs "
+        "the %.0f requested)\n",
+        recommendation.value().tokens,
+        100.0 * recommendation.value().predicted_slowdown,
+        incoming.default_tokens);
+  }
+  return 0;
+}

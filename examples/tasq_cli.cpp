@@ -1,0 +1,219 @@
+// tasq_cli: a small command-line driver over the library, useful for
+// poking at workloads and models without writing code.
+//
+//   tasq_cli generate <n> <workload_file>     synthesize + observe n jobs
+//   tasq_cli train <workload_file> <model>    train the pipeline, save it
+//   tasq_cli score <model> <job_id> [tokens]  predict PCC + recommendation
+//   tasq_cli inspect <workload_file>          summarize a stored workload
+//
+// Job ids are deterministic: `score` regenerates the job from the default
+// workload seed, so any id can be scored against any model.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/stats.h"
+#include "feat/featurizer.h"
+#include "tasq/repository.h"
+#include "tasq/tasq.h"
+#include "tasq/what_if.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace tasq;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  tasq_cli generate <n> <workload_file>\n"
+               "  tasq_cli train <workload_file> <model_file>\n"
+               "  tasq_cli score <model_file> <job_id> [tokens]\n"
+               "  tasq_cli whatif <model_file> <job_id>\n"
+               "  tasq_cli importance <model_file>\n"
+               "  tasq_cli inspect <workload_file>\n");
+  return 2;
+}
+
+int Generate(int64_t n, const std::string& path) {
+  WorkloadGenerator generator(WorkloadConfig{});
+  NoiseModel noise;
+  noise.enabled = true;
+  auto observed = ObserveWorkload(generator.Generate(0, n), noise, 1);
+  if (!observed.ok()) {
+    std::fprintf(stderr, "observe failed: %s\n",
+                 observed.status().ToString().c_str());
+    return 1;
+  }
+  Status saved = SaveWorkloadToFile(path, observed.value());
+  if (!saved.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", saved.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %lld observed jobs to %s\n", static_cast<long long>(n),
+              path.c_str());
+  return 0;
+}
+
+int Train(const std::string& workload_path, const std::string& model_path) {
+  auto workload = LoadWorkloadFromFile(workload_path);
+  if (!workload.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 workload.status().ToString().c_str());
+    return 1;
+  }
+  TasqOptions options;
+  options.nn.epochs = 100;
+  options.nn.learning_rate = 2e-3;
+  options.gnn.epochs = 12;
+  Tasq tasq(options);
+  Status trained = tasq.Train(workload.value());
+  if (!trained.ok()) {
+    std::fprintf(stderr, "train failed: %s\n", trained.ToString().c_str());
+    return 1;
+  }
+  Status saved = tasq.SaveToFile(model_path);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", saved.ToString().c_str());
+    return 1;
+  }
+  std::printf("trained on %zu jobs; model registered at %s\n",
+              workload.value().size(), model_path.c_str());
+  return 0;
+}
+
+int Score(const std::string& model_path, int64_t job_id, double tokens) {
+  auto tasq = Tasq::LoadFromFile(model_path);
+  if (!tasq.ok()) {
+    std::fprintf(stderr, "model load failed: %s\n",
+                 tasq.status().ToString().c_str());
+    return 1;
+  }
+  WorkloadGenerator generator(WorkloadConfig{});
+  Job job = generator.GenerateJob(job_id);
+  double reference = tokens > 0.0 ? tokens : job.default_tokens;
+  auto pcc = tasq.value().PredictPcc(job.graph, ModelKind::kNn, reference);
+  if (!pcc.ok()) {
+    std::fprintf(stderr, "prediction failed: %s\n",
+                 pcc.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("job %lld (requested %.0f tokens)\n",
+              static_cast<long long>(job_id), reference);
+  std::printf("PCC: runtime = %.1f * tokens^(%.3f)\n", pcc.value().b,
+              pcc.value().a);
+  for (double fraction : {0.25, 0.5, 0.75, 1.0}) {
+    double at = std::max(1.0, std::round(reference * fraction));
+    std::printf("  %4.0f tokens -> %7.0f s\n", at,
+                pcc.value().EvalRunTime(at));
+  }
+  auto rec = tasq.value().RecommendTokens(job.graph, ModelKind::kNn,
+                                          reference, 1.0, 0.25);
+  if (rec.ok()) {
+    std::printf(
+        "recommendation (1%%/token, <=25%% SLO): %.0f tokens, predicted "
+        "slowdown %.1f%%\n",
+        rec.value().tokens, 100.0 * rec.value().predicted_slowdown);
+  }
+  return 0;
+}
+
+int WhatIf(const std::string& model_path, int64_t job_id) {
+  auto tasq = Tasq::LoadFromFile(model_path);
+  if (!tasq.ok()) {
+    std::fprintf(stderr, "model load failed: %s\n",
+                 tasq.status().ToString().c_str());
+    return 1;
+  }
+  WorkloadGenerator generator(WorkloadConfig{});
+  Job job = generator.GenerateJob(job_id);
+  auto report = BuildWhatIfReport(tasq.value(), job.graph, ModelKind::kNn,
+                                  job.default_tokens);
+  if (!report.ok()) {
+    std::fprintf(stderr, "what-if failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  std::fputs(report.value().ToText().c_str(), stdout);
+  return 0;
+}
+
+int Importance(const std::string& model_path) {
+  auto tasq = Tasq::LoadFromFile(model_path);
+  if (!tasq.ok() || tasq.value().xgb() == nullptr) {
+    std::fprintf(stderr, "model load failed or no XGBoost model present\n");
+    return 1;
+  }
+  std::vector<double> importance =
+      tasq.value().xgb()->gbdt().FeatureImportance();
+  std::vector<size_t> order(importance.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return importance[a] > importance[b];
+  });
+  std::printf("top runtime-model features by split count:\n");
+  for (size_t rank = 0; rank < order.size() && rank < 12; ++rank) {
+    size_t f = order[rank];
+    if (importance[f] <= 0.0) break;
+    std::printf("  %5.1f%%  %s\n", 100.0 * importance[f],
+                Featurizer::JobFeatureName(f).c_str());
+  }
+  return 0;
+}
+
+int Inspect(const std::string& path) {
+  auto workload = LoadWorkloadFromFile(path);
+  if (!workload.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 workload.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<double> runtimes;
+  std::vector<double> peaks;
+  std::vector<double> requests;
+  int recurring = 0;
+  for (const ObservedJob& entry : workload.value()) {
+    runtimes.push_back(entry.runtime_seconds);
+    peaks.push_back(entry.peak_tokens);
+    requests.push_back(entry.observed_tokens);
+    if (entry.job.recurring) ++recurring;
+  }
+  std::printf("%zu jobs (%d recurring, %zu ad-hoc)\n", workload.value().size(),
+              recurring, workload.value().size() - recurring);
+  std::printf("runtime s:   median %.0f  mean %.0f  max %.0f\n",
+              Median(runtimes), Mean(runtimes), Quantile(runtimes, 1.0));
+  std::printf("peak tokens: median %.0f  mean %.0f  max %.0f\n", Median(peaks),
+              Mean(peaks), Quantile(peaks, 1.0));
+  std::printf("requested:   median %.0f  mean %.0f  max %.0f\n",
+              Median(requests), Mean(requests), Quantile(requests, 1.0));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  if (command == "generate" && argc == 4) {
+    return Generate(std::atoll(argv[2]), argv[3]);
+  }
+  if (command == "train" && argc == 4) {
+    return Train(argv[2], argv[3]);
+  }
+  if (command == "score" && (argc == 4 || argc == 5)) {
+    return Score(argv[2], std::atoll(argv[3]),
+                 argc == 5 ? std::atof(argv[4]) : 0.0);
+  }
+  if (command == "whatif" && argc == 4) {
+    return WhatIf(argv[2], std::atoll(argv[3]));
+  }
+  if (command == "importance" && argc == 3) {
+    return Importance(argv[2]);
+  }
+  if (command == "inspect" && argc == 3) {
+    return Inspect(argv[2]);
+  }
+  return Usage();
+}

@@ -1,0 +1,80 @@
+// What-if explorer: the user-facing mode of TASQ where, instead of
+// auto-applying an allocation, the system displays the predicted PCC so a
+// user can weigh run time against token cost (paper §2.2). Compares the
+// model's predicted curve against the simulated ground truth for one job
+// and marks the elbow and the recommended allocation.
+//
+// Usage: whatif_explorer [job_id]
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.h"
+#include "pcc/pcc.h"
+#include "simcluster/cluster_simulator.h"
+#include "tasq/tasq.h"
+#include "workload/generator.h"
+
+int main(int argc, char** argv) {
+  using namespace tasq;
+  int64_t job_id = argc > 1 ? std::atoll(argv[1]) : 10042;
+
+  WorkloadGenerator generator(WorkloadConfig{});
+  NoiseModel noise;
+  noise.enabled = true;
+  auto observed = ObserveWorkload(generator.Generate(0, 400), noise, 1);
+  if (!observed.ok()) return 1;
+
+  TasqOptions options;
+  options.train_gnn = false;  // The NN is the paper's recommended trade-off.
+  options.nn.epochs = 60;
+  Tasq tasq(options);
+  if (!tasq.Train(observed.value()).ok()) return 1;
+
+  Job job = generator.GenerateJob(job_id);
+  double reference = job.default_tokens;
+  std::printf("what-if analysis for job %lld (requested %.0f tokens)\n\n",
+              static_cast<long long>(job_id), reference);
+
+  // Ground truth curve from the cluster simulator (what flighting would
+  // measure), next to the model's prediction.
+  ClusterSimulator simulator;
+  std::vector<PccSample> truth;
+  TextTable table({"tokens", "predicted runtime (s)", "actual runtime (s)",
+                   "prediction error"});
+  Result<PowerLawPcc> pcc =
+      tasq.PredictPcc(job.graph, ModelKind::kNn, reference);
+  if (!pcc.ok()) return 1;
+  for (double fraction : {0.2, 0.35, 0.5, 0.65, 0.8, 1.0}) {
+    double tokens = std::max(1.0, std::round(reference * fraction));
+    RunConfig run_config;
+    run_config.tokens = tokens;
+    auto run = simulator.Run(job.plan, run_config);
+    if (!run.ok()) return 1;
+    double predicted = pcc.value().EvalRunTime(tokens);
+    double actual = run.value().runtime_seconds;
+    truth.push_back({tokens, actual});
+    table.AddRow({Cell(tokens, 0), Cell(predicted, 0), Cell(actual, 0),
+                  Cell(100.0 * std::fabs(predicted - actual) / actual, 0) +
+                      "%"});
+  }
+  std::cout << table.ToString();
+
+  Result<double> elbow = FindElbowTokens(truth);
+  if (elbow.ok()) {
+    std::printf("\nelbow of the measured curve: ~%.0f tokens\n",
+                elbow.value());
+  }
+  Result<TokenRecommendation> recommendation =
+      tasq.RecommendTokens(job.graph, ModelKind::kNn, reference, 1.0);
+  if (recommendation.ok()) {
+    std::printf(
+        "TASQ recommendation: %.0f tokens (predicted %.0f s, %.1f%% slower "
+        "than the full request)\n",
+        recommendation.value().tokens,
+        recommendation.value().predicted_runtime_seconds,
+        100.0 * recommendation.value().predicted_slowdown);
+  }
+  return 0;
+}

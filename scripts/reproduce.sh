@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Reproduces every paper table/figure, ablation, extension, and baseline
+# comparison. Outputs land in test_output.txt and bench_output.txt at the
+# repository root. Scale experiment sizes with TASQ_SCALE (default 1).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/*; do "$b"; done 2>&1 | tee bench_output.txt

@@ -1,0 +1,124 @@
+#include "arepas/arepas.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace tasq {
+
+Result<Skyline> Arepas::SimulateSkyline(const Skyline& original,
+                                        double new_allocation) const {
+  if (original.duration_seconds() == 0) {
+    return Status::InvalidArgument("cannot simulate an empty skyline");
+  }
+  if (new_allocation <= 0.0) {
+    return Status::InvalidArgument("new allocation must be positive");
+  }
+  const auto& values = original.values();
+  std::vector<double> simulated;
+  simulated.reserve(values.size());
+  for (const SkylineSection& section : SplitSections(original, new_allocation)) {
+    if (!section.over_threshold) {
+      // Under-allocated section: copied without change (Figure 6).
+      simulated.insert(simulated.end(), values.begin() + section.start,
+                       values.begin() + section.end);
+      continue;
+    }
+    // Over-allocated section: flatten at the new allocation and lengthen to
+    // preserve its area (Figure 7).
+    double area = 0.0;
+    for (size_t t = section.start; t < section.end; ++t) area += values[t];
+    double exact_length = area / new_allocation;
+    size_t new_length = 0;
+    switch (options_.rounding) {
+      case AreaRounding::kExact:
+      case AreaRounding::kCeil:
+        new_length = static_cast<size_t>(std::ceil(exact_length));
+        break;
+      case AreaRounding::kFloor:
+        new_length = static_cast<size_t>(std::floor(exact_length));
+        break;
+    }
+    new_length = std::max<size_t>(new_length, 1);
+    for (size_t i = 0; i + 1 < new_length; ++i) {
+      simulated.push_back(new_allocation);
+    }
+    double last = new_allocation;
+    if (options_.rounding == AreaRounding::kExact) {
+      last = area - new_allocation * static_cast<double>(new_length - 1);
+      last = std::clamp(last, 0.0, new_allocation);
+    }
+    simulated.push_back(last);
+  }
+  return Skyline(std::move(simulated));
+}
+
+Result<double> Arepas::SimulateRunTimeSeconds(const Skyline& original,
+                                              double new_allocation) const {
+  Result<Skyline> simulated = SimulateSkyline(original, new_allocation);
+  if (!simulated.ok()) return simulated.status();
+  return static_cast<double>(simulated.value().duration_seconds());
+}
+
+Result<std::vector<PccSample>> SamplePcc(const Skyline& original,
+                                         const std::vector<double>& token_grid,
+                                         const ArepasOptions& options) {
+  Arepas arepas(options);
+  std::vector<PccSample> samples;
+  samples.reserve(token_grid.size());
+  for (double tokens : token_grid) {
+    Result<double> runtime = arepas.SimulateRunTimeSeconds(original, tokens);
+    if (!runtime.ok()) return runtime.status();
+    samples.push_back(PccSample{tokens, runtime.value()});
+  }
+  return samples;
+}
+
+std::vector<double> LinearTokenGrid(double lo, double hi, size_t count) {
+  std::vector<double> grid;
+  if (count < 2 || lo <= 0.0 || hi < lo) return grid;
+  grid.reserve(count);
+  double step = (hi - lo) / static_cast<double>(count - 1);
+  for (size_t i = 0; i < count; ++i) {
+    grid.push_back(lo + step * static_cast<double>(i));
+  }
+  return grid;
+}
+
+double AreaDeviationPercent(const Skyline& a, const Skyline& b) {
+  double area_a = a.Area();
+  double area_b = b.Area();
+  double mean = (area_a + area_b) / 2.0;
+  if (mean == 0.0) return 0.0;
+  return std::fabs(area_a - area_b) / mean * 100.0;
+}
+
+std::vector<double> PairwiseAreaDeviations(
+    const std::vector<Skyline>& executions) {
+  std::vector<double> deviations;
+  for (size_t i = 0; i < executions.size(); ++i) {
+    for (size_t j = i + 1; j < executions.size(); ++j) {
+      deviations.push_back(AreaDeviationPercent(executions[i], executions[j]));
+    }
+  }
+  return deviations;
+}
+
+int CountAreaOutliers(const std::vector<Skyline>& executions,
+                      double tolerance_percent) {
+  if (executions.size() < 2) return 0;
+  int outliers = 0;
+  for (size_t i = 0; i < executions.size(); ++i) {
+    std::vector<double> deviations;
+    deviations.reserve(executions.size() - 1);
+    for (size_t j = 0; j < executions.size(); ++j) {
+      if (j == i) continue;
+      deviations.push_back(AreaDeviationPercent(executions[i], executions[j]));
+    }
+    if (Median(deviations) > tolerance_percent) ++outliers;
+  }
+  return outliers;
+}
+
+}  // namespace tasq

@@ -1,0 +1,104 @@
+#ifndef TASQ_AREPAS_AREPAS_H_
+#define TASQ_AREPAS_AREPAS_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "pcc/pcc.h"
+#include "skyline/skyline.h"
+
+namespace tasq {
+
+/// How AREPAS rounds the stretched length of an over-allocation section.
+enum class AreaRounding {
+  /// ceil(area / allocation) ticks; the final tick carries the fractional
+  /// remainder so the section area is preserved *exactly*. This is the
+  /// default and what the simulator's "area preserving" name promises.
+  kExact,
+  /// floor(area / allocation) ticks, all at the allocation level — the
+  /// literal pseudocode of Algorithm 1 (drops up to one tick of area).
+  kFloor,
+  /// ceil(area / allocation) ticks, all at the allocation level (adds up to
+  /// one tick of area) — the paper's "right-nearest integer approximation".
+  kCeil,
+};
+
+/// Options for AREPAS simulation.
+struct ArepasOptions {
+  AreaRounding rounding = AreaRounding::kExact;
+};
+
+/// AREPAS — Area Preserving Allocation Simulator (paper §3.2, Algorithm 1).
+///
+/// Given a job's observed resource-consumption skyline, synthesizes the
+/// skyline (and hence the run time) the same job would have had under a
+/// lower token allocation, assuming the total amount of work (the area under
+/// the skyline, in token-seconds) stays constant:
+///
+///  * sections of the skyline at-or-under the new allocation are copied
+///    unchanged (Figure 6);
+///  * sections over the new allocation are flattened to the allocation level
+///    and lengthened so their area is preserved (Figure 7).
+///
+/// The simulation is deterministic: no stochastic cluster behavior is
+/// modeled. Simulating at an allocation at or above the skyline peak returns
+/// the skyline unchanged.
+///
+/// Note on monotonicity: simulated run time is non-increasing in the
+/// allocation up to 1-second quantization. Raising the allocation can split
+/// one over-section into two (a tick that was over the old threshold falls
+/// under the new one), and each stretched section rounds up to whole ticks —
+/// so the run time can locally *increase by at most one tick per section
+/// split*. The power-law fit downstream smooths over this quantization.
+class Arepas {
+ public:
+  explicit Arepas(ArepasOptions options = {}) : options_(options) {}
+
+  /// Simulates `original` under `new_allocation` tokens. Fails if the
+  /// allocation is not strictly positive or the skyline is empty.
+  Result<Skyline> SimulateSkyline(const Skyline& original,
+                                  double new_allocation) const;
+
+  /// Run time (seconds) of the simulated skyline — the value used as an
+  /// augmented training label.
+  Result<double> SimulateRunTimeSeconds(const Skyline& original,
+                                        double new_allocation) const;
+
+  const ArepasOptions& options() const { return options_; }
+
+ private:
+  ArepasOptions options_;
+};
+
+/// Samples the PCC of the job behind `original` over `token_grid` using
+/// AREPAS. Grid values above the skyline peak yield the original run time
+/// (extra tokens beyond the peak cannot speed the job up under the AREPAS
+/// model). Fails on an empty skyline or non-positive grid entries.
+Result<std::vector<PccSample>> SamplePcc(const Skyline& original,
+                                         const std::vector<double>& token_grid,
+                                         const ArepasOptions& options = {});
+
+/// Builds a linear token grid with `count` points spanning [lo, hi]
+/// inclusive. Requires count >= 2 and 0 < lo <= hi (or returns empty).
+std::vector<double> LinearTokenGrid(double lo, double hi, size_t count);
+
+/// Symmetric percent difference in area between two skylines:
+/// |a1 - a2| / ((a1 + a2) / 2) * 100. Returns 0 when both areas are zero.
+double AreaDeviationPercent(const Skyline& a, const Skyline& b);
+
+/// All C(n,2) pairwise area deviations among `executions` — the population
+/// behind the Figure-12 tolerance CDF.
+std::vector<double> PairwiseAreaDeviations(
+    const std::vector<Skyline>& executions);
+
+/// Number of executions that violate the constant-area assumption at
+/// `tolerance_percent`: an execution is an outlier when the *median* of its
+/// area deviations against the other executions exceeds the tolerance
+/// (robust to one bad partner). With fewer than two executions there are no
+/// outliers.
+int CountAreaOutliers(const std::vector<Skyline>& executions,
+                      double tolerance_percent);
+
+}  // namespace tasq
+
+#endif  // TASQ_AREPAS_AREPAS_H_

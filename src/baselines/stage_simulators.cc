@@ -1,0 +1,82 @@
+#include "baselines/stage_simulators.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tasq {
+
+Status StageHistory::Record(const Job& job) {
+  if (job.template_id < 0) {
+    return Status::InvalidArgument(
+        "ad-hoc jobs have no recurring key to record history under");
+  }
+  Status valid = job.plan.Validate();
+  if (!valid.ok()) return valid;
+  JobHistoryStats& stats = stats_[job.template_id];
+  stats.job_key = job.template_id;
+  if (stats.stages.size() < job.plan.stages.size()) {
+    stats.stages.resize(job.plan.stages.size());
+  }
+  // Running mean over recorded executions, stage by stage.
+  double n = static_cast<double>(stats.runs_observed);
+  for (size_t s = 0; s < job.plan.stages.size(); ++s) {
+    StageStats& stage = stats.stages[s];
+    const StageSpec& run = job.plan.stages[s];
+    stage.mean_tasks =
+        (stage.mean_tasks * n + static_cast<double>(run.num_tasks)) / (n + 1);
+    stage.mean_task_seconds =
+        (stage.mean_task_seconds * n + run.task_duration_seconds) / (n + 1);
+  }
+  ++stats.runs_observed;
+  return Status::Ok();
+}
+
+Result<JobHistoryStats> StageHistory::Lookup(const Job& job) const {
+  if (job.template_id < 0) {
+    return Status::NotFound("ad-hoc job has no history");
+  }
+  auto it = stats_.find(job.template_id);
+  if (it == stats_.end()) {
+    return Status::NotFound("no prior runs recorded for this job");
+  }
+  return it->second;
+}
+
+Result<double> AmdahlSimulateRunTime(const JobHistoryStats& stats,
+                                     double tokens) {
+  if (tokens < 1.0) {
+    return Status::InvalidArgument("token count must be at least 1");
+  }
+  if (stats.stages.empty()) {
+    return Status::InvalidArgument("history has no stage statistics");
+  }
+  double total = 0.0;
+  for (const StageStats& stage : stats.stages) {
+    // S: the critical path of the stage (one task's duration).
+    // P: the remaining (parallelizable) work.
+    double serial = stage.mean_task_seconds;
+    double parallel =
+        std::max(0.0, (stage.mean_tasks - 1.0) * stage.mean_task_seconds);
+    total += serial + parallel / tokens;
+  }
+  return total;
+}
+
+Result<double> JockeySimulateRunTime(const JobHistoryStats& stats,
+                                     double tokens) {
+  if (tokens < 1.0) {
+    return Status::InvalidArgument("token count must be at least 1");
+  }
+  if (stats.stages.empty()) {
+    return Status::InvalidArgument("history has no stage statistics");
+  }
+  double capacity = std::floor(tokens);
+  double total = 0.0;
+  for (const StageStats& stage : stats.stages) {
+    double waves = std::ceil(std::max(1.0, stage.mean_tasks) / capacity);
+    total += waves * stage.mean_task_seconds;
+  }
+  return total;
+}
+
+}  // namespace tasq

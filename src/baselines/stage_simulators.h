@@ -1,0 +1,70 @@
+#ifndef TASQ_BASELINES_STAGE_SIMULATORS_H_
+#define TASQ_BASELINES_STAGE_SIMULATORS_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "simcluster/cluster_simulator.h"
+#include "workload/job_graph.h"
+
+namespace tasq {
+
+/// Per-stage statistics aggregated over prior runs of one job — what the
+/// Jockey and Amdahl's-law simulators consume (paper §6.3: both "operate
+/// at a stage-level granularity" and compute their parameters as
+/// "aggregated statistics obtained from prior runs of the job").
+struct StageStats {
+  /// Mean observed task count.
+  double mean_tasks = 0.0;
+  /// Mean observed per-task duration (seconds).
+  double mean_task_seconds = 0.0;
+};
+
+/// Aggregated prior-run statistics of one recurring job.
+struct JobHistoryStats {
+  int64_t job_key = 0;
+  int runs_observed = 0;
+  std::vector<StageStats> stages;
+};
+
+/// Builds per-stage statistics from prior executions of the same job
+/// template. This substitutes for the production telemetry both baseline
+/// simulators require; their key limitation — no estimate for jobs without
+/// history — is preserved by construction.
+class StageHistory {
+ public:
+  /// Records one executed run of a job (the plan carries the realized
+  /// stage structure). Keyed by the job's template id; ad-hoc jobs
+  /// (template -1) are not recordable, mirroring the baselines' inability
+  /// to cover fresh jobs.
+  Status Record(const Job& job);
+
+  /// Statistics for a job's template; NotFound for ad-hoc/unseen jobs.
+  Result<JobHistoryStats> Lookup(const Job& job) const;
+
+  size_t num_templates() const { return stats_.size(); }
+
+ private:
+  std::map<int, JobHistoryStats> stats_;
+};
+
+/// The Amdahl's-law simulator of paper §6.3: each stage is split into a
+/// serial part S (the critical path of one task) and a parallel part P;
+/// the run time at N tokens is T(N) = sum_s (S_s + P_s / N).
+/// Requires prior-run statistics; cannot score fresh jobs.
+Result<double> AmdahlSimulateRunTime(const JobHistoryStats& stats,
+                                     double tokens);
+
+/// The Jockey simulator of paper §6.3: stage-by-stage simulation using
+/// prior-run task statistics — each stage runs ceil(tasks / N) waves of
+/// its mean task duration, with stages serialized by the barrier DAG
+/// (simplified to a chain over the recorded stage order, as Jockey's
+/// C(progress, allocation) table is over completed work).
+Result<double> JockeySimulateRunTime(const JobHistoryStats& stats,
+                                     double tokens);
+
+}  // namespace tasq
+
+#endif  // TASQ_BASELINES_STAGE_SIMULATORS_H_

@@ -1,0 +1,48 @@
+#ifndef TASQ_COMMON_PARALLEL_H_
+#define TASQ_COMMON_PARALLEL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace tasq {
+
+/// Runs `body(i)` for every i in [0, count) across up to `num_threads`
+/// worker threads (0 = hardware concurrency). Work is handed out by an
+/// atomic counter, so uneven per-item cost balances naturally. The caller
+/// is responsible for making `body` safe to run concurrently for distinct
+/// indices (typically: write only to slot i of a pre-sized output vector).
+/// Deterministic outputs are preserved because each index computes the
+/// same value regardless of which thread runs it.
+inline void ParallelFor(size_t count, const std::function<void(size_t)>& body,
+                        unsigned num_threads = 0) {
+  if (count == 0) return;
+  unsigned hardware = std::thread::hardware_concurrency();
+  if (num_threads == 0) num_threads = hardware > 0 ? hardware : 1;
+  if (num_threads > count) num_threads = static_cast<unsigned>(count);
+  if (num_threads <= 1) {
+    for (size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  std::atomic<size_t> next{0};
+  auto worker = [&]() {
+    while (true) {
+      size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      body(i);
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads - 1);
+  for (unsigned t = 0; t + 1 < num_threads; ++t) {
+    threads.emplace_back(worker);
+  }
+  worker();  // The calling thread participates.
+  for (std::thread& thread : threads) thread.join();
+}
+
+}  // namespace tasq
+
+#endif  // TASQ_COMMON_PARALLEL_H_

@@ -1,0 +1,72 @@
+#include "common/table.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+namespace tasq {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (size_t c = 0; c < cells.size(); ++c) {
+      line += cells[c];
+      if (c + 1 < cells.size()) {
+        line.append(widths[c] - cells[c].size() + 2, ' ');
+      }
+    }
+    line += '\n';
+    return line;
+  };
+  std::string out = render_row(headers_);
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  out.append(total, '-');
+  out += '\n';
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string Cell(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string Cell(int64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  return buf;
+}
+
+void PrintBanner(const std::string& title) {
+  std::cout << "\n== " << title << " ==\n\n";
+}
+
+double ScaleFromEnv() {
+  const char* raw = std::getenv("TASQ_SCALE");
+  if (raw == nullptr) return 1.0;
+  char* end = nullptr;
+  double v = std::strtod(raw, &end);
+  if (end == raw || v <= 0.0) return 1.0;
+  return v;
+}
+
+}  // namespace tasq

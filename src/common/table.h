@@ -1,0 +1,49 @@
+#ifndef TASQ_COMMON_TABLE_H_
+#define TASQ_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace tasq {
+
+/// Fixed-width text table used by the benchmark harness to print the rows of
+/// the paper's tables and figure series. Cells are strings; use `Cell(...)`
+/// helpers for numeric formatting. Example:
+///
+///   TextTable t({"Model", "Pattern", "MAE"});
+///   t.AddRow({"GNN", Cell(100.0, 0) + "%", Cell(0.071, 3)});
+///   std::cout << t.ToString();
+class TextTable {
+ public:
+  /// Constructs a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a row; missing trailing cells render empty, extra cells are
+  /// dropped.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table with a header underline and 2-space column gaps.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `value` with `decimals` digits after the point.
+std::string Cell(double value, int decimals);
+
+/// Formats an integer cell.
+std::string Cell(int64_t value);
+
+/// Prints a section banner ("== title ==") followed by a newline to stdout.
+void PrintBanner(const std::string& title);
+
+/// Reads the TASQ_SCALE environment variable as a positive multiplier for
+/// experiment sizes (number of jobs, epochs, ...). Returns 1.0 when unset or
+/// invalid. Benches multiply their default sizes by this.
+double ScaleFromEnv();
+
+}  // namespace tasq
+
+#endif  // TASQ_COMMON_TABLE_H_

@@ -1,0 +1,90 @@
+#include "common/text_io.h"
+
+#include <cstdio>
+#include <limits>
+
+namespace tasq {
+
+void TextArchiveWriter::Scalar(const std::string& tag, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out_ << tag << ' ' << buf << '\n';
+}
+
+void TextArchiveWriter::Scalar(const std::string& tag, int64_t value) {
+  out_ << tag << ' ' << value << '\n';
+}
+
+void TextArchiveWriter::String(const std::string& tag,
+                               const std::string& value) {
+  // Values are single whitespace-free tokens by convention.
+  out_ << tag << ' ' << value << '\n';
+}
+
+void TextArchiveWriter::Vector(const std::string& tag,
+                               const std::vector<double>& values) {
+  out_ << tag << ' ' << values.size();
+  char buf[64];
+  for (double v : values) {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out_ << ' ' << buf;
+  }
+  out_ << '\n';
+}
+
+bool TextArchiveReader::ExpectTag(const std::string& tag) {
+  if (!status_.ok()) return false;
+  std::string token;
+  if (!(in_ >> token)) {
+    Fail("unexpected end of archive; wanted tag '" + tag + "'");
+    return false;
+  }
+  if (token != tag) {
+    Fail("archive mismatch: wanted tag '" + tag + "', found '" + token + "'");
+    return false;
+  }
+  return true;
+}
+
+void TextArchiveReader::Fail(const std::string& message) {
+  if (status_.ok()) status_ = Status::InvalidArgument(message);
+}
+
+void TextArchiveReader::Scalar(const std::string& tag, double& value) {
+  if (!ExpectTag(tag)) return;
+  if (!(in_ >> value)) Fail("malformed double for tag '" + tag + "'");
+}
+
+void TextArchiveReader::Scalar(const std::string& tag, int64_t& value) {
+  if (!ExpectTag(tag)) return;
+  if (!(in_ >> value)) Fail("malformed integer for tag '" + tag + "'");
+}
+
+void TextArchiveReader::String(const std::string& tag, std::string& value) {
+  if (!ExpectTag(tag)) return;
+  if (!(in_ >> value)) Fail("malformed string for tag '" + tag + "'");
+}
+
+void TextArchiveReader::Vector(const std::string& tag,
+                               std::vector<double>& values) {
+  if (!ExpectTag(tag)) return;
+  int64_t size = 0;
+  if (!(in_ >> size) || size < 0) {
+    Fail("malformed vector size for tag '" + tag + "'");
+    return;
+  }
+  // Guard against absurd sizes from corrupted archives.
+  if (size > (int64_t{1} << 32)) {
+    Fail("vector size out of range for tag '" + tag + "'");
+    return;
+  }
+  values.resize(static_cast<size_t>(size));
+  for (double& v : values) {
+    if (!(in_ >> v)) {
+      Fail("malformed vector element for tag '" + tag + "'");
+      return;
+    }
+  }
+}
+
+}  // namespace tasq

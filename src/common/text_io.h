@@ -1,0 +1,70 @@
+#ifndef TASQ_COMMON_TEXT_IO_H_
+#define TASQ_COMMON_TEXT_IO_H_
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tasq {
+
+/// Minimal tagged text archive used by the model store: whitespace-
+/// separated `tag value...` records with full-precision doubles. The format
+/// is self-describing enough to catch loading the wrong artifact (every
+/// record is preceded by its expected tag) while staying dependency-free
+/// and diff-friendly.
+///
+///   TextArchiveWriter w(stream);
+///   w.Scalar("epochs", 60);
+///   w.Vector("weights", weights);
+///
+///   TextArchiveReader r(stream);
+///   int64_t epochs;   r.Scalar("epochs", epochs);
+///   std::vector<double> weights;  r.Vector("weights", weights);
+///   if (!r.status().ok()) ...
+class TextArchiveWriter {
+ public:
+  explicit TextArchiveWriter(std::ostream& out) : out_(out) {}
+
+  void Scalar(const std::string& tag, double value);
+  void Scalar(const std::string& tag, int64_t value);
+  void String(const std::string& tag, const std::string& value);
+  /// Writes the size followed by the elements.
+  void Vector(const std::string& tag, const std::vector<double>& values);
+
+ private:
+  std::ostream& out_;
+};
+
+/// Reads archives produced by TextArchiveWriter. The first failed read
+/// latches an error status; subsequent reads are no-ops, so callers can
+/// read a whole object and check `status()` once.
+class TextArchiveReader {
+ public:
+  explicit TextArchiveReader(std::istream& in) : in_(in) {}
+
+  void Scalar(const std::string& tag, double& value);
+  void Scalar(const std::string& tag, int64_t& value);
+  void String(const std::string& tag, std::string& value);
+  void Vector(const std::string& tag, std::vector<double>& values);
+
+  const Status& status() const { return status_; }
+
+  /// Latches an error from a caller-side consistency check (e.g., two
+  /// loaded vectors whose sizes must agree).
+  void ForceError(const std::string& message) { Fail(message); }
+
+ private:
+  /// Consumes one token and verifies it equals `tag`.
+  bool ExpectTag(const std::string& tag);
+  void Fail(const std::string& message);
+
+  std::istream& in_;
+  Status status_;
+};
+
+}  // namespace tasq
+
+#endif  // TASQ_COMMON_TEXT_IO_H_

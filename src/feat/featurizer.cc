@@ -1,0 +1,165 @@
+#include "feat/featurizer.h"
+
+#include <cmath>
+
+namespace tasq {
+
+void Featurizer::OperatorRow(const OperatorNode& node, double* out) {
+  const OperatorFeatures& f = node.features;
+  size_t i = 0;
+  out[i++] = std::log1p(std::max(0.0, f.output_cardinality));
+  out[i++] = std::log1p(std::max(0.0, f.leaf_input_cardinality));
+  out[i++] = std::log1p(std::max(0.0, f.children_input_cardinality));
+  out[i++] = std::log1p(std::max(0.0, f.average_row_length));
+  out[i++] = std::log1p(std::max(0.0, f.cost_subtree));
+  out[i++] = std::log1p(std::max(0.0, f.cost_exclusive));
+  out[i++] = std::log1p(std::max(0.0, f.cost_total));
+  out[i++] = std::log1p(static_cast<double>(std::max(0, f.num_partitions)));
+  out[i++] = static_cast<double>(f.num_partitioning_columns);
+  out[i++] = static_cast<double>(f.num_sort_columns);
+  for (size_t k = 0; k < kPhysicalOperatorCount; ++k) out[i + k] = 0.0;
+  out[i + static_cast<size_t>(node.op)] = 1.0;
+  i += kPhysicalOperatorCount;
+  for (size_t k = 0; k < kPartitioningMethodCount; ++k) out[i + k] = 0.0;
+  if (node.partitioning != PartitioningMethod::kNone) {
+    out[i + static_cast<size_t>(node.partitioning) - 1] = 1.0;
+  }
+}
+
+std::string Featurizer::JobFeatureName(size_t index) {
+  static constexpr const char* kNumeric[] = {
+      "mean log output_cardinality", "mean log leaf_input_cardinality",
+      "mean log children_input_cardinality", "mean log average_row_length",
+      "mean log cost_subtree", "mean log cost_exclusive",
+      "mean log cost_total", "mean log num_partitions",
+      "mean num_partitioning_columns", "mean num_sort_columns"};
+  if (index < 10) return kNumeric[index];
+  if (index < 10 + kPhysicalOperatorCount) {
+    return std::string("count ") +
+           OperatorName(static_cast<PhysicalOperator>(index - 10));
+  }
+  size_t partition_base = 10 + kPhysicalOperatorCount;
+  if (index < partition_base + kPartitioningMethodCount) {
+    return std::string("count partitioning ") +
+           PartitioningMethodName(static_cast<PartitioningMethod>(
+               index - partition_base + 1));
+  }
+  if (index == kOperatorFeatureDim) return "num_operators";
+  if (index == kOperatorFeatureDim + 1) return "num_stages";
+  if (index == kJobFeatureDim) return "log1p tokens";
+  return "unknown";
+}
+
+Result<std::vector<double>> Featurizer::JobLevel(const JobGraph& graph) const {
+  Status valid = graph.Validate();
+  if (!valid.ok()) return valid;
+  std::vector<double> agg(kJobFeatureDim, 0.0);
+  std::vector<double> row(kOperatorFeatureDim);
+  double n = static_cast<double>(graph.operators.size());
+  for (const OperatorNode& node : graph.operators) {
+    OperatorRow(node, row.data());
+    // Numeric features (first 10) are aggregated by mean; categorical
+    // one-hots by frequency count (paper §4.3).
+    for (size_t k = 0; k < 10; ++k) agg[k] += row[k] / n;
+    for (size_t k = 10; k < kOperatorFeatureDim; ++k) agg[k] += row[k];
+  }
+  agg[kOperatorFeatureDim] = n;
+  agg[kOperatorFeatureDim + 1] = static_cast<double>(graph.NumStages());
+  return agg;
+}
+
+Result<JobFeatures> Featurizer::Featurize(const JobGraph& graph) const {
+  Result<std::vector<double>> job_vec = JobLevel(graph);
+  if (!job_vec.ok()) return job_vec.status();
+  JobFeatures features;
+  features.job_vector = std::move(job_vec.value());
+  size_t n = graph.operators.size();
+  features.num_operators = n;
+  features.op_matrix.resize(n * kOperatorFeatureDim);
+  for (size_t i = 0; i < n; ++i) {
+    OperatorRow(graph.operators[i],
+                features.op_matrix.data() + i * kOperatorFeatureDim);
+  }
+  // GCN-normalized adjacency over the undirected DAG skeleton with self
+  // loops: D^-1/2 (A + A^T + I) D^-1/2.
+  std::vector<double> adj(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) adj[i * n + i] = 1.0;
+  for (const auto& [from, to] : graph.Edges()) {
+    adj[static_cast<size_t>(from) * n + static_cast<size_t>(to)] = 1.0;
+    adj[static_cast<size_t>(to) * n + static_cast<size_t>(from)] = 1.0;
+  }
+  std::vector<double> inv_sqrt_degree(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    double degree = 0.0;
+    for (size_t j = 0; j < n; ++j) degree += adj[i * n + j];
+    inv_sqrt_degree[i] = 1.0 / std::sqrt(degree);
+  }
+  features.norm_adjacency.resize(n * n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      features.norm_adjacency[i * n + j] =
+          adj[i * n + j] * inv_sqrt_degree[i] * inv_sqrt_degree[j];
+    }
+  }
+  return features;
+}
+
+Result<FeatureScaler> FeatureScaler::Fit(const std::vector<double>& data,
+                                         size_t rows, size_t dim) {
+  if (rows == 0 || dim == 0 || data.size() != rows * dim) {
+    return Status::InvalidArgument("scaler needs a non-empty rows*dim matrix");
+  }
+  std::vector<double> mean(dim, 0.0);
+  std::vector<double> std(dim, 0.0);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < dim; ++c) mean[c] += data[r * dim + c];
+  }
+  for (double& m : mean) m /= static_cast<double>(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < dim; ++c) {
+      double d = data[r * dim + c] - mean[c];
+      std[c] += d * d;
+    }
+  }
+  for (double& s : std) {
+    s = std::sqrt(s / static_cast<double>(rows));
+    if (s < 1e-12) s = 1.0;  // Constant column: center only.
+  }
+  return FeatureScaler(std::move(mean), std::move(std));
+}
+
+void FeatureScaler::Save(TextArchiveWriter& writer,
+                         const std::string& tag) const {
+  writer.Vector(tag + ".mean", mean_);
+  writer.Vector(tag + ".std", std_);
+}
+
+FeatureScaler FeatureScaler::Load(TextArchiveReader& reader,
+                                  const std::string& tag) {
+  std::vector<double> mean;
+  std::vector<double> std;
+  reader.Vector(tag + ".mean", mean);
+  reader.Vector(tag + ".std", std);
+  if (mean.size() != std.size()) {
+    reader.ForceError("scaler mean/std size mismatch for tag '" + tag + "'");
+    return FeatureScaler({}, {});
+  }
+  return FeatureScaler(std::move(mean), std::move(std));
+}
+
+void FeatureScaler::Transform(std::vector<double>& vec) const {
+  for (size_t c = 0; c < vec.size() && c < mean_.size(); ++c) {
+    vec[c] = (vec[c] - mean_[c]) / std_[c];
+  }
+}
+
+void FeatureScaler::TransformMatrix(std::vector<double>& data) const {
+  size_t dim = mean_.size();
+  for (size_t offset = 0; offset + dim <= data.size(); offset += dim) {
+    for (size_t c = 0; c < dim; ++c) {
+      data[offset + c] = (data[offset + c] - mean_[c]) / std_[c];
+    }
+  }
+}
+
+}  // namespace tasq

@@ -1,0 +1,100 @@
+#ifndef TASQ_FEAT_FEATURIZER_H_
+#define TASQ_FEAT_FEATURIZER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "common/text_io.h"
+#include "workload/job_graph.h"
+
+namespace tasq {
+
+/// Featurized views of a job graph (paper §4.3, Table 2):
+///  * `job_vector` — the aggregated job-level features used by XGBoost and
+///    the NN (continuous/count features aggregated by mean, categorical
+///    features by frequency count, plus operator and stage counts);
+///  * `op_matrix` — the N x Po operator-level matrix used by the GNN;
+///  * `norm_adjacency` — the GCN-normalized adjacency
+///    D^-1/2 (A + A^T + I) D^-1/2 over the operator DAG (message passing is
+///    symmetric, as in standard GCNs).
+///
+/// Cardinalities, costs, row lengths and partition counts span orders of
+/// magnitude, so they are log1p-scaled at featurization time.
+struct JobFeatures {
+  std::vector<double> job_vector;
+  size_t num_operators = 0;
+  /// Row-major N x kOperatorFeatureDim.
+  std::vector<double> op_matrix;
+  /// Row-major N x N.
+  std::vector<double> norm_adjacency;
+};
+
+/// Maps job graphs to model inputs. Stateless; all layout constants are
+/// static so models can size themselves without an instance.
+class Featurizer {
+ public:
+  /// 7 log-scaled continuous + 3 discrete + 35 operator one-hot +
+  /// 4 partitioning one-hot.
+  static constexpr size_t kOperatorFeatureDim =
+      7 + 3 + kPhysicalOperatorCount + kPartitioningMethodCount;
+
+  /// Means of the 10 numeric features, frequency counts of the 39
+  /// categorical indicators, plus operator count and stage count.
+  static constexpr size_t kJobFeatureDim =
+      7 + 3 + kPhysicalOperatorCount + kPartitioningMethodCount + 2;
+
+  /// Featurizes all views of `graph`. Fails on an invalid graph.
+  Result<JobFeatures> Featurize(const JobGraph& graph) const;
+
+  /// Only the aggregated job-level vector (cheaper; used by XGBoost/NN).
+  Result<std::vector<double>> JobLevel(const JobGraph& graph) const;
+
+  /// Fills `out` (size kOperatorFeatureDim) with one operator's features.
+  static void OperatorRow(const OperatorNode& node, double* out);
+
+  /// Human-readable name of job-level feature `index` (e.g.,
+  /// "mean log cost_subtree", "count HashJoin", "num_operators").
+  /// Index kJobFeatureDim names the token feature the XGBoost runtime
+  /// model appends ("log1p tokens"); anything beyond is "unknown".
+  static std::string JobFeatureName(size_t index);
+};
+
+/// Per-dimension standardization (z-score) fitted on a training matrix and
+/// applied at training and scoring time. Dimensions with zero variance are
+/// centered only.
+class FeatureScaler {
+ public:
+  /// Fits mean/std per column over `rows` vectors of dimension `dim` stored
+  /// row-major in `data`. Requires a non-empty matrix.
+  static Result<FeatureScaler> Fit(const std::vector<double>& data,
+                                   size_t rows, size_t dim);
+
+  /// Standardizes `vec` in place. `vec.size()` must equal `dim()`.
+  void Transform(std::vector<double>& vec) const;
+
+  /// Standardizes a row-major matrix in place (size must be rows * dim()).
+  void TransformMatrix(std::vector<double>& data) const;
+
+  size_t dim() const { return mean_.size(); }
+  const std::vector<double>& mean() const { return mean_; }
+  const std::vector<double>& std() const { return std_; }
+
+  /// Writes the scaler into an archive under `tag`.
+  void Save(TextArchiveWriter& writer, const std::string& tag) const;
+
+  /// Reads a scaler written by Save; on malformed input the reader's
+  /// status latches and an empty scaler is returned.
+  static FeatureScaler Load(TextArchiveReader& reader, const std::string& tag);
+
+ private:
+  FeatureScaler(std::vector<double> mean, std::vector<double> std)
+      : mean_(std::move(mean)), std_(std::move(std)) {}
+
+  std::vector<double> mean_;
+  std::vector<double> std_;
+};
+
+}  // namespace tasq
+
+#endif  // TASQ_FEAT_FEATURIZER_H_

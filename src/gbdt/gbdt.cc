@@ -1,0 +1,379 @@
+#include "gbdt/gbdt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace tasq {
+namespace {
+
+// Per-tree split search state shared down the recursion via pointers held
+// in GrowNode's signature; kept free of globals.
+struct BinHistogram {
+  std::vector<double> grad_sum;
+  std::vector<double> hess_sum;
+  std::vector<int> count;
+  void Reset(size_t bins) {
+    grad_sum.assign(bins, 0.0);
+    hess_sum.assign(bins, 0.0);
+    count.assign(bins, 0);
+  }
+};
+
+double LeafWeight(double grad, double hess, double l2) {
+  return -grad / (hess + l2);
+}
+
+double SplitScore(double grad, double hess, double l2) {
+  return grad * grad / (hess + l2);
+}
+
+}  // namespace
+
+GbdtRegressor::GbdtRegressor(GbdtOptions options)
+    : options_(std::move(options)) {}
+
+double GbdtRegressor::Tree::Eval(const double* row) const {
+  int node = 0;
+  while (nodes[static_cast<size_t>(node)].feature >= 0) {
+    const TreeNode& n = nodes[static_cast<size_t>(node)];
+    // Training buckets a value equal to a threshold into the *right* bin
+    // (upper_bound semantics), so evaluation must use a strict comparison.
+    node = row[n.feature] < n.threshold ? n.left : n.right;
+  }
+  return nodes[static_cast<size_t>(node)].value;
+}
+
+Status GbdtRegressor::Train(const std::vector<double>& features, size_t rows,
+                            size_t dim, const std::vector<double>& targets) {
+  if (rows == 0 || dim == 0 || features.size() != rows * dim ||
+      targets.size() != rows) {
+    return Status::InvalidArgument("feature/target matrix sizes mismatch");
+  }
+  if (options_.objective == GbdtOptions::Objective::kGamma) {
+    for (double y : targets) {
+      if (y <= 0.0) {
+        return Status::InvalidArgument(
+            "gamma objective requires positive targets");
+      }
+    }
+  }
+  dim_ = dim;
+  trees_.clear();
+
+  // Base score in link space.
+  double mean = 0.0;
+  for (double y : targets) mean += y;
+  mean /= static_cast<double>(rows);
+  base_score_ = options_.objective == GbdtOptions::Objective::kGamma
+                    ? std::log(std::max(mean, 1e-12))
+                    : mean;
+  has_base_ = true;
+
+  // Quantile thresholds per feature, computed once at the root.
+  size_t bins = static_cast<size_t>(std::max(2, options_.max_bins));
+  std::vector<std::vector<double>> thresholds(dim);
+  {
+    std::vector<double> column(rows);
+    for (size_t f = 0; f < dim; ++f) {
+      for (size_t r = 0; r < rows; ++r) column[r] = features[r * dim + f];
+      std::sort(column.begin(), column.end());
+      std::vector<double>& t = thresholds[f];
+      for (size_t b = 1; b < bins; ++b) {
+        double q = static_cast<double>(b) / static_cast<double>(bins);
+        double v = column[static_cast<size_t>(
+            q * static_cast<double>(rows - 1))];
+        if (t.empty() || v > t.back()) t.push_back(v);
+      }
+    }
+  }
+  // Bin index per (row, feature): the number of thresholds <= value.
+  std::vector<uint16_t> bin_index(rows * dim);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t f = 0; f < dim; ++f) {
+      const auto& t = thresholds[f];
+      double v = features[r * dim + f];
+      bin_index[r * dim + f] = static_cast<uint16_t>(
+          std::upper_bound(t.begin(), t.end(), v) - t.begin());
+    }
+  }
+
+  std::vector<double> score(rows, base_score_);
+  std::vector<double> grad(rows);
+  std::vector<double> hess(rows);
+  Rng rng(options_.seed);
+
+  for (int tree_index = 0; tree_index < options_.num_trees; ++tree_index) {
+    // First/second derivatives of the objective w.r.t. the link-space
+    // score F.
+    for (size_t r = 0; r < rows; ++r) {
+      if (options_.objective == GbdtOptions::Objective::kGamma) {
+        double ratio = targets[r] * std::exp(-score[r]);
+        grad[r] = 1.0 - ratio;
+        hess[r] = ratio;
+      } else {
+        grad[r] = score[r] - targets[r];
+        hess[r] = 1.0;
+      }
+    }
+    std::vector<int> samples;
+    samples.reserve(rows);
+    if (options_.subsample < 1.0) {
+      for (size_t r = 0; r < rows; ++r) {
+        if (rng.Bernoulli(options_.subsample)) {
+          samples.push_back(static_cast<int>(r));
+        }
+      }
+      if (samples.empty()) samples.push_back(0);
+    } else {
+      samples.resize(rows);
+      std::iota(samples.begin(), samples.end(), 0);
+    }
+    Tree tree;
+    // The features matrix is needed to evaluate; splits use bins only. The
+    // recursion takes grad/hess/bins/thresholds by reference.
+    GrowNode(tree, samples, 0, grad, hess, bin_index, thresholds);
+    // Update scores with the shrunken tree output.
+    for (size_t r = 0; r < rows; ++r) {
+      score[r] += options_.learning_rate * tree.Eval(&features[r * dim]);
+    }
+    trees_.push_back(std::move(tree));
+  }
+  return Status::Ok();
+}
+
+int GbdtRegressor::GrowNode(Tree& tree, std::vector<int>& samples, int depth,
+                            const std::vector<double>& grad,
+                            const std::vector<double>& hess,
+                            const std::vector<uint16_t>& bins,
+                            const std::vector<std::vector<double>>& thresholds) {
+  double total_grad = 0.0;
+  double total_hess = 0.0;
+  for (int r : samples) {
+    total_grad += grad[static_cast<size_t>(r)];
+    total_hess += hess[static_cast<size_t>(r)];
+  }
+  int node_index = static_cast<int>(tree.nodes.size());
+  tree.nodes.emplace_back();
+  tree.nodes.back().value =
+      LeafWeight(total_grad, total_hess, options_.l2_lambda);
+
+  if (depth >= options_.max_depth ||
+      static_cast<int>(samples.size()) < 2 * options_.min_samples_leaf) {
+    return node_index;
+  }
+
+  // Best split across all features and their quantile thresholds.
+  double parent_score = SplitScore(total_grad, total_hess, options_.l2_lambda);
+  double best_gain = 1e-9;
+  int best_feature = -1;
+  int best_bin = -1;
+  BinHistogram histogram;
+  for (size_t f = 0; f < dim_; ++f) {
+    size_t nbins = thresholds[f].size() + 1;
+    if (nbins < 2) continue;
+    histogram.Reset(nbins);
+    for (int r : samples) {
+      uint16_t b = bins[static_cast<size_t>(r) * dim_ + f];
+      histogram.grad_sum[b] += grad[static_cast<size_t>(r)];
+      histogram.hess_sum[b] += hess[static_cast<size_t>(r)];
+      ++histogram.count[b];
+    }
+    double left_grad = 0.0;
+    double left_hess = 0.0;
+    int left_count = 0;
+    for (size_t b = 0; b + 1 < nbins; ++b) {
+      left_grad += histogram.grad_sum[b];
+      left_hess += histogram.hess_sum[b];
+      left_count += histogram.count[b];
+      int right_count = static_cast<int>(samples.size()) - left_count;
+      if (left_count < options_.min_samples_leaf ||
+          right_count < options_.min_samples_leaf) {
+        continue;
+      }
+      double gain =
+          0.5 * (SplitScore(left_grad, left_hess, options_.l2_lambda) +
+                 SplitScore(total_grad - left_grad, total_hess - left_hess,
+                            options_.l2_lambda) -
+                 parent_score);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        best_bin = static_cast<int>(b);
+      }
+    }
+  }
+  if (best_feature < 0) return node_index;
+
+  double threshold =
+      thresholds[static_cast<size_t>(best_feature)][static_cast<size_t>(best_bin)];
+  std::vector<int> left;
+  std::vector<int> right;
+  for (int r : samples) {
+    if (bins[static_cast<size_t>(r) * dim_ +
+             static_cast<size_t>(best_feature)] <=
+        static_cast<uint16_t>(best_bin)) {
+      left.push_back(r);
+    } else {
+      right.push_back(r);
+    }
+  }
+  // Free the parent's sample list before recursing to bound memory.
+  samples.clear();
+  samples.shrink_to_fit();
+
+  int left_child = GrowNode(tree, left, depth + 1, grad, hess, bins,
+                            thresholds);
+  int right_child = GrowNode(tree, right, depth + 1, grad, hess, bins,
+                             thresholds);
+  TreeNode& node = tree.nodes[static_cast<size_t>(node_index)];
+  node.feature = best_feature;
+  node.threshold = threshold;
+  node.left = left_child;
+  node.right = right_child;
+  return node_index;
+}
+
+std::vector<double> GbdtRegressor::FeatureImportance() const {
+  std::vector<double> importance(dim_, 0.0);
+  double total = 0.0;
+  for (const Tree& tree : trees_) {
+    for (const TreeNode& node : tree.nodes) {
+      if (node.feature >= 0 &&
+          static_cast<size_t>(node.feature) < importance.size()) {
+        importance[static_cast<size_t>(node.feature)] += 1.0;
+        total += 1.0;
+      }
+    }
+  }
+  if (total > 0.0) {
+    for (double& v : importance) v /= total;
+  }
+  return importance;
+}
+
+void GbdtRegressor::Save(TextArchiveWriter& writer) const {
+  writer.String("gbdt.format", "tasq-gbdt-v1");
+  writer.Scalar("gbdt.objective",
+                static_cast<int64_t>(options_.objective ==
+                                             GbdtOptions::Objective::kGamma
+                                         ? 1
+                                         : 0));
+  writer.Scalar("gbdt.num_trees_opt", static_cast<int64_t>(options_.num_trees));
+  writer.Scalar("gbdt.max_depth", static_cast<int64_t>(options_.max_depth));
+  writer.Scalar("gbdt.learning_rate", options_.learning_rate);
+  writer.Scalar("gbdt.min_samples_leaf",
+                static_cast<int64_t>(options_.min_samples_leaf));
+  writer.Scalar("gbdt.l2_lambda", options_.l2_lambda);
+  writer.Scalar("gbdt.max_bins", static_cast<int64_t>(options_.max_bins));
+  writer.Scalar("gbdt.subsample", options_.subsample);
+  writer.Scalar("gbdt.seed", static_cast<int64_t>(options_.seed));
+  writer.Scalar("gbdt.dim", static_cast<int64_t>(dim_));
+  writer.Scalar("gbdt.has_base", static_cast<int64_t>(has_base_ ? 1 : 0));
+  writer.Scalar("gbdt.base_score", base_score_);
+  writer.Scalar("gbdt.num_trees", static_cast<int64_t>(trees_.size()));
+  for (const Tree& tree : trees_) {
+    // Flatten the node array: 5 numbers per node.
+    std::vector<double> flat;
+    flat.reserve(tree.nodes.size() * 5);
+    for (const TreeNode& node : tree.nodes) {
+      flat.push_back(static_cast<double>(node.feature));
+      flat.push_back(node.threshold);
+      flat.push_back(static_cast<double>(node.left));
+      flat.push_back(static_cast<double>(node.right));
+      flat.push_back(node.value);
+    }
+    writer.Vector("gbdt.tree", flat);
+  }
+}
+
+GbdtRegressor GbdtRegressor::Load(TextArchiveReader& reader) {
+  std::string format;
+  reader.String("gbdt.format", format);
+  if (reader.status().ok() && format != "tasq-gbdt-v1") {
+    reader.ForceError("unknown gbdt archive format '" + format + "'");
+  }
+  GbdtOptions options;
+  int64_t objective = 0;
+  int64_t num_trees_opt = 0;
+  int64_t max_depth = 0;
+  int64_t min_leaf = 0;
+  int64_t max_bins = 0;
+  int64_t seed = 0;
+  reader.Scalar("gbdt.objective", objective);
+  reader.Scalar("gbdt.num_trees_opt", num_trees_opt);
+  reader.Scalar("gbdt.max_depth", max_depth);
+  reader.Scalar("gbdt.learning_rate", options.learning_rate);
+  reader.Scalar("gbdt.min_samples_leaf", min_leaf);
+  reader.Scalar("gbdt.l2_lambda", options.l2_lambda);
+  reader.Scalar("gbdt.max_bins", max_bins);
+  reader.Scalar("gbdt.subsample", options.subsample);
+  reader.Scalar("gbdt.seed", seed);
+  options.objective = objective == 1 ? GbdtOptions::Objective::kGamma
+                                     : GbdtOptions::Objective::kSquaredError;
+  options.num_trees = static_cast<int>(num_trees_opt);
+  options.max_depth = static_cast<int>(max_depth);
+  options.min_samples_leaf = static_cast<int>(min_leaf);
+  options.max_bins = static_cast<int>(max_bins);
+  options.seed = static_cast<uint64_t>(seed);
+
+  GbdtRegressor model(options);
+  int64_t dim = 0;
+  int64_t has_base = 0;
+  int64_t tree_count = 0;
+  reader.Scalar("gbdt.dim", dim);
+  reader.Scalar("gbdt.has_base", has_base);
+  reader.Scalar("gbdt.base_score", model.base_score_);
+  reader.Scalar("gbdt.num_trees", tree_count);
+  if (!reader.status().ok() || dim < 0 || tree_count < 0) {
+    return GbdtRegressor(options);
+  }
+  model.dim_ = static_cast<size_t>(dim);
+  model.has_base_ = has_base == 1;
+  for (int64_t t = 0; t < tree_count; ++t) {
+    std::vector<double> flat;
+    reader.Vector("gbdt.tree", flat);
+    if (!reader.status().ok() || flat.size() % 5 != 0) {
+      reader.ForceError("malformed gbdt tree record");
+      return GbdtRegressor(options);
+    }
+    Tree tree;
+    tree.nodes.reserve(flat.size() / 5);
+    int node_count = static_cast<int>(flat.size() / 5);
+    for (size_t i = 0; i < flat.size(); i += 5) {
+      TreeNode node;
+      node.feature = static_cast<int>(flat[i]);
+      node.threshold = flat[i + 1];
+      node.left = static_cast<int>(flat[i + 2]);
+      node.right = static_cast<int>(flat[i + 3]);
+      node.value = flat[i + 4];
+      if (node.feature >= static_cast<int>(model.dim_) ||
+          node.left >= node_count || node.right >= node_count) {
+        reader.ForceError("gbdt tree node references out of range");
+        return GbdtRegressor(options);
+      }
+      tree.nodes.push_back(node);
+    }
+    if (tree.nodes.empty()) {
+      reader.ForceError("gbdt tree has no nodes");
+      return GbdtRegressor(options);
+    }
+    model.trees_.push_back(std::move(tree));
+  }
+  return model;
+}
+
+double GbdtRegressor::Predict(const double* row) const {
+  if (!has_base_) return 0.0;
+  double score = base_score_;
+  for (const Tree& tree : trees_) {
+    score += options_.learning_rate * tree.Eval(row);
+  }
+  return options_.objective == GbdtOptions::Objective::kGamma
+             ? std::exp(score)
+             : score;
+}
+
+}  // namespace tasq

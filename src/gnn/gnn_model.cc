@@ -1,0 +1,340 @@
+#include "gnn/gnn_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.h"
+#include "ml/matrix_io.h"
+#include "ml/optimizer.h"
+
+namespace tasq {
+
+GnnPccModel::GnnPccModel(size_t node_feature_dim, GnnOptions options)
+    : node_feature_dim_(node_feature_dim), options_(std::move(options)) {
+  Rng rng(options_.seed);
+  size_t previous = node_feature_dim_;
+  for (size_t width : options_.gcn_hidden) {
+    size_t in_width = options_.aggregator == GnnAggregator::kSage
+                          ? 2 * previous
+                          : previous;
+    gcn_weights_.push_back(
+        MakeParameter(Matrix::GlorotUniform(in_width, width, rng)));
+    gcn_biases_.push_back(MakeParameter(Matrix(1, width)));
+    previous = width;
+  }
+  context_weight_ =
+      MakeParameter(Matrix::GlorotUniform(previous, previous, rng));
+  context_bias_ = MakeParameter(Matrix(1, previous));
+  for (size_t width : options_.head_hidden) {
+    head_weights_.push_back(
+        MakeParameter(Matrix::GlorotUniform(previous, width, rng)));
+    head_biases_.push_back(MakeParameter(Matrix(1, width)));
+    previous = width;
+  }
+  head1_weight_ = MakeParameter(Matrix::GlorotUniform(previous, 1, rng));
+  head1_bias_ = MakeParameter(Matrix(1, 1));
+  head2_weight_ = MakeParameter(Matrix::GlorotUniform(previous, 1, rng));
+  head2_bias_ = MakeParameter(Matrix(1, 1));
+}
+
+std::vector<Var> GnnPccModel::AllParameters() const {
+  std::vector<Var> params;
+  for (size_t i = 0; i < gcn_weights_.size(); ++i) {
+    params.push_back(gcn_weights_[i]);
+    params.push_back(gcn_biases_[i]);
+  }
+  params.push_back(context_weight_);
+  params.push_back(context_bias_);
+  for (size_t i = 0; i < head_weights_.size(); ++i) {
+    params.push_back(head_weights_[i]);
+    params.push_back(head_biases_[i]);
+  }
+  params.push_back(head1_weight_);
+  params.push_back(head1_bias_);
+  params.push_back(head2_weight_);
+  params.push_back(head2_bias_);
+  return params;
+}
+
+int64_t GnnPccModel::NumParameters() const {
+  return CountParameters(AllParameters());
+}
+
+std::pair<Var, Var> GnnPccModel::Forward(const GraphExample& graph) const {
+  size_t n = graph.num_nodes;
+  Var adjacency = MakeConstant(
+      Matrix(n, n, graph.norm_adjacency));
+  Var h = MakeConstant(Matrix(n, node_feature_dim_, graph.node_features));
+  // Node-level embeddings: stacked graph layers.
+  for (size_t l = 0; l < gcn_weights_.size(); ++l) {
+    Var aggregated = MatMul(adjacency, h);
+    Var input = options_.aggregator == GnnAggregator::kSage
+                    ? ConcatCols(h, aggregated)
+                    : aggregated;
+    h = Relu(Add(MatMul(input, gcn_weights_[l]), gcn_biases_[l]));
+  }
+  Var graph_embedding;
+  if (options_.attention_pooling) {
+    // Global context: nonlinear transform of the mean node embedding.
+    Var context =
+        Tanh(Add(MatMul(MeanRows(h), context_weight_), context_bias_));
+    // Attention weight per node: similarity to the context.
+    Var scores = Sigmoid(MatMul(h, Transpose(context)));  // N x 1.
+    // Graph embedding: attention-weighted sum of node embeddings.
+    graph_embedding = MatMul(Transpose(scores), h);  // 1 x d.
+  } else {
+    graph_embedding = MeanRows(h);
+  }
+  Var out = graph_embedding;
+  for (size_t l = 0; l < head_weights_.size(); ++l) {
+    out = Relu(Add(MatMul(out, head_weights_[l]), head_biases_[l]));
+  }
+  Var p1 = Softplus(Add(MatMul(out, head1_weight_), head1_bias_));
+  Var p2 = Add(MatMul(out, head2_weight_), head2_bias_);
+  return {p1, p2};
+}
+
+Result<double> GnnPccModel::Train(const std::vector<GraphExample>& graphs,
+                                  const PccSupervision& supervision) {
+  bool needs_xgb = options_.loss_form == LossForm::kLF3;
+  Status valid = supervision.Validate(needs_xgb);
+  if (!valid.ok()) return valid;
+  size_t n = supervision.size();
+  if (graphs.size() != n) {
+    return Status::InvalidArgument("one graph per supervision example");
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (graphs[i].num_nodes == 0 ||
+        graphs[i].node_features.size() !=
+            graphs[i].num_nodes * node_feature_dim_ ||
+        graphs[i].norm_adjacency.size() !=
+            graphs[i].num_nodes * graphs[i].num_nodes) {
+      return Status::InvalidArgument("graph example shapes are inconsistent");
+    }
+  }
+  Result<PccTargetScaling> scaling = PccTargetScaling::Fit(supervision.targets);
+  if (!scaling.ok()) return scaling.status();
+  scaling_ = std::make_unique<PccTargetScaling>(scaling.value());
+
+  LossWeights weights = options_.override_weights
+                            ? options_.weights
+                            : DefaultLossWeights(options_.loss_form);
+  AdamOptimizer optimizer(AllParameters(),
+                          {.learning_rate = options_.learning_rate,
+                           .weight_decay = options_.weight_decay});
+  Rng rng(options_.seed ^ 0xFEEDF00DULL);
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  size_t batch = std::max<size_t>(1, std::min(options_.batch_size, n));
+
+  // Optional validation split (tail of a one-time deterministic shuffle).
+  size_t validation = 0;
+  if (options_.validation_fraction > 0.0 && n >= 10) {
+    rng.Shuffle(order);
+    validation = std::min(
+        n / 2, static_cast<size_t>(std::ceil(
+                   options_.validation_fraction * static_cast<double>(n))));
+  }
+  size_t train_count = n - validation;
+
+  // Loss of one example; shared by training and validation passes.
+  auto example_loss = [&](size_t idx) -> Result<Var> {
+    auto [p1, p2] = Forward(graphs[idx]);
+    PccLossBatch loss_batch;
+    auto [t1, t2] = scaling_->ToScaled(supervision.targets[idx]);
+    loss_batch.scaled_targets = {t1, t2};
+    loss_batch.observed_tokens = {supervision.observed_tokens[idx]};
+    loss_batch.observed_runtime = {supervision.observed_runtime[idx]};
+    if (needs_xgb) {
+      loss_batch.xgb_runtime = {supervision.xgb_runtime[idx]};
+    }
+    return BuildPccLoss(p1, p2, *scaling_, loss_batch, weights);
+  };
+
+  std::vector<Var> parameters = AllParameters();
+  std::vector<Matrix> best_values;
+  double best_validation_loss = 1e300;
+  int epochs_without_improvement = 0;
+
+  double last_epoch_loss = 0.0;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    // Shuffle only the training head so the validation tail stays fixed.
+    for (size_t i = train_count; i > 1; --i) {
+      size_t j = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap(order[i - 1], order[j]);
+    }
+    double epoch_loss = 0.0;
+    size_t batches = 0;
+    for (size_t start = 0; start < train_count; start += batch) {
+      size_t end = std::min(start + batch, train_count);
+      Var total;
+      for (size_t k = start; k < end; ++k) {
+        Result<Var> loss = example_loss(order[k]);
+        if (!loss.ok()) return loss.status();
+        total = total ? Add(total, loss.value()) : loss.value();
+      }
+      Var mean_loss =
+          ScalarMul(total, 1.0 / static_cast<double>(end - start));
+      Backward(mean_loss);
+      optimizer.Step();
+      epoch_loss += mean_loss->value.At(0, 0);
+      ++batches;
+    }
+    last_epoch_loss =
+        epoch_loss / static_cast<double>(std::max<size_t>(1, batches));
+
+    if (validation > 0) {
+      double val_loss = 0.0;
+      for (size_t k = train_count; k < n; ++k) {
+        Result<Var> loss = example_loss(order[k]);
+        if (!loss.ok()) return loss.status();
+        val_loss += loss.value()->value.At(0, 0);
+      }
+      val_loss /= static_cast<double>(validation);
+      if (val_loss < best_validation_loss - 1e-9) {
+        best_validation_loss = val_loss;
+        epochs_without_improvement = 0;
+        best_values.clear();
+        for (const Var& p : parameters) best_values.push_back(p->value);
+      } else if (++epochs_without_improvement >=
+                 options_.early_stopping_patience) {
+        break;
+      }
+    }
+  }
+  if (validation > 0 && !best_values.empty()) {
+    for (size_t i = 0; i < parameters.size(); ++i) {
+      parameters[i]->value = best_values[i];
+    }
+    return best_validation_loss;
+  }
+  return last_epoch_loss;
+}
+
+void GnnPccModel::Save(TextArchiveWriter& writer) const {
+  writer.String("gnn.format", "tasq-gnn-v1");
+  writer.Scalar("gnn.node_feature_dim",
+                static_cast<int64_t>(node_feature_dim_));
+  std::vector<double> gcn;
+  for (size_t width : options_.gcn_hidden) {
+    gcn.push_back(static_cast<double>(width));
+  }
+  writer.Vector("gnn.gcn_hidden", gcn);
+  std::vector<double> head;
+  for (size_t width : options_.head_hidden) {
+    head.push_back(static_cast<double>(width));
+  }
+  writer.Vector("gnn.head_hidden", head);
+  writer.Scalar("gnn.attention",
+                static_cast<int64_t>(options_.attention_pooling ? 1 : 0));
+  writer.Scalar("gnn.aggregator",
+                static_cast<int64_t>(
+                    options_.aggregator == GnnAggregator::kSage ? 1 : 0));
+  writer.Scalar("gnn.trained", static_cast<int64_t>(trained() ? 1 : 0));
+  if (trained()) {
+    writer.Scalar("gnn.scaling_s1", scaling_->s1());
+    writer.Scalar("gnn.scaling_s2", scaling_->s2());
+  }
+  for (size_t i = 0; i < gcn_weights_.size(); ++i) {
+    SaveMatrix(writer, "gnn.gcn_w" + std::to_string(i), gcn_weights_[i]->value);
+    SaveMatrix(writer, "gnn.gcn_b" + std::to_string(i), gcn_biases_[i]->value);
+  }
+  SaveMatrix(writer, "gnn.ctx_w", context_weight_->value);
+  SaveMatrix(writer, "gnn.ctx_b", context_bias_->value);
+  for (size_t i = 0; i < head_weights_.size(); ++i) {
+    SaveMatrix(writer, "gnn.head_w" + std::to_string(i),
+               head_weights_[i]->value);
+    SaveMatrix(writer, "gnn.head_b" + std::to_string(i),
+               head_biases_[i]->value);
+  }
+  SaveMatrix(writer, "gnn.head1_w", head1_weight_->value);
+  SaveMatrix(writer, "gnn.head1_b", head1_bias_->value);
+  SaveMatrix(writer, "gnn.head2_w", head2_weight_->value);
+  SaveMatrix(writer, "gnn.head2_b", head2_bias_->value);
+}
+
+GnnPccModel GnnPccModel::Load(TextArchiveReader& reader) {
+  std::string format;
+  reader.String("gnn.format", format);
+  if (reader.status().ok() && format != "tasq-gnn-v1") {
+    reader.ForceError("unknown gnn archive format '" + format + "'");
+  }
+  int64_t node_dim = 0;
+  std::vector<double> gcn;
+  std::vector<double> head;
+  int64_t attention = 1;
+  int64_t aggregator = 0;
+  int64_t trained = 0;
+  reader.Scalar("gnn.node_feature_dim", node_dim);
+  reader.Vector("gnn.gcn_hidden", gcn);
+  reader.Vector("gnn.head_hidden", head);
+  reader.Scalar("gnn.attention", attention);
+  reader.Scalar("gnn.aggregator", aggregator);
+  reader.Scalar("gnn.trained", trained);
+  GnnOptions options;
+  options.gcn_hidden.clear();
+  for (double width : gcn) {
+    options.gcn_hidden.push_back(static_cast<size_t>(width));
+  }
+  options.head_hidden.clear();
+  for (double width : head) {
+    options.head_hidden.push_back(static_cast<size_t>(width));
+  }
+  options.attention_pooling = attention == 1;
+  options.aggregator =
+      aggregator == 1 ? GnnAggregator::kSage : GnnAggregator::kGcn;
+  GnnPccModel model(static_cast<size_t>(std::max<int64_t>(0, node_dim)),
+                    options);
+  if (trained == 1) {
+    double s1 = 1.0;
+    double s2 = 1.0;
+    reader.Scalar("gnn.scaling_s1", s1);
+    reader.Scalar("gnn.scaling_s2", s2);
+    if (reader.status().ok() && s1 > 0.0 && s2 > 0.0) {
+      model.scaling_ = std::make_unique<PccTargetScaling>(s1, s2);
+    } else {
+      reader.ForceError("gnn scaling factors must be positive");
+    }
+  }
+  auto load_into = [&](const std::string& tag, const Var& parameter) {
+    Matrix loaded = LoadMatrix(reader, tag);
+    if (reader.status().ok() && !loaded.SameShape(parameter->value)) {
+      reader.ForceError("gnn parameter shape mismatch for '" + tag + "'");
+      return;
+    }
+    if (reader.status().ok()) parameter->value = std::move(loaded);
+  };
+  for (size_t i = 0; i < model.gcn_weights_.size(); ++i) {
+    load_into("gnn.gcn_w" + std::to_string(i), model.gcn_weights_[i]);
+    load_into("gnn.gcn_b" + std::to_string(i), model.gcn_biases_[i]);
+  }
+  load_into("gnn.ctx_w", model.context_weight_);
+  load_into("gnn.ctx_b", model.context_bias_);
+  for (size_t i = 0; i < model.head_weights_.size(); ++i) {
+    load_into("gnn.head_w" + std::to_string(i), model.head_weights_[i]);
+    load_into("gnn.head_b" + std::to_string(i), model.head_biases_[i]);
+  }
+  load_into("gnn.head1_w", model.head1_weight_);
+  load_into("gnn.head1_b", model.head1_bias_);
+  load_into("gnn.head2_w", model.head2_weight_);
+  load_into("gnn.head2_b", model.head2_bias_);
+  if (!reader.status().ok()) model.scaling_.reset();
+  return model;
+}
+
+Result<PowerLawPcc> GnnPccModel::Predict(const GraphExample& graph) const {
+  if (!trained()) {
+    return Status::FailedPrecondition("model has not been trained");
+  }
+  if (graph.num_nodes == 0 ||
+      graph.node_features.size() != graph.num_nodes * node_feature_dim_ ||
+      graph.norm_adjacency.size() != graph.num_nodes * graph.num_nodes) {
+    return Status::InvalidArgument("graph example shapes are inconsistent");
+  }
+  auto [p1, p2] = Forward(graph);
+  return scaling_->FromScaled(p1->value.At(0, 0), p2->value.At(0, 0));
+}
+
+}  // namespace tasq

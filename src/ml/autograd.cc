@@ -1,0 +1,295 @@
+#include "ml/autograd.h"
+
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+namespace tasq {
+namespace {
+
+Var MakeOp(Matrix value, std::vector<Var> parents) {
+  auto node = std::make_shared<AutogradNode>();
+  node->value = std::move(value);
+  node->parents = std::move(parents);
+  return node;
+}
+
+}  // namespace
+
+void AutogradNode::EnsureGrad() {
+  if (!grad.SameShape(value)) {
+    grad = Matrix(value.rows(), value.cols());
+  } else {
+    grad.SetZero();
+  }
+}
+
+Var MakeConstant(Matrix value) {
+  auto node = std::make_shared<AutogradNode>();
+  node->value = std::move(value);
+  return node;
+}
+
+Var MakeParameter(Matrix value) {
+  auto node = std::make_shared<AutogradNode>();
+  node->value = std::move(value);
+  node->requires_grad = true;
+  node->EnsureGrad();
+  return node;
+}
+
+void Backward(const Var& root) {
+  assert(root->value.rows() == 1 && root->value.cols() == 1);
+  // Iterative post-order DFS to topologically sort the graph.
+  std::vector<AutogradNode*> order;
+  std::unordered_set<AutogradNode*> visited;
+  std::vector<std::pair<AutogradNode*, size_t>> stack;
+  stack.emplace_back(root.get(), 0);
+  visited.insert(root.get());
+  while (!stack.empty()) {
+    auto& [node, next_child] = stack.back();
+    if (next_child < node->parents.size()) {
+      AutogradNode* child = node->parents[next_child].get();
+      ++next_child;
+      if (visited.insert(child).second) stack.emplace_back(child, 0);
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+  // Zero interior gradients (parameters keep accumulating until ZeroGrads;
+  // interior nodes are fresh per forward pass, so their grads start unset).
+  for (AutogradNode* node : order) {
+    if (!node->requires_grad) node->EnsureGrad();
+  }
+  root->grad.At(0, 0) = 1.0;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if ((*it)->backprop) (*it)->backprop();
+  }
+}
+
+void ZeroGrads(const std::vector<Var>& nodes) {
+  for (const Var& node : nodes) node->EnsureGrad();
+}
+
+Var MatMul(const Var& a, const Var& b) {
+  Var out = MakeOp(a->value.MatMul(b->value), {a, b});
+  AutogradNode* o = out.get();
+  out->backprop = [o, a, b]() {
+    a->grad.AddInPlace(o->grad.MatMul(b->value.Transposed()));
+    b->grad.AddInPlace(a->value.Transposed().MatMul(o->grad));
+  };
+  return out;
+}
+
+Var Add(const Var& a, const Var& b) {
+  const Matrix& av = a->value;
+  const Matrix& bv = b->value;
+  bool broadcast = bv.rows() == 1 && av.rows() > 1 && bv.cols() == av.cols();
+  assert(broadcast || av.SameShape(bv));
+  Matrix value = av;
+  if (broadcast) {
+    for (size_t r = 0; r < av.rows(); ++r) {
+      for (size_t c = 0; c < av.cols(); ++c) value.At(r, c) += bv.At(0, c);
+    }
+  } else {
+    value.AddInPlace(bv);
+  }
+  Var out = MakeOp(std::move(value), {a, b});
+  AutogradNode* o = out.get();
+  out->backprop = [o, a, b, broadcast]() {
+    a->grad.AddInPlace(o->grad);
+    if (broadcast) {
+      for (size_t r = 0; r < o->grad.rows(); ++r) {
+        for (size_t c = 0; c < o->grad.cols(); ++c) {
+          b->grad.At(0, c) += o->grad.At(r, c);
+        }
+      }
+    } else {
+      b->grad.AddInPlace(o->grad);
+    }
+  };
+  return out;
+}
+
+Var Sub(const Var& a, const Var& b) {
+  assert(a->value.SameShape(b->value));
+  Matrix value = a->value;
+  value.AddScaledInPlace(b->value, -1.0);
+  Var out = MakeOp(std::move(value), {a, b});
+  AutogradNode* o = out.get();
+  out->backprop = [o, a, b]() {
+    a->grad.AddInPlace(o->grad);
+    b->grad.AddScaledInPlace(o->grad, -1.0);
+  };
+  return out;
+}
+
+Var Mul(const Var& a, const Var& b) {
+  assert(a->value.SameShape(b->value));
+  Matrix value = a->value;
+  for (size_t i = 0; i < value.size(); ++i) {
+    value.data()[i] *= b->value.data()[i];
+  }
+  Var out = MakeOp(std::move(value), {a, b});
+  AutogradNode* o = out.get();
+  out->backprop = [o, a, b]() {
+    for (size_t i = 0; i < o->grad.size(); ++i) {
+      a->grad.data()[i] += o->grad.data()[i] * b->value.data()[i];
+      b->grad.data()[i] += o->grad.data()[i] * a->value.data()[i];
+    }
+  };
+  return out;
+}
+
+Var ScalarMul(const Var& a, double s) {
+  Matrix value = a->value;
+  for (double& v : value.data()) v *= s;
+  Var out = MakeOp(std::move(value), {a});
+  AutogradNode* o = out.get();
+  out->backprop = [o, a, s]() { a->grad.AddScaledInPlace(o->grad, s); };
+  return out;
+}
+
+Var Transpose(const Var& a) {
+  Var out = MakeOp(a->value.Transposed(), {a});
+  AutogradNode* o = out.get();
+  out->backprop = [o, a]() { a->grad.AddInPlace(o->grad.Transposed()); };
+  return out;
+}
+
+namespace {
+
+// Shared scaffolding for elementwise unary ops whose derivative can be
+// computed from input and output values.
+Var UnaryOp(const Var& a, double (*fwd)(double),
+            double (*dfn)(double /*x*/, double /*y*/)) {
+  Matrix value = a->value;
+  for (double& v : value.data()) v = fwd(v);
+  Var out = MakeOp(std::move(value), {a});
+  AutogradNode* o = out.get();
+  out->backprop = [o, a, dfn]() {
+    for (size_t i = 0; i < o->grad.size(); ++i) {
+      a->grad.data()[i] +=
+          o->grad.data()[i] * dfn(a->value.data()[i], o->value.data()[i]);
+    }
+  };
+  return out;
+}
+
+}  // namespace
+
+Var Relu(const Var& a) {
+  return UnaryOp(
+      a, +[](double x) { return x > 0.0 ? x : 0.0; },
+      +[](double x, double) { return x > 0.0 ? 1.0 : 0.0; });
+}
+
+Var Tanh(const Var& a) {
+  return UnaryOp(
+      a, +[](double x) { return std::tanh(x); },
+      +[](double, double y) { return 1.0 - y * y; });
+}
+
+Var Sigmoid(const Var& a) {
+  return UnaryOp(
+      a, +[](double x) { return 1.0 / (1.0 + std::exp(-x)); },
+      +[](double, double y) { return y * (1.0 - y); });
+}
+
+Var Abs(const Var& a) {
+  return UnaryOp(
+      a, +[](double x) { return std::fabs(x); },
+      +[](double x, double) { return x > 0.0 ? 1.0 : (x < 0.0 ? -1.0 : 0.0); });
+}
+
+Var Softplus(const Var& a) {
+  return UnaryOp(
+      a,
+      +[](double x) {
+        // Stable softplus: max(x, 0) + log1p(exp(-|x|)).
+        return (x > 0.0 ? x : 0.0) + std::log1p(std::exp(-std::fabs(x)));
+      },
+      +[](double x, double) { return 1.0 / (1.0 + std::exp(-x)); });
+}
+
+Var Exp(const Var& a) {
+  return UnaryOp(
+      a, +[](double x) { return std::exp(x); },
+      +[](double, double y) { return y; });
+}
+
+Var MeanRows(const Var& a) {
+  size_t rows = a->value.rows();
+  size_t cols = a->value.cols();
+  Matrix value(1, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      value.At(0, c) += a->value.At(r, c) / static_cast<double>(rows);
+    }
+  }
+  Var out = MakeOp(std::move(value), {a});
+  AutogradNode* o = out.get();
+  out->backprop = [o, a, rows]() {
+    for (size_t r = 0; r < rows; ++r) {
+      for (size_t c = 0; c < o->grad.cols(); ++c) {
+        a->grad.At(r, c) += o->grad.At(0, c) / static_cast<double>(rows);
+      }
+    }
+  };
+  return out;
+}
+
+Var ConcatCols(const Var& a, const Var& b) {
+  assert(a->value.rows() == b->value.rows());
+  size_t rows = a->value.rows();
+  size_t ca = a->value.cols();
+  size_t cb = b->value.cols();
+  Matrix value(rows, ca + cb);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < ca; ++c) value.At(r, c) = a->value.At(r, c);
+    for (size_t c = 0; c < cb; ++c) value.At(r, ca + c) = b->value.At(r, c);
+  }
+  Var out = MakeOp(std::move(value), {a, b});
+  AutogradNode* o = out.get();
+  out->backprop = [o, a, b, rows, ca, cb]() {
+    for (size_t r = 0; r < rows; ++r) {
+      for (size_t c = 0; c < ca; ++c) a->grad.At(r, c) += o->grad.At(r, c);
+      for (size_t c = 0; c < cb; ++c) {
+        b->grad.At(r, c) += o->grad.At(r, ca + c);
+      }
+    }
+  };
+  return out;
+}
+
+Var Mean(const Var& a) {
+  double n = static_cast<double>(a->value.size());
+  Matrix value(1, 1);
+  value.At(0, 0) = a->value.Sum() / n;
+  Var out = MakeOp(std::move(value), {a});
+  AutogradNode* o = out.get();
+  out->backprop = [o, a, n]() {
+    double g = o->grad.At(0, 0) / n;
+    for (double& v : a->grad.data()) v += g;
+  };
+  return out;
+}
+
+Var Sum(const Var& a) {
+  Matrix value(1, 1);
+  value.At(0, 0) = a->value.Sum();
+  Var out = MakeOp(std::move(value), {a});
+  AutogradNode* o = out.get();
+  out->backprop = [o, a]() {
+    double g = o->grad.At(0, 0);
+    for (double& v : a->grad.data()) v += g;
+  };
+  return out;
+}
+
+Var MaeLoss(const Var& prediction, const Var& target) {
+  return Mean(Abs(Sub(prediction, target)));
+}
+
+}  // namespace tasq

@@ -1,0 +1,75 @@
+#include "ml/matrix.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace tasq {
+
+Matrix::Matrix(size_t rows, size_t cols, std::vector<double> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  assert(data_.size() == rows_ * cols_);
+}
+
+Matrix Matrix::RowVector(std::vector<double> values) {
+  size_t n = values.size();
+  return Matrix(1, n, std::move(values));
+}
+
+Matrix Matrix::ColumnVector(std::vector<double> values) {
+  size_t n = values.size();
+  return Matrix(n, 1, std::move(values));
+}
+
+Matrix Matrix::GlorotUniform(size_t rows, size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  double limit = std::sqrt(6.0 / static_cast<double>(rows + cols));
+  for (double& v : m.data_) v = rng.Uniform(-limit, limit);
+  return m;
+}
+
+void Matrix::SetZero() {
+  for (double& v : data_) v = 0.0;
+}
+
+void Matrix::AddInPlace(const Matrix& other) {
+  assert(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Matrix::AddScaledInPlace(const Matrix& other, double scale) {
+  assert(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += scale * other.data_[i];
+  }
+}
+
+Matrix Matrix::MatMul(const Matrix& other) const {
+  assert(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t k = 0; k < cols_; ++k) {
+      double a = data_[i * cols_ + k];
+      if (a == 0.0) continue;
+      const double* brow = &other.data_[k * other.cols_];
+      double* orow = &out.data_[i * other.cols_];
+      for (size_t j = 0; j < other.cols_; ++j) orow[j] += a * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t j = 0; j < cols_; ++j) out.At(j, i) = At(i, j);
+  }
+  return out;
+}
+
+double Matrix::Sum() const {
+  double total = 0.0;
+  for (double v : data_) total += v;
+  return total;
+}
+
+}  // namespace tasq

@@ -1,0 +1,74 @@
+#ifndef TASQ_ML_MATRIX_H_
+#define TASQ_ML_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace tasq {
+
+/// A dense row-major matrix of doubles — the value type of the autograd
+/// engine. Sized for this library's models (feature batches of thousands of
+/// rows, layers of tens of units): simple loops, no BLAS.
+class Matrix {
+ public:
+  /// An empty 0x0 matrix.
+  Matrix() = default;
+
+  /// A rows x cols matrix of zeros.
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// A rows x cols matrix wrapping `data` (size must match).
+  Matrix(size_t rows, size_t cols, std::vector<double> data);
+
+  /// A 1 x values.size() row vector.
+  static Matrix RowVector(std::vector<double> values);
+
+  /// A values.size() x 1 column vector.
+  static Matrix ColumnVector(std::vector<double> values);
+
+  /// Glorot/Xavier-uniform initialization for a weight matrix.
+  static Matrix GlorotUniform(size_t rows, size_t cols, Rng& rng);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool SameShape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  double& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  std::vector<double>& data() { return data_; }
+  const std::vector<double>& data() const { return data_; }
+
+  /// Sets every element to zero.
+  void SetZero();
+
+  /// this += other (shapes must match).
+  void AddInPlace(const Matrix& other);
+
+  /// this += scale * other (shapes must match).
+  void AddScaledInPlace(const Matrix& other, double scale);
+
+  /// Returns this * other (inner dimensions must agree).
+  Matrix MatMul(const Matrix& other) const;
+
+  /// Returns the transpose.
+  Matrix Transposed() const;
+
+  /// Sum of all elements.
+  double Sum() const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace tasq
+
+#endif  // TASQ_ML_MATRIX_H_

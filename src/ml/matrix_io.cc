@@ -1,0 +1,27 @@
+#include "ml/matrix_io.h"
+
+namespace tasq {
+
+void SaveMatrix(TextArchiveWriter& writer, const std::string& tag,
+                const Matrix& matrix) {
+  writer.Scalar(tag + ".rows", static_cast<int64_t>(matrix.rows()));
+  writer.Scalar(tag + ".cols", static_cast<int64_t>(matrix.cols()));
+  writer.Vector(tag + ".data", matrix.data());
+}
+
+Matrix LoadMatrix(TextArchiveReader& reader, const std::string& tag) {
+  int64_t rows = 0;
+  int64_t cols = 0;
+  std::vector<double> data;
+  reader.Scalar(tag + ".rows", rows);
+  reader.Scalar(tag + ".cols", cols);
+  reader.Vector(tag + ".data", data);
+  if (!reader.status().ok() || rows < 0 || cols < 0 ||
+      data.size() != static_cast<size_t>(rows * cols)) {
+    return Matrix();
+  }
+  return Matrix(static_cast<size_t>(rows), static_cast<size_t>(cols),
+                std::move(data));
+}
+
+}  // namespace tasq

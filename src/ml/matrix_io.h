@@ -1,0 +1,18 @@
+#ifndef TASQ_ML_MATRIX_IO_H_
+#define TASQ_ML_MATRIX_IO_H_
+
+#include "common/text_io.h"
+#include "ml/matrix.h"
+
+namespace tasq {
+
+/// Writes `matrix` under `tag` (shape followed by row-major data).
+void SaveMatrix(TextArchiveWriter& writer, const std::string& tag,
+                const Matrix& matrix);
+
+/// Reads a matrix written by SaveMatrix; errors latch on the reader.
+Matrix LoadMatrix(TextArchiveReader& reader, const std::string& tag);
+
+}  // namespace tasq
+
+#endif  // TASQ_ML_MATRIX_IO_H_

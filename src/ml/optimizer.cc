@@ -1,0 +1,79 @@
+#include "ml/optimizer.h"
+
+#include <cmath>
+
+namespace tasq {
+
+AdamOptimizer::AdamOptimizer(std::vector<Var> parameters)
+    : AdamOptimizer(std::move(parameters), Options()) {}
+
+AdamOptimizer::AdamOptimizer(std::vector<Var> parameters, Options options)
+    : parameters_(std::move(parameters)), options_(options) {
+  m_.reserve(parameters_.size());
+  v_.reserve(parameters_.size());
+  for (const Var& p : parameters_) {
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+    p->EnsureGrad();
+  }
+}
+
+void AdamOptimizer::Step() {
+  ++steps_;
+  double bias1 = 1.0 - std::pow(options_.beta1, static_cast<double>(steps_));
+  double bias2 = 1.0 - std::pow(options_.beta2, static_cast<double>(steps_));
+  for (size_t i = 0; i < parameters_.size(); ++i) {
+    Matrix& value = parameters_[i]->value;
+    Matrix& grad = parameters_[i]->grad;
+    for (size_t k = 0; k < value.size(); ++k) {
+      double g = grad.data()[k];
+      if (options_.weight_decay > 0.0) {
+        g += options_.weight_decay * value.data()[k];
+      }
+      double& m = m_[i].data()[k];
+      double& v = v_[i].data()[k];
+      m = options_.beta1 * m + (1.0 - options_.beta1) * g;
+      v = options_.beta2 * v + (1.0 - options_.beta2) * g * g;
+      double m_hat = m / bias1;
+      double v_hat = v / bias2;
+      value.data()[k] -= options_.learning_rate * m_hat /
+                         (std::sqrt(v_hat) + options_.epsilon);
+    }
+    grad.SetZero();
+  }
+}
+
+SgdOptimizer::SgdOptimizer(std::vector<Var> parameters, double learning_rate,
+                           double momentum)
+    : parameters_(std::move(parameters)),
+      learning_rate_(learning_rate),
+      momentum_(momentum) {
+  velocity_.reserve(parameters_.size());
+  for (const Var& p : parameters_) {
+    velocity_.emplace_back(p->value.rows(), p->value.cols());
+    p->EnsureGrad();
+  }
+}
+
+void SgdOptimizer::Step() {
+  for (size_t i = 0; i < parameters_.size(); ++i) {
+    Matrix& value = parameters_[i]->value;
+    Matrix& grad = parameters_[i]->grad;
+    for (size_t k = 0; k < value.size(); ++k) {
+      double& vel = velocity_[i].data()[k];
+      vel = momentum_ * vel - learning_rate_ * grad.data()[k];
+      value.data()[k] += vel;
+    }
+    grad.SetZero();
+  }
+}
+
+int64_t CountParameters(const std::vector<Var>& parameters) {
+  int64_t total = 0;
+  for (const Var& p : parameters) {
+    total += static_cast<int64_t>(p->value.size());
+  }
+  return total;
+}
+
+}  // namespace tasq

@@ -1,0 +1,284 @@
+#include "nn/nn_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.h"
+#include "ml/matrix_io.h"
+#include "ml/optimizer.h"
+
+namespace tasq {
+
+Status PccSupervision::Validate(bool needs_xgb) const {
+  size_t n = targets.size();
+  if (n == 0) return Status::InvalidArgument("supervision is empty");
+  if (observed_tokens.size() != n || observed_runtime.size() != n) {
+    return Status::InvalidArgument(
+        "observed tokens/runtime must match target count");
+  }
+  if (needs_xgb && xgb_runtime.size() != n) {
+    return Status::InvalidArgument("LF3 requires xgb_runtime per example");
+  }
+  return Status::Ok();
+}
+
+NnPccModel::NnPccModel(size_t input_dim, NnOptions options)
+    : input_dim_(input_dim), options_(std::move(options)) {
+  Rng rng(options_.seed);
+  size_t previous = input_dim_;
+  for (size_t width : options_.hidden_sizes) {
+    layer_weights_.push_back(
+        MakeParameter(Matrix::GlorotUniform(previous, width, rng)));
+    layer_biases_.push_back(MakeParameter(Matrix(1, width)));
+    previous = width;
+  }
+  head1_weight_ = MakeParameter(Matrix::GlorotUniform(previous, 1, rng));
+  head1_bias_ = MakeParameter(Matrix(1, 1));
+  head2_weight_ = MakeParameter(Matrix::GlorotUniform(previous, 1, rng));
+  head2_bias_ = MakeParameter(Matrix(1, 1));
+}
+
+std::vector<Var> NnPccModel::AllParameters() const {
+  std::vector<Var> params;
+  for (size_t i = 0; i < layer_weights_.size(); ++i) {
+    params.push_back(layer_weights_[i]);
+    params.push_back(layer_biases_[i]);
+  }
+  params.push_back(head1_weight_);
+  params.push_back(head1_bias_);
+  params.push_back(head2_weight_);
+  params.push_back(head2_bias_);
+  return params;
+}
+
+int64_t NnPccModel::NumParameters() const {
+  return CountParameters(AllParameters());
+}
+
+std::pair<Var, Var> NnPccModel::Forward(const Var& x) const {
+  Var h = x;
+  for (size_t i = 0; i < layer_weights_.size(); ++i) {
+    h = Relu(Add(MatMul(h, layer_weights_[i]), layer_biases_[i]));
+  }
+  Var p1 = Softplus(Add(MatMul(h, head1_weight_), head1_bias_));
+  Var p2 = Add(MatMul(h, head2_weight_), head2_bias_);
+  return {p1, p2};
+}
+
+Result<double> NnPccModel::Train(const std::vector<double>& features,
+                                 const PccSupervision& supervision) {
+  bool needs_xgb = options_.loss_form == LossForm::kLF3;
+  Status valid = supervision.Validate(needs_xgb);
+  if (!valid.ok()) return valid;
+  size_t n = supervision.size();
+  if (features.size() != n * input_dim_) {
+    return Status::InvalidArgument("feature matrix size mismatch");
+  }
+  Result<PccTargetScaling> scaling = PccTargetScaling::Fit(supervision.targets);
+  if (!scaling.ok()) return scaling.status();
+  scaling_ = std::make_unique<PccTargetScaling>(scaling.value());
+
+  std::vector<double> scaled_targets(2 * n);
+  for (size_t i = 0; i < n; ++i) {
+    auto [t1, t2] = scaling_->ToScaled(supervision.targets[i]);
+    scaled_targets[2 * i] = t1;
+    scaled_targets[2 * i + 1] = t2;
+  }
+  LossWeights weights = options_.override_weights
+                            ? options_.weights
+                            : DefaultLossWeights(options_.loss_form);
+
+  AdamOptimizer optimizer(AllParameters(),
+                          {.learning_rate = options_.learning_rate,
+                           .weight_decay = options_.weight_decay});
+  Rng rng(options_.seed ^ 0xBADC0FFEULL);
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  // Optional validation split for early stopping: a deterministic shuffle
+  // assigns the tail to validation; training shuffles only the head.
+  size_t validation = 0;
+  if (options_.validation_fraction > 0.0 && n >= 10) {
+    rng.Shuffle(order);
+    validation = std::min(
+        n / 2, static_cast<size_t>(std::ceil(
+                   options_.validation_fraction * static_cast<double>(n))));
+  }
+  size_t train_count = n - validation;
+
+  // Builds a loss graph over a set of example indices.
+  auto build_loss = [&](const size_t* idx, size_t count) -> Result<Var> {
+    Matrix x(count, input_dim_);
+    PccLossBatch loss_batch;
+    loss_batch.scaled_targets.resize(2 * count);
+    loss_batch.observed_tokens.resize(count);
+    loss_batch.observed_runtime.resize(count);
+    if (needs_xgb) loss_batch.xgb_runtime.resize(count);
+    for (size_t r = 0; r < count; ++r) {
+      size_t i = idx[r];
+      std::copy_n(features.begin() + static_cast<long>(i * input_dim_),
+                  input_dim_,
+                  x.data().begin() + static_cast<long>(r * input_dim_));
+      loss_batch.scaled_targets[2 * r] = scaled_targets[2 * i];
+      loss_batch.scaled_targets[2 * r + 1] = scaled_targets[2 * i + 1];
+      loss_batch.observed_tokens[r] = supervision.observed_tokens[i];
+      loss_batch.observed_runtime[r] = supervision.observed_runtime[i];
+      if (needs_xgb) loss_batch.xgb_runtime[r] = supervision.xgb_runtime[i];
+    }
+    auto [p1, p2] = Forward(MakeConstant(std::move(x)));
+    return BuildPccLoss(p1, p2, *scaling_, loss_batch, weights);
+  };
+
+  std::vector<Var> parameters = AllParameters();
+  std::vector<Matrix> best_values;
+  double best_validation_loss = 1e300;
+  int epochs_without_improvement = 0;
+
+  size_t batch = std::max<size_t>(1, std::min(options_.batch_size, n));
+  double last_epoch_loss = 0.0;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    // Shuffle only the training head so the validation tail stays fixed.
+    for (size_t i = train_count; i > 1; --i) {
+      size_t j = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap(order[i - 1], order[j]);
+    }
+    double epoch_loss = 0.0;
+    size_t batches = 0;
+    for (size_t start = 0; start < train_count; start += batch) {
+      size_t end = std::min(start + batch, train_count);
+      Result<Var> loss = build_loss(order.data() + start, end - start);
+      if (!loss.ok()) return loss.status();
+      Backward(loss.value());
+      optimizer.Step();
+      epoch_loss += loss.value()->value.At(0, 0);
+      ++batches;
+    }
+    last_epoch_loss =
+        epoch_loss / static_cast<double>(std::max<size_t>(1, batches));
+
+    if (validation > 0) {
+      Result<Var> val_loss =
+          build_loss(order.data() + train_count, validation);
+      if (!val_loss.ok()) return val_loss.status();
+      double value = val_loss.value()->value.At(0, 0);
+      if (value < best_validation_loss - 1e-9) {
+        best_validation_loss = value;
+        epochs_without_improvement = 0;
+        best_values.clear();
+        for (const Var& p : parameters) best_values.push_back(p->value);
+      } else if (++epochs_without_improvement >=
+                 options_.early_stopping_patience) {
+        break;
+      }
+    }
+  }
+  if (validation > 0 && !best_values.empty()) {
+    for (size_t i = 0; i < parameters.size(); ++i) {
+      parameters[i]->value = best_values[i];
+    }
+    return best_validation_loss;
+  }
+  return last_epoch_loss;
+}
+
+void NnPccModel::Save(TextArchiveWriter& writer) const {
+  writer.String("nn.format", "tasq-nn-v1");
+  writer.Scalar("nn.input_dim", static_cast<int64_t>(input_dim_));
+  std::vector<double> hidden;
+  for (size_t width : options_.hidden_sizes) {
+    hidden.push_back(static_cast<double>(width));
+  }
+  writer.Vector("nn.hidden_sizes", hidden);
+  writer.Scalar("nn.trained", static_cast<int64_t>(trained() ? 1 : 0));
+  if (trained()) {
+    writer.Scalar("nn.scaling_s1", scaling_->s1());
+    writer.Scalar("nn.scaling_s2", scaling_->s2());
+  }
+  for (size_t i = 0; i < layer_weights_.size(); ++i) {
+    SaveMatrix(writer, "nn.w" + std::to_string(i), layer_weights_[i]->value);
+    SaveMatrix(writer, "nn.b" + std::to_string(i), layer_biases_[i]->value);
+  }
+  SaveMatrix(writer, "nn.head1_w", head1_weight_->value);
+  SaveMatrix(writer, "nn.head1_b", head1_bias_->value);
+  SaveMatrix(writer, "nn.head2_w", head2_weight_->value);
+  SaveMatrix(writer, "nn.head2_b", head2_bias_->value);
+}
+
+NnPccModel NnPccModel::Load(TextArchiveReader& reader) {
+  std::string format;
+  reader.String("nn.format", format);
+  if (reader.status().ok() && format != "tasq-nn-v1") {
+    reader.ForceError("unknown nn archive format '" + format + "'");
+  }
+  int64_t input_dim = 0;
+  std::vector<double> hidden;
+  int64_t trained = 0;
+  reader.Scalar("nn.input_dim", input_dim);
+  reader.Vector("nn.hidden_sizes", hidden);
+  reader.Scalar("nn.trained", trained);
+  NnOptions options;
+  options.hidden_sizes.clear();
+  for (double width : hidden) {
+    options.hidden_sizes.push_back(static_cast<size_t>(width));
+  }
+  NnPccModel model(static_cast<size_t>(std::max<int64_t>(0, input_dim)),
+                   options);
+  if (trained == 1) {
+    double s1 = 1.0;
+    double s2 = 1.0;
+    reader.Scalar("nn.scaling_s1", s1);
+    reader.Scalar("nn.scaling_s2", s2);
+    if (reader.status().ok() && s1 > 0.0 && s2 > 0.0) {
+      model.scaling_ = std::make_unique<PccTargetScaling>(s1, s2);
+    } else {
+      reader.ForceError("nn scaling factors must be positive");
+    }
+  }
+  auto load_into = [&](const std::string& tag, const Var& parameter) {
+    Matrix loaded = LoadMatrix(reader, tag);
+    if (reader.status().ok() && !loaded.SameShape(parameter->value)) {
+      reader.ForceError("nn parameter shape mismatch for '" + tag + "'");
+      return;
+    }
+    if (reader.status().ok()) parameter->value = std::move(loaded);
+  };
+  for (size_t i = 0; i < model.layer_weights_.size(); ++i) {
+    load_into("nn.w" + std::to_string(i), model.layer_weights_[i]);
+    load_into("nn.b" + std::to_string(i), model.layer_biases_[i]);
+  }
+  load_into("nn.head1_w", model.head1_weight_);
+  load_into("nn.head1_b", model.head1_bias_);
+  load_into("nn.head2_w", model.head2_weight_);
+  load_into("nn.head2_b", model.head2_bias_);
+  if (!reader.status().ok()) model.scaling_.reset();
+  return model;
+}
+
+Result<PowerLawPcc> NnPccModel::Predict(
+    const std::vector<double>& features) const {
+  Result<std::vector<PowerLawPcc>> batch = PredictBatch(features, 1);
+  if (!batch.ok()) return batch.status();
+  return batch.value()[0];
+}
+
+Result<std::vector<PowerLawPcc>> NnPccModel::PredictBatch(
+    const std::vector<double>& features, size_t count) const {
+  if (!trained()) {
+    return Status::FailedPrecondition("model has not been trained");
+  }
+  if (features.size() != count * input_dim_ || count == 0) {
+    return Status::InvalidArgument("feature matrix size mismatch");
+  }
+  Matrix x(count, input_dim_, features);
+  auto [p1, p2] = Forward(MakeConstant(std::move(x)));
+  std::vector<PowerLawPcc> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back(scaling_->FromScaled(p1->value.At(i, 0), p2->value.At(i, 0)));
+  }
+  return out;
+}
+
+}  // namespace tasq

@@ -1,0 +1,108 @@
+#ifndef TASQ_NN_NN_MODEL_H_
+#define TASQ_NN_NN_MODEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "common/text_io.h"
+#include "ml/autograd.h"
+#include "nn/pcc_loss.h"
+#include "pcc/pcc.h"
+
+namespace tasq {
+
+/// Supervision for PCC-parameter models (NN and GNN heads): per example the
+/// fitted power-law target plus the observed run at the reference token
+/// count (for the LF2/LF3 runtime terms).
+struct PccSupervision {
+  std::vector<PowerLawPcc> targets;
+  std::vector<double> observed_tokens;
+  std::vector<double> observed_runtime;
+  /// XGBoost predictions at the observed tokens; required only for LF3.
+  std::vector<double> xgb_runtime;
+
+  size_t size() const { return targets.size(); }
+  /// Checks all populated vectors share the same length.
+  Status Validate(bool needs_xgb) const;
+};
+
+/// Training hyper-parameters for the feed-forward model.
+struct NnOptions {
+  std::vector<size_t> hidden_sizes = {32, 16};
+  int epochs = 60;
+  size_t batch_size = 64;
+  double learning_rate = 1e-3;
+  double weight_decay = 1e-5;
+  LossForm loss_form = LossForm::kLF2;
+  /// When true, `weights` overrides DefaultLossWeights(loss_form).
+  bool override_weights = false;
+  LossWeights weights;
+  /// Fraction of examples held out for validation-based early stopping;
+  /// 0 trains on everything for the full epoch budget.
+  double validation_fraction = 0.0;
+  /// Epochs without validation improvement tolerated before stopping
+  /// (only meaningful when validation_fraction > 0). The parameters from
+  /// the best validation epoch are restored at the end.
+  int early_stopping_patience = 10;
+  uint64_t seed = 1;
+};
+
+/// Feed-forward fully connected network over aggregated job-level features
+/// predicting the two scaled PCC parameters (paper §4.4 "NN"). The first
+/// head passes through a softplus, so every predicted curve is monotone
+/// non-increasing by construction (§4.5).
+class NnPccModel {
+ public:
+  /// Builds an untrained model for `input_dim` features.
+  NnPccModel(size_t input_dim, NnOptions options);
+
+  /// Trains on standardized features (row-major N x input_dim) with the
+  /// given supervision; fits the target scaling internally. Returns the
+  /// final epoch's mean training loss.
+  Result<double> Train(const std::vector<double>& features,
+                       const PccSupervision& supervision);
+
+  /// Predicts the PCC for one standardized feature vector. Fails before
+  /// training.
+  Result<PowerLawPcc> Predict(const std::vector<double>& features) const;
+
+  /// Batch prediction over row-major N x input_dim features.
+  Result<std::vector<PowerLawPcc>> PredictBatch(
+      const std::vector<double>& features, size_t count) const;
+
+  /// Total trainable scalar parameters (Table 7).
+  int64_t NumParameters() const;
+
+  size_t input_dim() const { return input_dim_; }
+  bool trained() const { return scaling_ != nullptr; }
+  const NnOptions& options() const { return options_; }
+
+  /// Serializes the trained network (architecture, weights, target
+  /// scaling) into an archive.
+  void Save(TextArchiveWriter& writer) const;
+
+  /// Reconstructs a model written by Save; errors latch on the reader and
+  /// the returned model is untrained.
+  static NnPccModel Load(TextArchiveReader& reader);
+
+ private:
+  /// Forward pass: returns the (p1, p2) column pair for a batch input.
+  std::pair<Var, Var> Forward(const Var& x) const;
+  std::vector<Var> AllParameters() const;
+
+  size_t input_dim_;
+  NnOptions options_;
+  std::vector<Var> layer_weights_;
+  std::vector<Var> layer_biases_;
+  Var head1_weight_;
+  Var head1_bias_;
+  Var head2_weight_;
+  Var head2_bias_;
+  std::unique_ptr<PccTargetScaling> scaling_;
+};
+
+}  // namespace tasq
+
+#endif  // TASQ_NN_NN_MODEL_H_

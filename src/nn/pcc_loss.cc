@@ -1,0 +1,134 @@
+#include "nn/pcc_loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace tasq {
+
+Result<PccTargetScaling> PccTargetScaling::Fit(
+    const std::vector<PowerLawPcc>& targets) {
+  if (targets.empty()) {
+    return Status::InvalidArgument("target scaling needs at least one target");
+  }
+  std::vector<double> abs_a;
+  std::vector<double> log_b;
+  abs_a.reserve(targets.size());
+  log_b.reserve(targets.size());
+  for (const PowerLawPcc& t : targets) {
+    abs_a.push_back(std::fabs(t.a));
+    log_b.push_back(std::log(std::max(t.b, 1e-9)));
+  }
+  // Guard against degenerate (constant) target sets.
+  double s1 = std::max(StdDev(abs_a), 1e-3);
+  double s2 = std::max(StdDev(log_b), 1e-3);
+  return PccTargetScaling(s1, s2);
+}
+
+std::pair<double, double> PccTargetScaling::ToScaled(
+    const PowerLawPcc& pcc) const {
+  double t1 = std::fabs(pcc.a) / s1_;
+  double t2 = std::log(std::max(pcc.b, 1e-9)) / s2_;
+  return {t1, t2};
+}
+
+PowerLawPcc PccTargetScaling::FromScaled(double p1, double p2) const {
+  PowerLawPcc pcc;
+  pcc.a = -std::max(0.0, p1) * s1_;
+  pcc.b = std::exp(p2 * s2_);
+  return pcc;
+}
+
+LossWeights DefaultLossWeights(LossForm form) {
+  // Tuned (paper §5.3): the runtime penalization weight is set so the curve
+  // parameter MAE under LF2 stays close to LF1; the LF3 transfer term is
+  // kept smaller than the ground-truth runtime term.
+  switch (form) {
+    case LossForm::kLF1:
+      return LossWeights{0.0, 0.0};
+    case LossForm::kLF2:
+      return LossWeights{1.5, 0.0};
+    case LossForm::kLF3:
+      return LossWeights{1.5, 0.3};
+  }
+  return LossWeights{};
+}
+
+Result<Var> BuildPccLoss(const Var& p1, const Var& p2,
+                         const PccTargetScaling& scaling,
+                         const PccLossBatch& batch,
+                         const LossWeights& weights) {
+  size_t n = p1->value.rows();
+  if (p1->value.cols() != 1 || p2->value.cols() != 1 ||
+      p2->value.rows() != n || n == 0) {
+    return Status::InvalidArgument("p1/p2 must be non-empty N x 1 columns");
+  }
+  if (batch.scaled_targets.size() != 2 * n) {
+    return Status::InvalidArgument("scaled_targets must hold N (t1,t2) pairs");
+  }
+  std::vector<double> t1(n);
+  std::vector<double> t2(n);
+  for (size_t i = 0; i < n; ++i) {
+    t1[i] = batch.scaled_targets[2 * i];
+    t2[i] = batch.scaled_targets[2 * i + 1];
+  }
+  // LF1: MAE of the two scaled curve parameters, equally weighted.
+  Var loss = ScalarMul(
+      Add(MaeLoss(p1, MakeConstant(Matrix::ColumnVector(t1))),
+          MaeLoss(p2, MakeConstant(Matrix::ColumnVector(t2)))),
+      0.5);
+
+  bool needs_runtime =
+      weights.runtime_percent > 0.0 || weights.transfer_percent > 0.0;
+  if (!needs_runtime) return loss;
+
+  if (batch.observed_tokens.size() != n) {
+    return Status::InvalidArgument(
+        "runtime loss terms need observed_tokens per example");
+  }
+  // Predicted runtime at the observed tokens, differentiable through both
+  // parameters: runtime = exp(p2*s2 - p1*s1*log A).
+  std::vector<double> log_tokens(n);
+  for (size_t i = 0; i < n; ++i) {
+    log_tokens[i] = std::log(std::max(batch.observed_tokens[i], 1.0));
+  }
+  Var log_runtime =
+      Sub(ScalarMul(p2, scaling.s2()),
+          Mul(ScalarMul(p1, scaling.s1()),
+              MakeConstant(Matrix::ColumnVector(log_tokens))));
+  Var runtime_pred = Exp(log_runtime);
+
+  // Percent-error term against a reference runtime vector:
+  // mean(|pred - ref| / ref).
+  auto percent_term = [&](const std::vector<double>& reference)
+      -> Result<Var> {
+    if (reference.size() != n) {
+      return Status::InvalidArgument("reference runtime size mismatch");
+    }
+    std::vector<double> inv(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (reference[i] <= 0.0) {
+        return Status::InvalidArgument("reference runtimes must be positive");
+      }
+      inv[i] = 1.0 / reference[i];
+    }
+    Var diff =
+        Abs(Sub(runtime_pred, MakeConstant(Matrix::ColumnVector(reference))));
+    return Mean(Mul(diff, MakeConstant(Matrix::ColumnVector(inv))));
+  };
+
+  if (weights.runtime_percent > 0.0) {
+    Result<Var> term = percent_term(batch.observed_runtime);
+    if (!term.ok()) return term.status();
+    loss = Add(loss, ScalarMul(term.value(), weights.runtime_percent));
+  }
+  if (weights.transfer_percent > 0.0) {
+    Result<Var> term = percent_term(batch.xgb_runtime);
+    if (!term.ok()) return term.status();
+    loss = Add(loss, ScalarMul(term.value(), weights.transfer_percent));
+  }
+  return loss;
+}
+
+}  // namespace tasq

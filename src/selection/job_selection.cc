@@ -1,0 +1,100 @@
+#include "selection/job_selection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "selection/kmeans.h"
+
+namespace tasq {
+
+Result<SelectionOutcome> SelectRepresentativeJobs(
+    const std::vector<double>& features, size_t rows, size_t dim,
+    const std::vector<double>& summary, const std::vector<int>& template_ids,
+    const std::vector<size_t>& pool, const SelectionConfig& config) {
+  if (rows == 0 || dim == 0 || features.size() != rows * dim) {
+    return Status::InvalidArgument("population feature matrix size mismatch");
+  }
+  if (summary.size() != rows || template_ids.size() != rows) {
+    return Status::InvalidArgument("summary/template sizes must match rows");
+  }
+  if (pool.empty()) {
+    return Status::InvalidArgument("pre-selected pool is empty");
+  }
+  for (size_t idx : pool) {
+    if (idx >= rows) {
+      return Status::InvalidArgument("pool index out of range");
+    }
+  }
+  size_t k = std::min(config.num_clusters, rows);
+  Rng rng(config.seed);
+  Result<KMeansResult> clusters = KMeans(features, rows, dim, k, rng);
+  if (!clusters.ok()) return clusters.status();
+  const KMeansResult& km = clusters.value();
+
+  SelectionOutcome outcome;
+  outcome.population_proportions.assign(k, 0.0);
+  outcome.pool_proportions.assign(k, 0.0);
+  outcome.selected_proportions.assign(k, 0.0);
+
+  for (size_t r = 0; r < rows; ++r) {
+    outcome.population_proportions[static_cast<size_t>(km.assignments[r])] +=
+        1.0 / static_cast<double>(rows);
+  }
+  std::vector<std::vector<size_t>> pool_by_cluster(k);
+  for (size_t idx : pool) {
+    size_t c = static_cast<size_t>(km.assignments[idx]);
+    pool_by_cluster[c].push_back(idx);
+    outcome.pool_proportions[c] += 1.0 / static_cast<double>(pool.size());
+  }
+
+  // Stratified under-sampling: per-cluster quota proportional to the
+  // cluster's population share, filled by random draws from the pool with
+  // the per-template cap.
+  std::map<int, int> template_uses;
+  size_t target = std::min(config.sample_size, pool.size());
+  for (size_t c = 0; c < k; ++c) {
+    auto& bucket = pool_by_cluster[c];
+    rng.Shuffle(bucket);
+    size_t quota = static_cast<size_t>(std::lround(
+        outcome.population_proportions[c] * static_cast<double>(target)));
+    size_t taken = 0;
+    for (size_t idx : bucket) {
+      if (taken >= quota) break;
+      int tmpl = template_ids[idx];
+      if (config.max_per_template > 0 && tmpl >= 0) {
+        int& uses = template_uses[tmpl];
+        if (uses >= config.max_per_template) continue;
+        ++uses;
+      }
+      outcome.selected.push_back(idx);
+      ++taken;
+    }
+  }
+  if (outcome.selected.empty()) {
+    return Status::Internal("selection produced an empty subset");
+  }
+  for (size_t idx : outcome.selected) {
+    outcome.selected_proportions[static_cast<size_t>(km.assignments[idx])] +=
+        1.0 / static_cast<double>(outcome.selected.size());
+  }
+
+  // Quality evaluation: KS of the summary scalar against the population,
+  // before (pool) and after (subset) selection.
+  std::vector<double> population_summary(summary);
+  std::vector<double> pool_summary;
+  pool_summary.reserve(pool.size());
+  for (size_t idx : pool) pool_summary.push_back(summary[idx]);
+  std::vector<double> selected_summary;
+  selected_summary.reserve(outcome.selected.size());
+  for (size_t idx : outcome.selected) {
+    selected_summary.push_back(summary[idx]);
+  }
+  outcome.ks_before = KsStatistic(population_summary, pool_summary);
+  outcome.ks_after = KsStatistic(population_summary, selected_summary);
+  return outcome;
+}
+
+}  // namespace tasq

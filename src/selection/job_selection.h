@@ -1,0 +1,61 @@
+#ifndef TASQ_SELECTION_JOB_SELECTION_H_
+#define TASQ_SELECTION_JOB_SELECTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tasq {
+
+/// Configuration of the stratified under-sampling procedure (paper §5.1):
+/// K-means over the population, then within-cluster random under-sampling
+/// of the pre-selected pool proportional to the population's cluster sizes,
+/// with a cap on how often one job type can be picked, validated by a
+/// Kolmogorov-Smirnov test.
+struct SelectionConfig {
+  size_t num_clusters = 8;
+  /// Target subset size.
+  size_t sample_size = 200;
+  /// Maximum selections per job type (template); <= 0 disables the cap.
+  int max_per_template = 3;
+  uint64_t seed = 99;
+};
+
+/// Output of the selection procedure, including the Figure-11 cluster
+/// proportions and the before/after KS statistics.
+struct SelectionOutcome {
+  /// Indices (into the population) of the selected jobs.
+  std::vector<size_t> selected;
+  /// Per-cluster share of the whole population.
+  std::vector<double> population_proportions;
+  /// Per-cluster share of the pre-selected pool.
+  std::vector<double> pool_proportions;
+  /// Per-cluster share of the selected subset.
+  std::vector<double> selected_proportions;
+  /// KS statistic of the pool's summary scalar vs the population's.
+  double ks_before = 1.0;
+  /// KS statistic of the subset's summary scalar vs the population's.
+  double ks_after = 1.0;
+};
+
+/// Selects a representative job subset from a constrained pool.
+///
+///  * `features`     — row-major population feature matrix (rows x dim),
+///                     the clustering space;
+///  * `summary`      — one scalar per population job (e.g., requested
+///                     tokens) used for the KS quality check;
+///  * `template_ids` — job type id per population job (-1 = unique/ad-hoc,
+///                     never capped);
+///  * `pool`         — indices of the pre-selected (constraint-satisfying)
+///                     jobs the subset must come from.
+///
+/// Fails on inconsistent sizes or an empty pool.
+Result<SelectionOutcome> SelectRepresentativeJobs(
+    const std::vector<double>& features, size_t rows, size_t dim,
+    const std::vector<double>& summary, const std::vector<int>& template_ids,
+    const std::vector<size_t>& pool, const SelectionConfig& config);
+
+}  // namespace tasq
+
+#endif  // TASQ_SELECTION_JOB_SELECTION_H_

@@ -1,0 +1,147 @@
+#include "simcluster/cluster_scheduler.h"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+
+#include "common/stats.h"
+
+namespace tasq {
+namespace {
+
+struct Completion {
+  double time;
+  double tokens;
+  bool operator>(const Completion& other) const { return time > other.time; }
+};
+
+}  // namespace
+
+Result<std::vector<ScheduledJob>> ClusterScheduler::Run(
+    std::vector<Submission> submissions) const {
+  for (const Submission& submission : submissions) {
+    if (submission.requested_tokens < 1.0 ||
+        submission.requested_tokens > config_.cluster_tokens) {
+      return Status::InvalidArgument(
+          "request must be within [1, cluster_tokens]");
+    }
+    Status valid = submission.plan.Validate();
+    if (!valid.ok()) return valid;
+  }
+  // Admission order: by arrival, ties by submission order (stable).
+  std::vector<size_t> order(submissions.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return submissions[a].arrival_seconds < submissions[b].arrival_seconds;
+  });
+
+  ClusterSimulator simulator;
+  std::vector<ScheduledJob> results(submissions.size());
+  std::priority_queue<Completion, std::vector<Completion>, std::greater<>>
+      completions;
+  std::deque<size_t> queue;  // Indices into `submissions`, FIFO.
+  double free_tokens = config_.cluster_tokens;
+  double now = 0.0;
+  size_t next_arrival = 0;
+
+  auto admit_head = [&]() {
+    while (!queue.empty()) {
+      size_t idx = queue.front();
+      const Submission& submission = submissions[idx];
+      if (submission.requested_tokens > free_tokens + 1e-9) break;
+      queue.pop_front();
+      free_tokens -= submission.requested_tokens;
+      RunConfig run_config;
+      run_config.tokens = submission.requested_tokens;
+      run_config.noise = config_.noise;
+      run_config.seed = config_.seed ^
+                        (static_cast<uint64_t>(submission.job_id) *
+                         0x9E3779B97F4A7C15ULL);
+      Result<RunResult> run = simulator.Run(submission.plan, run_config);
+      // Plans were validated upfront; a failure here is internal.
+      double runtime = run.ok() ? run.value().runtime_seconds : 0.0;
+      ScheduledJob& out = results[idx];
+      out.job_id = submission.job_id;
+      out.arrival_seconds = submission.arrival_seconds;
+      out.start_seconds = now;
+      out.runtime_seconds = runtime;
+      out.finish_seconds = now + runtime;
+      out.requested_tokens = submission.requested_tokens;
+      if (config_.adaptive_release && run.ok()) {
+        // Progressive release: hold only the suffix maximum of the job's
+        // usage — tokens the job will never need again return to the pool
+        // as soon as that is known (one tick after the fact).
+        const auto& usage = run.value().skyline.values();
+        std::vector<double> level(usage.size());
+        double running = 0.0;
+        for (size_t t = usage.size(); t > 0; --t) {
+          running = std::max(
+              running, std::min(usage[t - 1], submission.requested_tokens));
+          level[t - 1] = running;
+        }
+        double held = submission.requested_tokens;
+        for (size_t t = 0; t < level.size(); ++t) {
+          if (level[t] < held) {
+            completions.push(Completion{now + static_cast<double>(t) + 1.0,
+                                        held - level[t]});
+            held = level[t];
+          }
+        }
+        completions.push(Completion{out.finish_seconds, held});
+      } else {
+        completions.push(Completion{out.finish_seconds,
+                                    submission.requested_tokens});
+      }
+    }
+  };
+
+  while (next_arrival < order.size() || !completions.empty()) {
+    // Advance to the next event: an arrival or a completion.
+    double arrival_time = next_arrival < order.size()
+                              ? submissions[order[next_arrival]].arrival_seconds
+                              : 1e300;
+    double completion_time =
+        !completions.empty() ? completions.top().time : 1e300;
+    if (arrival_time <= completion_time) {
+      now = std::max(now, arrival_time);
+      queue.push_back(order[next_arrival]);
+      ++next_arrival;
+    } else {
+      now = completion_time;
+      free_tokens += completions.top().tokens;
+      completions.pop();
+    }
+    admit_head();
+  }
+  return results;
+}
+
+TraceSummary SummarizeTrace(const std::vector<ScheduledJob>& trace,
+                            double cluster_tokens) {
+  TraceSummary summary;
+  if (trace.empty() || cluster_tokens <= 0.0) return summary;
+  std::vector<double> waits;
+  std::vector<double> runtimes;
+  double first_arrival = 1e300;
+  double last_finish = 0.0;
+  double reserved_token_seconds = 0.0;
+  for (const ScheduledJob& job : trace) {
+    waits.push_back(job.wait_seconds());
+    runtimes.push_back(job.runtime_seconds);
+    first_arrival = std::min(first_arrival, job.arrival_seconds);
+    last_finish = std::max(last_finish, job.finish_seconds);
+    reserved_token_seconds += job.requested_tokens * job.runtime_seconds;
+  }
+  summary.mean_wait_seconds = Mean(waits);
+  summary.median_wait_seconds = Median(waits);
+  summary.p95_wait_seconds = Quantile(waits, 0.95);
+  summary.mean_runtime_seconds = Mean(runtimes);
+  summary.span_seconds = std::max(0.0, last_finish - first_arrival);
+  if (summary.span_seconds > 0.0) {
+    summary.mean_reserved_fraction =
+        reserved_token_seconds / (cluster_tokens * summary.span_seconds);
+  }
+  return summary;
+}
+
+}  // namespace tasq

@@ -1,0 +1,63 @@
+#include "simcluster/job_plan.h"
+
+#include <algorithm>
+
+namespace tasq {
+
+double JobPlan::TotalWorkTokenSeconds() const {
+  double total = 0.0;
+  for (const StageSpec& stage : stages) total += stage.Work();
+  return total;
+}
+
+int JobPlan::MaxStageTasks() const {
+  int widest = 0;
+  for (const StageSpec& stage : stages) {
+    widest = std::max(widest, stage.num_tasks);
+  }
+  return widest;
+}
+
+double JobPlan::CriticalPathSeconds() const {
+  // Stages are topologically ordered, so one forward pass suffices.
+  std::vector<double> finish(stages.size(), 0.0);
+  double longest = 0.0;
+  for (size_t i = 0; i < stages.size(); ++i) {
+    double start = 0.0;
+    for (int dep : stages[i].dependencies) {
+      if (dep >= 0 && static_cast<size_t>(dep) < i) {
+        start = std::max(start, finish[dep]);
+      }
+    }
+    finish[i] = start + stages[i].task_duration_seconds;
+    longest = std::max(longest, finish[i]);
+  }
+  return longest;
+}
+
+Status JobPlan::Validate() const {
+  if (stages.empty()) {
+    return Status::InvalidArgument("job plan has no stages");
+  }
+  for (size_t i = 0; i < stages.size(); ++i) {
+    const StageSpec& stage = stages[i];
+    if (stage.id != static_cast<int>(i)) {
+      return Status::InvalidArgument("stage ids must be dense and in order");
+    }
+    if (stage.num_tasks <= 0) {
+      return Status::InvalidArgument("stage task count must be positive");
+    }
+    if (stage.task_duration_seconds <= 0.0) {
+      return Status::InvalidArgument("stage task duration must be positive");
+    }
+    for (int dep : stage.dependencies) {
+      if (dep < 0 || dep >= stage.id) {
+        return Status::InvalidArgument(
+            "stage dependencies must reference earlier stages");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace tasq

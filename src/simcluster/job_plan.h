@@ -1,0 +1,54 @@
+#ifndef TASQ_SIMCLUSTER_JOB_PLAN_H_
+#define TASQ_SIMCLUSTER_JOB_PLAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tasq {
+
+/// One stage of a job's execution plan: `num_tasks` identical tasks, each
+/// occupying one token for `task_duration_seconds` (before run-time noise).
+/// A stage can start only after all stages in `dependencies` have finished
+/// (SCOPE-style stage barriers).
+struct StageSpec {
+  /// Stage id; ids are dense 0..n-1 within a plan.
+  int id = 0;
+  /// Ids of stages that must complete before this one starts. Must all be
+  /// smaller than `id` (plans are topologically ordered by construction).
+  std::vector<int> dependencies;
+  int num_tasks = 1;
+  double task_duration_seconds = 1.0;
+
+  /// Token-seconds of work in this stage (before noise).
+  double Work() const {
+    return static_cast<double>(num_tasks) * task_duration_seconds;
+  }
+};
+
+/// The executable form of a job: a DAG of stages. This is what the cluster
+/// simulator runs; the workload generator derives it from an operator DAG so
+/// that compile-time features and run-time behaviour stay causally linked.
+struct JobPlan {
+  std::vector<StageSpec> stages;
+
+  /// Total token-seconds of work across all stages — the area AREPAS
+  /// assumes constant.
+  double TotalWorkTokenSeconds() const;
+
+  /// Widest stage (task count) — an upper bound on useful parallelism.
+  int MaxStageTasks() const;
+
+  /// Sum of task durations along the longest dependency chain: the serial
+  /// floor of the job's run time (its Amdahl critical path).
+  double CriticalPathSeconds() const;
+
+  /// Checks structural validity: non-empty, dense topologically-ordered ids,
+  /// positive task counts and durations, dependencies in range.
+  Status Validate() const;
+};
+
+}  // namespace tasq
+
+#endif  // TASQ_SIMCLUSTER_JOB_PLAN_H_

@@ -1,0 +1,144 @@
+#include "spark/autoexecutor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "feat/featurizer.h"
+
+namespace tasq {
+
+Result<ExecutorRunResult> RunOnExecutors(const JobPlan& plan, int executors,
+                                         const SparkPlatformConfig& platform,
+                                         const NoiseModel& noise,
+                                         uint64_t seed) {
+  if (executors < 1) {
+    return Status::InvalidArgument("executor count must be at least 1");
+  }
+  if (platform.cores_per_executor < 1) {
+    return Status::InvalidArgument("cores per executor must be at least 1");
+  }
+  ClusterSimulator simulator;
+  RunConfig config;
+  config.tokens =
+      static_cast<double>(executors) *
+      static_cast<double>(platform.cores_per_executor);
+  config.noise = noise;
+  config.seed = seed;
+  Result<RunResult> run = simulator.Run(plan, config);
+  if (!run.ok()) return run.status();
+  // Convert the core-level skyline into executor units.
+  double cores = static_cast<double>(platform.cores_per_executor);
+  std::vector<double> executor_usage = run.value().skyline.values();
+  for (double& v : executor_usage) v /= cores;
+  ExecutorRunResult result;
+  result.executor_skyline = Skyline(std::move(executor_usage));
+  result.runtime_seconds = run.value().runtime_seconds;
+  result.peak_executors_used = run.value().peak_tokens_used / cores;
+  return result;
+}
+
+struct AutoExecutor::Impl {
+  AutoExecutorOptions options;
+  bool trained = false;
+  std::unique_ptr<DatasetScalers> scalers;
+  std::unique_ptr<NnPccModel> nn;
+  Featurizer featurizer;
+
+  int DefaultExecutors(const Job& job) const {
+    int cores = options.platform.cores_per_executor;
+    int executors = static_cast<int>(
+        std::ceil(job.default_tokens / static_cast<double>(cores)));
+    return std::clamp(executors, 1, options.platform.max_executors);
+  }
+};
+
+AutoExecutor::AutoExecutor(AutoExecutorOptions options)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->options = std::move(options);
+}
+AutoExecutor::~AutoExecutor() = default;
+AutoExecutor::AutoExecutor(AutoExecutor&&) noexcept = default;
+AutoExecutor& AutoExecutor::operator=(AutoExecutor&&) noexcept = default;
+
+bool AutoExecutor::trained() const { return impl_->trained; }
+const AutoExecutorOptions& AutoExecutor::options() const {
+  return impl_->options;
+}
+
+Status AutoExecutor::Train(const std::vector<Job>& jobs) {
+  if (jobs.empty()) {
+    return Status::InvalidArgument("cannot train on zero jobs");
+  }
+  // Observe each job once at its default executor count; the dataset
+  // builder, AREPAS augmentation, and power-law targets are unit-agnostic,
+  // so the whole TASQ training path is reused with executors as the
+  // resource axis.
+  std::vector<ObservedJob> observed;
+  observed.reserve(jobs.size());
+  for (const Job& job : jobs) {
+    int executors = impl_->DefaultExecutors(job);
+    Result<ExecutorRunResult> run = RunOnExecutors(
+        job.plan, executors, impl_->options.platform,
+        impl_->options.observation_noise,
+        impl_->options.seed ^ (static_cast<uint64_t>(job.id) * 6364136223ULL));
+    if (!run.ok()) return run.status();
+    ObservedJob entry;
+    entry.job = job;
+    entry.skyline = std::move(run.value().executor_skyline);
+    entry.runtime_seconds = run.value().runtime_seconds;
+    entry.observed_tokens = static_cast<double>(executors);
+    entry.peak_tokens = run.value().peak_executors_used;
+    observed.push_back(std::move(entry));
+  }
+  DatasetBuilder builder(impl_->options.dataset);
+  Result<Dataset> built = builder.Build(observed);
+  if (!built.ok()) return built.status();
+  Dataset dataset = std::move(built.value());
+  Result<DatasetScalers> scalers = FitScalers(dataset);
+  if (!scalers.ok()) return scalers.status();
+  impl_->scalers =
+      std::make_unique<DatasetScalers>(std::move(scalers.value()));
+  ApplyScalers(*impl_->scalers, dataset);
+
+  PccSupervision supervision;
+  supervision.targets = dataset.targets;
+  supervision.observed_tokens = dataset.observed_tokens;
+  supervision.observed_runtime = dataset.observed_runtime;
+  if (impl_->options.nn.loss_form == LossForm::kLF3) {
+    return Status::InvalidArgument(
+        "AutoExecutor trains only the NN; use LF1 or LF2");
+  }
+  impl_->nn = std::make_unique<NnPccModel>(dataset.job_feature_dim,
+                                           impl_->options.nn);
+  Result<double> loss = impl_->nn->Train(dataset.job_features, supervision);
+  if (!loss.ok()) return loss.status();
+  impl_->trained = true;
+  return Status::Ok();
+}
+
+Result<PowerLawPcc> AutoExecutor::PredictPcc(const JobGraph& graph) const {
+  if (!impl_->trained) {
+    return Status::FailedPrecondition("AutoExecutor has not been trained");
+  }
+  Result<std::vector<double>> features = impl_->featurizer.JobLevel(graph);
+  if (!features.ok()) return features.status();
+  impl_->scalers->job_scaler.Transform(features.value());
+  return impl_->nn->Predict(features.value());
+}
+
+Result<int> AutoExecutor::RecommendExecutors(
+    const JobGraph& graph, int max_executors,
+    double min_improvement_percent) const {
+  Result<PowerLawPcc> pcc = PredictPcc(graph);
+  if (!pcc.ok()) return pcc.status();
+  int cap = std::min(max_executors, impl_->options.platform.max_executors);
+  if (cap < 1) {
+    return Status::InvalidArgument("executor cap must be at least 1");
+  }
+  double optimal = pcc.value().OptimalTokens(min_improvement_percent,
+                                             static_cast<double>(cap));
+  return static_cast<int>(std::lround(std::clamp(
+      optimal, 1.0, static_cast<double>(cap))));
+}
+
+}  // namespace tasq

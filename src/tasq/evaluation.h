@@ -1,0 +1,44 @@
+#ifndef TASQ_TASQ_EVALUATION_H_
+#define TASQ_TASQ_EVALUATION_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "tasq/dataset.h"
+#include "tasq/tasq.h"
+
+namespace tasq {
+
+/// The paper's three model-quality metrics (§5):
+///  * Pattern — percent of jobs whose predicted PCC is monotone
+///    non-increasing (within the reference window for XGBoost-SS);
+///  * MAE of the scaled curve parameters (NA for XGBoost-SS, reported as a
+///    negative value);
+///  * Median absolute error, in percent, of the run-time prediction at the
+///    observed token count.
+struct ModelEvalMetrics {
+  double pattern_nonincrease_percent = 0.0;
+  double mae_curve_params = -1.0;
+  double median_ae_runtime_percent = 0.0;
+  /// Number of jobs evaluated.
+  size_t jobs = 0;
+
+  bool has_curve_params() const { return mae_curve_params >= 0.0; }
+};
+
+/// Evaluates one trained model over an *unscaled* test dataset (fresh from
+/// DatasetBuilder::Build on held-out observations). Features are
+/// standardized with the pipeline's training scalers; curve-parameter
+/// errors are measured in the pipeline's scaled target space, so numbers
+/// are comparable across models.
+Result<ModelEvalMetrics> EvaluateModel(const Tasq& tasq, ModelKind kind,
+                                       const Dataset& test);
+
+/// Per-job run-time predictions of `kind` at each job's observed token
+/// count (same order as the dataset). Used by workload-level analyses.
+Result<std::vector<double>> PredictRuntimes(const Tasq& tasq, ModelKind kind,
+                                            const Dataset& test);
+
+}  // namespace tasq
+
+#endif  // TASQ_TASQ_EVALUATION_H_

@@ -1,0 +1,192 @@
+#include "tasq/repository.h"
+
+#include <fstream>
+
+#include "common/text_io.h"
+
+namespace tasq {
+namespace {
+
+void SaveJob(TextArchiveWriter& writer, const Job& job) {
+  writer.Scalar("job.id", job.id);
+  writer.Scalar("job.template_id", static_cast<int64_t>(job.template_id));
+  writer.Scalar("job.recurring", static_cast<int64_t>(job.recurring ? 1 : 0));
+  writer.Scalar("job.input_scale", job.input_scale);
+  writer.Scalar("job.default_tokens", job.default_tokens);
+
+  writer.Scalar("job.num_stages",
+                static_cast<int64_t>(job.plan.stages.size()));
+  for (const StageSpec& stage : job.plan.stages) {
+    std::vector<double> flat;
+    flat.push_back(static_cast<double>(stage.id));
+    flat.push_back(static_cast<double>(stage.num_tasks));
+    flat.push_back(stage.task_duration_seconds);
+    for (int dep : stage.dependencies) flat.push_back(static_cast<double>(dep));
+    writer.Vector("job.stage", flat);
+  }
+
+  writer.Scalar("job.num_operators",
+                static_cast<int64_t>(job.graph.operators.size()));
+  for (const OperatorNode& node : job.graph.operators) {
+    std::vector<double> flat;
+    flat.push_back(static_cast<double>(node.id));
+    flat.push_back(static_cast<double>(static_cast<int>(node.op)));
+    flat.push_back(static_cast<double>(static_cast<int>(node.partitioning)));
+    flat.push_back(static_cast<double>(node.stage));
+    const OperatorFeatures& f = node.features;
+    flat.push_back(f.output_cardinality);
+    flat.push_back(f.leaf_input_cardinality);
+    flat.push_back(f.children_input_cardinality);
+    flat.push_back(f.average_row_length);
+    flat.push_back(f.cost_subtree);
+    flat.push_back(f.cost_exclusive);
+    flat.push_back(f.cost_total);
+    flat.push_back(static_cast<double>(f.num_partitions));
+    flat.push_back(static_cast<double>(f.num_partitioning_columns));
+    flat.push_back(static_cast<double>(f.num_sort_columns));
+    for (int input : node.inputs) flat.push_back(static_cast<double>(input));
+    writer.Vector("job.op", flat);
+  }
+}
+
+constexpr size_t kOperatorHeaderFields = 14;
+
+Job LoadJob(TextArchiveReader& reader) {
+  Job job;
+  int64_t template_id = 0;
+  int64_t recurring = 0;
+  reader.Scalar("job.id", job.id);
+  reader.Scalar("job.template_id", template_id);
+  reader.Scalar("job.recurring", recurring);
+  reader.Scalar("job.input_scale", job.input_scale);
+  reader.Scalar("job.default_tokens", job.default_tokens);
+  job.template_id = static_cast<int>(template_id);
+  job.recurring = recurring == 1;
+
+  int64_t num_stages = 0;
+  reader.Scalar("job.num_stages", num_stages);
+  for (int64_t s = 0; reader.status().ok() && s < num_stages; ++s) {
+    std::vector<double> flat;
+    reader.Vector("job.stage", flat);
+    if (flat.size() < 3) {
+      reader.ForceError("malformed stage record");
+      return job;
+    }
+    StageSpec stage;
+    stage.id = static_cast<int>(flat[0]);
+    stage.num_tasks = static_cast<int>(flat[1]);
+    stage.task_duration_seconds = flat[2];
+    for (size_t i = 3; i < flat.size(); ++i) {
+      stage.dependencies.push_back(static_cast<int>(flat[i]));
+    }
+    job.plan.stages.push_back(std::move(stage));
+  }
+
+  int64_t num_operators = 0;
+  reader.Scalar("job.num_operators", num_operators);
+  for (int64_t n = 0; reader.status().ok() && n < num_operators; ++n) {
+    std::vector<double> flat;
+    reader.Vector("job.op", flat);
+    if (flat.size() < kOperatorHeaderFields) {
+      reader.ForceError("malformed operator record");
+      return job;
+    }
+    OperatorNode node;
+    node.id = static_cast<int>(flat[0]);
+    int op = static_cast<int>(flat[1]);
+    if (op < 0 || op >= static_cast<int>(kPhysicalOperatorCount)) {
+      reader.ForceError("operator enum out of range");
+      return job;
+    }
+    node.op = static_cast<PhysicalOperator>(op);
+    int partitioning = static_cast<int>(flat[2]);
+    if (partitioning < 0 ||
+        partitioning > static_cast<int>(kPartitioningMethodCount)) {
+      reader.ForceError("partitioning enum out of range");
+      return job;
+    }
+    node.partitioning = static_cast<PartitioningMethod>(partitioning);
+    node.stage = static_cast<int>(flat[3]);
+    OperatorFeatures& f = node.features;
+    f.output_cardinality = flat[4];
+    f.leaf_input_cardinality = flat[5];
+    f.children_input_cardinality = flat[6];
+    f.average_row_length = flat[7];
+    f.cost_subtree = flat[8];
+    f.cost_exclusive = flat[9];
+    f.cost_total = flat[10];
+    f.num_partitions = static_cast<int>(flat[11]);
+    f.num_partitioning_columns = static_cast<int>(flat[12]);
+    f.num_sort_columns = static_cast<int>(flat[13]);
+    for (size_t i = kOperatorHeaderFields; i < flat.size(); ++i) {
+      node.inputs.push_back(static_cast<int>(flat[i]));
+    }
+    job.graph.operators.push_back(std::move(node));
+  }
+  return job;
+}
+
+}  // namespace
+
+Status SaveWorkload(std::ostream& out,
+                    const std::vector<ObservedJob>& workload) {
+  TextArchiveWriter writer(out);
+  writer.String("workload.format", "tasq-workload-v1");
+  writer.Scalar("workload.count", static_cast<int64_t>(workload.size()));
+  for (const ObservedJob& entry : workload) {
+    SaveJob(writer, entry.job);
+    writer.Vector("obs.skyline", entry.skyline.values());
+    writer.Scalar("obs.runtime", entry.runtime_seconds);
+    writer.Scalar("obs.tokens", entry.observed_tokens);
+    writer.Scalar("obs.peak", entry.peak_tokens);
+  }
+  if (!out) return Status::Internal("stream write failed");
+  return Status::Ok();
+}
+
+Status SaveWorkloadToFile(const std::string& path,
+                          const std::vector<ObservedJob>& workload) {
+  std::ofstream out(path);
+  if (!out) return Status::InvalidArgument("cannot open '" + path + "'");
+  return SaveWorkload(out, workload);
+}
+
+Result<std::vector<ObservedJob>> LoadWorkload(std::istream& in) {
+  TextArchiveReader reader(in);
+  std::string format;
+  reader.String("workload.format", format);
+  if (reader.status().ok() && format != "tasq-workload-v1") {
+    reader.ForceError("unknown workload archive format '" + format + "'");
+  }
+  int64_t count = 0;
+  reader.Scalar("workload.count", count);
+  if (!reader.status().ok() || count < 0) return reader.status();
+  std::vector<ObservedJob> workload;
+  workload.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    ObservedJob entry;
+    entry.job = LoadJob(reader);
+    std::vector<double> skyline;
+    reader.Vector("obs.skyline", skyline);
+    entry.skyline = Skyline(std::move(skyline));
+    reader.Scalar("obs.runtime", entry.runtime_seconds);
+    reader.Scalar("obs.tokens", entry.observed_tokens);
+    reader.Scalar("obs.peak", entry.peak_tokens);
+    if (!reader.status().ok()) return reader.status();
+    Status plan_valid = entry.job.plan.Validate();
+    if (!plan_valid.ok()) return plan_valid;
+    Status graph_valid = entry.job.graph.Validate();
+    if (!graph_valid.ok()) return graph_valid;
+    workload.push_back(std::move(entry));
+  }
+  return workload;
+}
+
+Result<std::vector<ObservedJob>> LoadWorkloadFromFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  return LoadWorkload(in);
+}
+
+}  // namespace tasq

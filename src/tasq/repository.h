@@ -1,0 +1,33 @@
+#ifndef TASQ_TASQ_REPOSITORY_H_
+#define TASQ_TASQ_REPOSITORY_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tasq/dataset.h"
+
+namespace tasq {
+
+/// Persistence for workloads and their observed telemetry — the stand-in
+/// for the paper's job repository and data-lake layer (Figure 4: "Cosmos
+/// Storage" / "Azure Data Lake Storage"). Jobs are stored with their full
+/// compile-time artifact (operator graph + features), executable plan,
+/// submission metadata, and the observed run (skyline, run time, tokens),
+/// so a training pipeline can be replayed from disk without regenerating
+/// the workload.
+Status SaveWorkload(std::ostream& out,
+                    const std::vector<ObservedJob>& workload);
+Status SaveWorkloadToFile(const std::string& path,
+                          const std::vector<ObservedJob>& workload);
+
+/// Loads a workload written by SaveWorkload. Structural invariants (valid
+/// plans and graphs) are re-checked on load.
+Result<std::vector<ObservedJob>> LoadWorkload(std::istream& in);
+Result<std::vector<ObservedJob>> LoadWorkloadFromFile(
+    const std::string& path);
+
+}  // namespace tasq
+
+#endif  // TASQ_TASQ_REPOSITORY_H_

@@ -1,0 +1,124 @@
+#ifndef TASQ_TASQ_TASQ_H_
+#define TASQ_TASQ_TASQ_H_
+
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "gbdt/xgb_pcc.h"
+#include "gnn/gnn_model.h"
+#include "nn/nn_model.h"
+#include "tasq/dataset.h"
+
+namespace tasq {
+
+/// The model families TASQ trains and serves (paper §4.4).
+enum class ModelKind {
+  /// XGBoost point predictions smoothed with a cubic spline.
+  kXgboostSs,
+  /// XGBoost point predictions refit as a power law.
+  kXgboostPl,
+  /// Feed-forward network predicting the PCC parameters.
+  kNn,
+  /// Graph network predicting the PCC parameters.
+  kGnn,
+};
+
+/// Short display name ("XGBoost SS", "NN", ...).
+const char* ModelKindName(ModelKind kind);
+
+/// End-to-end configuration of the TASQ pipeline.
+struct TasqOptions {
+  DatasetOptions dataset;
+  XgbPccOptions xgb;
+  NnOptions nn;
+  GnnOptions gnn;
+  bool train_xgb = true;
+  bool train_nn = true;
+  bool train_gnn = true;
+};
+
+/// A token recommendation with its predicted performance impact.
+struct TokenRecommendation {
+  double tokens = 0.0;
+  double predicted_runtime_seconds = 0.0;
+  /// Predicted slowdown vs the reference allocation
+  /// (runtime(tokens)/runtime(reference) - 1).
+  double predicted_slowdown = 0.0;
+};
+
+/// TASQ: the end-to-end pipeline (paper §2.2). Training ingests observed
+/// jobs, augments them with AREPAS, fits power-law targets, and trains the
+/// configured models; scoring featurizes an unseen job's compile-time graph
+/// and predicts its PCC / optimal token count.
+class Tasq {
+ public:
+  explicit Tasq(TasqOptions options = {});
+  ~Tasq();
+  Tasq(Tasq&&) noexcept;
+  Tasq& operator=(Tasq&&) noexcept;
+
+  /// Trains all configured models from observed historical jobs.
+  Status Train(const std::vector<ObservedJob>& observed);
+
+  /// Predicts the PCC of an unseen job from its compile-time graph.
+  /// `reference_tokens` is the submitted/default token count — required for
+  /// the XGBoost variants, whose curves are local to a reference window.
+  /// XGBoost-SS has no parametric form, so only sampled-curve prediction is
+  /// offered for it (see PredictCurve).
+  Result<PowerLawPcc> PredictPcc(const JobGraph& graph, ModelKind kind,
+                                 double reference_tokens) const;
+
+  /// Samples the predicted PCC at the given token counts (works for all
+  /// four model kinds, including XGBoost-SS).
+  Result<std::vector<PccSample>> PredictCurve(
+      const JobGraph& graph, ModelKind kind, double reference_tokens,
+      const std::vector<double>& token_grid) const;
+
+  /// Point prediction of run time at `tokens`.
+  Result<double> PredictRuntime(const JobGraph& graph, ModelKind kind,
+                                double reference_tokens, double tokens) const;
+
+  /// Recommends the minimum token count whose marginal benefit stays above
+  /// `min_improvement_percent` per token (paper §2.1), never exceeding
+  /// `reference_tokens`. When `max_slowdown_fraction` is non-negative, the
+  /// recommendation additionally honors the user's performance constraint:
+  /// the predicted run time never exceeds (1 + max_slowdown_fraction) times
+  /// the predicted run time at the reference allocation.
+  Result<TokenRecommendation> RecommendTokens(
+      const JobGraph& graph, ModelKind kind, double reference_tokens,
+      double min_improvement_percent = 1.0,
+      double max_slowdown_fraction = -1.0) const;
+
+  /// Serializes the whole trained pipeline — feature scalers, target
+  /// scaling, and every trained model — as a single text artifact, the
+  /// stand-in for the paper's model store (Figure 4). Fails before
+  /// training.
+  Status Save(std::ostream& out) const;
+  Status SaveToFile(const std::string& path) const;
+
+  /// Reconstructs a pipeline written by Save. The loaded pipeline scores
+  /// immediately (PredictPcc / RecommendTokens) without retraining.
+  static Result<Tasq> Load(std::istream& in);
+  static Result<Tasq> LoadFromFile(const std::string& path);
+
+  bool trained() const;
+  /// The target scaling fitted at training time (shared metric space for
+  /// curve-parameter errors). Null before training.
+  const PccTargetScaling* target_scaling() const;
+  const XgbRuntimeModel* xgb() const;
+  const NnPccModel* nn() const;
+  const GnnPccModel* gnn() const;
+  const DatasetScalers* scalers() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace tasq
+
+#endif  // TASQ_TASQ_TASQ_H_

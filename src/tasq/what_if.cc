@@ -1,0 +1,116 @@
+#include "tasq/what_if.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "pcc/pcc.h"
+
+namespace tasq {
+namespace {
+
+WhatIfPoint MakePoint(double tokens, double runtime, double reference_tokens,
+                      double reference_runtime) {
+  WhatIfPoint point;
+  point.tokens = tokens;
+  point.predicted_runtime_seconds = runtime;
+  point.predicted_slowdown =
+      reference_runtime > 0.0 ? runtime / reference_runtime - 1.0 : 0.0;
+  point.token_savings_fraction =
+      reference_tokens > 0.0 ? 1.0 - tokens / reference_tokens : 0.0;
+  return point;
+}
+
+}  // namespace
+
+Result<WhatIfReport> BuildWhatIfReport(const Tasq& tasq, const JobGraph& graph,
+                                       ModelKind model,
+                                       double reference_tokens,
+                                       size_t grid_points) {
+  if (reference_tokens < 1.0) {
+    return Status::InvalidArgument("reference tokens must be at least 1");
+  }
+  grid_points = std::max<size_t>(3, grid_points);
+  WhatIfReport report;
+  report.model = model;
+  report.reference_tokens = reference_tokens;
+
+  if (model != ModelKind::kXgboostSs) {
+    Result<PowerLawPcc> pcc = tasq.PredictPcc(graph, model, reference_tokens);
+    if (!pcc.ok()) return pcc.status();
+    report.pcc = pcc.value();
+    report.has_pcc = true;
+  }
+
+  double lo = std::max(1.0, reference_tokens * 0.2);
+  std::vector<double> grid;
+  for (size_t i = 0; i < grid_points; ++i) {
+    grid.push_back(lo + (reference_tokens - lo) * static_cast<double>(i) /
+                            static_cast<double>(grid_points - 1));
+  }
+  Result<std::vector<PccSample>> curve =
+      tasq.PredictCurve(graph, model, reference_tokens, grid);
+  if (!curve.ok()) return curve.status();
+  double reference_runtime = curve.value().back().runtime_seconds;
+  for (const PccSample& sample : curve.value()) {
+    report.curve.push_back(MakePoint(sample.tokens, sample.runtime_seconds,
+                                     reference_tokens, reference_runtime));
+  }
+  Result<double> elbow = FindElbowTokens(curve.value());
+  if (elbow.ok()) report.elbow_tokens = elbow.value();
+
+  auto fill_recommendation = [&](double slo, WhatIfPoint& out) -> Status {
+    Result<TokenRecommendation> recommendation =
+        tasq.RecommendTokens(graph, model, reference_tokens, 1.0, slo);
+    if (!recommendation.ok()) return recommendation.status();
+    out = MakePoint(recommendation.value().tokens,
+                    recommendation.value().predicted_runtime_seconds,
+                    reference_tokens, reference_runtime);
+    // Slowdown comes from the recommendation's own curve evaluation.
+    out.predicted_slowdown = recommendation.value().predicted_slowdown;
+    return Status::Ok();
+  };
+  Status aggressive = fill_recommendation(-1.0, report.aggressive);
+  if (!aggressive.ok()) return aggressive;
+  Status bounded = fill_recommendation(0.10, report.bounded);
+  if (!bounded.ok()) return bounded;
+  return report;
+}
+
+std::string WhatIfReport::ToText() const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "What-if report (%s), reference %.0f tokens\n",
+                ModelKindName(model), reference_tokens);
+  out += line;
+  if (has_pcc) {
+    std::snprintf(line, sizeof(line),
+                  "predicted PCC: runtime = %.1f * tokens^(%.3f)\n", pcc.b,
+                  pcc.a);
+    out += line;
+  }
+  out += "  tokens  runtime(s)  slowdown  token savings\n";
+  for (const WhatIfPoint& point : curve) {
+    std::snprintf(line, sizeof(line), "  %6.0f  %10.0f  %+7.1f%%  %12.0f%%\n",
+                  point.tokens, point.predicted_runtime_seconds,
+                  100.0 * point.predicted_slowdown,
+                  100.0 * point.token_savings_fraction);
+    out += line;
+  }
+  if (elbow_tokens > 0.0) {
+    std::snprintf(line, sizeof(line), "elbow: ~%.0f tokens\n", elbow_tokens);
+    out += line;
+  }
+  std::snprintf(line, sizeof(line),
+                "aggressive (1%%/token): %.0f tokens (%+.1f%% runtime)\n",
+                aggressive.tokens, 100.0 * aggressive.predicted_slowdown);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "bounded (<=10%% SLO):   %.0f tokens (%+.1f%% runtime)\n",
+                bounded.tokens, 100.0 * bounded.predicted_slowdown);
+  out += line;
+  return out;
+}
+
+}  // namespace tasq

@@ -1,0 +1,395 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tasq {
+namespace {
+
+// Returns a log-normal draw with the given median and log-sigma.
+double LogNormalMedian(Rng& rng, double median, double log_sigma) {
+  return rng.LogNormal(std::log(median), log_sigma);
+}
+
+// Multiplicative estimate noise with mean ~1.
+double EstimateNoise(Rng& rng, double sigma) {
+  if (sigma <= 0.0) return 1.0;
+  return rng.LogNormal(-sigma * sigma / 2.0, sigma);
+}
+
+}  // namespace
+
+WorkloadGenerator::WorkloadGenerator(const WorkloadConfig& config)
+    : config_(config) {
+  Rng root(config_.seed);
+  templates_.reserve(static_cast<size_t>(config_.num_templates));
+  for (int t = 0; t < config_.num_templates; ++t) {
+    templates_.push_back(MakeTemplate(root.Fork(static_cast<uint64_t>(t))));
+  }
+}
+
+WorkloadGenerator::TemplateSpec WorkloadGenerator::MakeTemplate(
+    Rng rng) const {
+  TemplateSpec spec;
+  spec.archetype = static_cast<JobArchetype>(
+      rng.UniformInt(0, kJobArchetypeCount - 1));
+  spec.parallelism_base = std::clamp(
+      LogNormalMedian(rng, config_.tokens_median, config_.tokens_log_sigma),
+      2.0, static_cast<double>(config_.max_stage_width));
+  spec.task_seconds_base = std::clamp(
+      LogNormalMedian(rng, config_.task_seconds_median,
+                      config_.task_seconds_log_sigma),
+      2.0, 300.0);
+
+  int num_stages = 0;
+  switch (spec.archetype) {
+    case JobArchetype::kPeaky:
+      num_stages = static_cast<int>(rng.UniformInt(4, 8));
+      break;
+    case JobArchetype::kFlat:
+      num_stages = static_cast<int>(rng.UniformInt(3, 7));
+      break;
+    case JobArchetype::kMixed:
+      num_stages = static_cast<int>(rng.UniformInt(4, 10));
+      break;
+    case JobArchetype::kDeepPipeline:
+      num_stages = static_cast<int>(rng.UniformInt(8, 14));
+      break;
+    case JobArchetype::kUnionFan:
+      num_stages = static_cast<int>(rng.UniformInt(5, 9));
+      break;
+  }
+
+  spec.width_scales.resize(static_cast<size_t>(num_stages), 0.0);
+  switch (spec.archetype) {
+    case JobArchetype::kPeaky: {
+      for (double& w : spec.width_scales) w = rng.Uniform(0.04, 0.2);
+      int peaks = static_cast<int>(rng.UniformInt(1, 2));
+      for (int p = 0; p < peaks; ++p) {
+        spec.width_scales[static_cast<size_t>(
+            rng.UniformInt(0, num_stages - 1))] = 1.0;
+      }
+      break;
+    }
+    case JobArchetype::kFlat:
+      for (double& w : spec.width_scales) w = rng.Uniform(0.6, 1.0);
+      break;
+    case JobArchetype::kMixed:
+      for (double& w : spec.width_scales) w = rng.Uniform(0.1, 1.0);
+      break;
+    case JobArchetype::kDeepPipeline:
+      for (double& w : spec.width_scales) w = rng.Uniform(0.15, 0.5);
+      break;
+    case JobArchetype::kUnionFan: {
+      for (double& w : spec.width_scales) w = rng.Uniform(0.3, 0.8);
+      // Merge stage is the widest, final write-out narrower.
+      spec.width_scales[static_cast<size_t>(num_stages - 2)] = 1.0;
+      spec.width_scales[static_cast<size_t>(num_stages - 1)] = 0.3;
+      break;
+    }
+  }
+  spec.duration_scales.resize(static_cast<size_t>(num_stages));
+  for (double& d : spec.duration_scales) {
+    d = rng.LogNormal(0.0, 0.4);
+  }
+
+  // Dependencies. Stages are topologically ordered by id.
+  spec.deps.assign(static_cast<size_t>(num_stages), {});
+  if (spec.archetype == JobArchetype::kUnionFan) {
+    int branches = num_stages - 2;
+    for (int b = 0; b < branches; ++b) spec.deps[static_cast<size_t>(b)] = {};
+    for (int b = 0; b < branches; ++b) {
+      spec.deps[static_cast<size_t>(num_stages - 2)].push_back(b);
+    }
+    spec.deps[static_cast<size_t>(num_stages - 1)] = {num_stages - 2};
+  } else {
+    for (int i = 1; i < num_stages; ++i) {
+      bool new_branch = (spec.archetype == JobArchetype::kPeaky ||
+                         spec.archetype == JobArchetype::kMixed) &&
+                        i + 1 < num_stages && rng.Bernoulli(0.15);
+      if (new_branch) continue;  // A fresh input branch with no deps.
+      if (spec.archetype == JobArchetype::kDeepPipeline ||
+          rng.Bernoulli(0.75)) {
+        spec.deps[static_cast<size_t>(i)].push_back(i - 1);
+      } else {
+        spec.deps[static_cast<size_t>(i)].push_back(
+            static_cast<int>(rng.UniformInt(0, i - 1)));
+      }
+      if (spec.archetype != JobArchetype::kDeepPipeline && i >= 2 &&
+          rng.Bernoulli(0.2)) {
+        int extra = static_cast<int>(rng.UniformInt(0, i - 1));
+        auto& deps = spec.deps[static_cast<size_t>(i)];
+        if (std::find(deps.begin(), deps.end(), extra) == deps.end()) {
+          deps.push_back(extra);
+        }
+      }
+    }
+  }
+  // Route every sink into the last stage so the plan has a single output.
+  std::vector<bool> has_dependent(static_cast<size_t>(num_stages), false);
+  for (int i = 0; i < num_stages; ++i) {
+    for (int dep : spec.deps[static_cast<size_t>(i)]) {
+      has_dependent[static_cast<size_t>(dep)] = true;
+    }
+  }
+  auto& last_deps = spec.deps[static_cast<size_t>(num_stages - 1)];
+  for (int i = 0; i + 1 < num_stages; ++i) {
+    if (!has_dependent[static_cast<size_t>(i)] &&
+        std::find(last_deps.begin(), last_deps.end(), i) == last_deps.end()) {
+      last_deps.push_back(i);
+    }
+  }
+  std::sort(last_deps.begin(), last_deps.end());
+  return spec;
+}
+
+std::vector<Job> WorkloadGenerator::Generate(int64_t first_id,
+                                             int64_t count) const {
+  std::vector<Job> jobs;
+  jobs.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    jobs.push_back(GenerateJob(first_id + i));
+  }
+  return jobs;
+}
+
+Job WorkloadGenerator::GenerateJob(int64_t job_id) const {
+  // Per-job stream independent of every other job.
+  Rng rng = Rng(config_.seed).Fork(0x10000000ULL + static_cast<uint64_t>(job_id));
+  bool recurring = rng.Bernoulli(config_.recurring_fraction) &&
+                   !templates_.empty();
+  double global = std::max(1e-3, config_.global_input_scale);
+  if (recurring) {
+    int template_id =
+        static_cast<int>(rng.UniformInt(0, config_.num_templates - 1));
+    double drift = rng.LogNormal(0.0, config_.recurrence_drift_sigma);
+    return InstantiateJob(job_id, templates_[static_cast<size_t>(template_id)],
+                          template_id, true, drift * global, rng.Fork(1));
+  }
+  TemplateSpec adhoc = MakeTemplate(rng.Fork(2));
+  return InstantiateJob(job_id, adhoc, -1, false, global, rng.Fork(3));
+}
+
+Job WorkloadGenerator::InstantiateJob(int64_t job_id,
+                                      const TemplateSpec& spec,
+                                      int template_id, bool recurring,
+                                      double input_scale, Rng rng) const {
+  Job job;
+  job.id = job_id;
+  job.template_id = template_id;
+  job.recurring = recurring;
+  job.input_scale = input_scale;
+
+  int num_stages = static_cast<int>(spec.width_scales.size());
+  job.plan.stages.reserve(static_cast<size_t>(num_stages));
+  int max_width = 1;
+  for (int s = 0; s < num_stages; ++s) {
+    StageSpec stage;
+    stage.id = s;
+    stage.dependencies = spec.deps[static_cast<size_t>(s)];
+    // Input growth mostly widens stages and mildly lengthens tasks.
+    double width = spec.parallelism_base * spec.width_scales[static_cast<size_t>(s)] *
+                   std::pow(input_scale, 0.7) * rng.Uniform(0.9, 1.1);
+    stage.num_tasks = std::clamp(static_cast<int>(std::lround(width)), 1,
+                                 config_.max_stage_width);
+    double duration = spec.task_seconds_base *
+                      spec.duration_scales[static_cast<size_t>(s)] *
+                      std::pow(input_scale, 0.3) *
+                      std::max(1e-3, config_.seconds_per_cost_unit);
+    stage.task_duration_seconds = std::clamp(duration, 1.0, 600.0);
+    max_width = std::max(max_width, stage.num_tasks);
+    job.plan.stages.push_back(std::move(stage));
+  }
+  job.default_tokens = std::max(
+      1.0, std::round(static_cast<double>(max_width) *
+                      rng.Uniform(config_.overprovision_lo,
+                                  config_.overprovision_hi)));
+
+  // ---- Operator DAG with Table-1 features, derived from the stage plan ---
+  double rows_per_token_second = rng.LogNormal(std::log(2.0e4), 0.8);
+  double row_length_base = rng.Uniform(30.0, 300.0);
+
+  JobGraph& graph = job.graph;
+  std::vector<int> stage_last_op(static_cast<size_t>(num_stages), -1);
+  // Per-operator bookkeeping for subtree aggregation.
+  std::vector<double> leaf_input;   // Rows read by leaves under the subtree.
+  std::vector<double> subtree_cost;
+
+  auto add_op = [&](PhysicalOperator op, int stage,
+                    std::vector<int> inputs) -> int {
+    OperatorNode node;
+    node.id = static_cast<int>(graph.operators.size());
+    node.op = op;
+    node.stage = stage;
+    node.inputs = std::move(inputs);
+    graph.operators.push_back(std::move(node));
+    leaf_input.push_back(0.0);
+    subtree_cost.push_back(0.0);
+    return graph.operators.back().id;
+  };
+
+  for (int s = 0; s < num_stages; ++s) {
+    const StageSpec& stage = job.plan.stages[static_cast<size_t>(s)];
+    const auto& deps = stage.dependencies;
+    bool is_final = (s == num_stages - 1);
+    double stage_work = stage.Work();
+    double stage_rows = stage_work * rows_per_token_second;
+
+    std::vector<int> stage_ops;
+    if (deps.empty()) {
+      // Leaf stage: read from storage.
+      PhysicalOperator leaf_op = PhysicalOperator::kExtract;
+      double pick = rng.Uniform(0.0, 1.0);
+      if (pick < 0.1) {
+        leaf_op = PhysicalOperator::kIndexLookup;
+      } else if (pick < 0.25) {
+        leaf_op = PhysicalOperator::kRangeScan;
+      }
+      stage_ops.push_back(add_op(leaf_op, s, {}));
+    } else if (deps.size() == 1) {
+      // Repartition boundary from the single upstream stage.
+      PhysicalOperator exchange = rng.Bernoulli(0.7)
+                                      ? PhysicalOperator::kExchangePartition
+                                      : PhysicalOperator::kExchangeMerge;
+      stage_ops.push_back(add_op(
+          exchange, s, {stage_last_op[static_cast<size_t>(deps[0])]}));
+    } else {
+      // Multi-input stage: one exchange per input, then a combining op.
+      std::vector<int> exchange_ids;
+      for (int dep : deps) {
+        PhysicalOperator exchange = rng.Bernoulli(0.15)
+                                        ? PhysicalOperator::kExchangeBroadcast
+                                        : PhysicalOperator::kExchangePartition;
+        exchange_ids.push_back(add_op(
+            exchange, s, {stage_last_op[static_cast<size_t>(dep)]}));
+      }
+      static constexpr PhysicalOperator kCombiners[] = {
+          PhysicalOperator::kHashJoin,      PhysicalOperator::kMergeJoin,
+          PhysicalOperator::kBroadcastJoin, PhysicalOperator::kUnionAll,
+          PhysicalOperator::kUnion,         PhysicalOperator::kSemiJoin,
+          PhysicalOperator::kCombineUdo,    PhysicalOperator::kIntersect,
+          PhysicalOperator::kExcept};
+      PhysicalOperator combiner = kCombiners[rng.UniformInt(0, 8)];
+      for (int id : exchange_ids) stage_ops.push_back(id);
+      stage_ops.push_back(add_op(combiner, s, exchange_ids));
+    }
+    // Intermediate single-input operators.
+    static constexpr PhysicalOperator kMiddles[] = {
+        PhysicalOperator::kFilter,          PhysicalOperator::kProject,
+        PhysicalOperator::kComputeScalar,   PhysicalOperator::kHashAggregate,
+        PhysicalOperator::kStreamAggregate, PhysicalOperator::kLocalAggregate,
+        PhysicalOperator::kSort,            PhysicalOperator::kTopSort,
+        PhysicalOperator::kWindowAggregate, PhysicalOperator::kProcessUdo,
+        PhysicalOperator::kReduceUdo,       PhysicalOperator::kSample,
+        PhysicalOperator::kSplit,           PhysicalOperator::kSpool,
+        PhysicalOperator::kAssert,          PhysicalOperator::kSequence};
+    int middles = static_cast<int>(rng.UniformInt(1, 4));
+    for (int m = 0; m < middles; ++m) {
+      PhysicalOperator op = kMiddles[rng.UniformInt(0, 15)];
+      stage_ops.push_back(add_op(op, s, {stage_ops.back()}));
+    }
+    if (is_final) {
+      stage_ops.push_back(
+          add_op(PhysicalOperator::kOutput, s, {stage_ops.back()}));
+    }
+    stage_last_op[static_cast<size_t>(s)] = stage_ops.back();
+
+    // ---- Features for this stage's operators -----------------------------
+    double row_length = row_length_base * rng.Uniform(0.7, 1.3);
+    // First pass: propagate cardinalities and raw costs through the chain.
+    double stage_raw_cost = 0.0;
+    std::vector<double> raw_cost(stage_ops.size(), 0.0);
+    for (size_t k = 0; k < stage_ops.size(); ++k) {
+      OperatorNode& node = graph.operators[static_cast<size_t>(stage_ops[k])];
+      const OperatorTraits& traits = GetOperatorTraits(node.op);
+      double input_rows = 0.0;
+      if (node.inputs.empty()) {
+        input_rows = stage_rows;
+      } else {
+        for (int in : node.inputs) {
+          input_rows +=
+              graph.operators[static_cast<size_t>(in)].features
+                  .output_cardinality;
+        }
+      }
+      double selectivity =
+          rng.Uniform(traits.selectivity_lo, traits.selectivity_hi);
+      node.features.output_cardinality =
+          std::max(1.0, input_rows * selectivity);
+      node.features.children_input_cardinality = std::max(1.0, input_rows);
+      node.features.average_row_length =
+          std::max(4.0, row_length * rng.Uniform(0.85, 1.15));
+      node.features.num_partitions = stage.num_tasks;
+      if (traits.repartitions) {
+        if (node.op == PhysicalOperator::kExchangeBroadcast) {
+          node.partitioning = PartitioningMethod::kBroadcast;
+        } else if (node.op == PhysicalOperator::kExchangeMerge) {
+          node.partitioning = PartitioningMethod::kRange;
+          node.features.num_partitioning_columns =
+              static_cast<int>(rng.UniformInt(1, 3));
+        } else {
+          node.partitioning = rng.Bernoulli(0.8)
+                                  ? PartitioningMethod::kHash
+                                  : PartitioningMethod::kRoundRobin;
+          if (node.partitioning == PartitioningMethod::kHash) {
+            node.features.num_partitioning_columns =
+                static_cast<int>(rng.UniformInt(1, 4));
+          }
+        }
+      }
+      if (traits.sorts) {
+        node.features.num_sort_columns =
+            static_cast<int>(rng.UniformInt(1, 3));
+      }
+      raw_cost[k] = std::max(
+          1e-6, input_rows * traits.cost_factor *
+                    (node.features.average_row_length / 100.0));
+      stage_raw_cost += raw_cost[k];
+      // Leaf-input rows seen by this operator's subtree.
+      double leaves = 0.0;
+      if (node.inputs.empty()) {
+        leaves = input_rows;
+      } else {
+        for (int in : node.inputs) leaves += leaf_input[static_cast<size_t>(in)];
+      }
+      leaf_input[static_cast<size_t>(node.id)] = leaves;
+      node.features.leaf_input_cardinality = leaves;
+    }
+    // Second pass: scale exclusive costs so the stage's estimated cost
+    // totals its actual work *in the optimizer's cost units* (seconds /
+    // seconds_per_cost_unit — the estimates do not see calibration drift),
+    // then perturb with estimate noise.
+    double estimated_stage_cost =
+        stage_work / std::max(1e-3, config_.seconds_per_cost_unit);
+    for (size_t k = 0; k < stage_ops.size(); ++k) {
+      OperatorNode& node = graph.operators[static_cast<size_t>(stage_ops[k])];
+      double share = raw_cost[k] / stage_raw_cost;
+      node.features.cost_exclusive =
+          estimated_stage_cost * share *
+          EstimateNoise(rng, config_.estimate_noise_sigma);
+      double subtree = node.features.cost_exclusive;
+      for (int in : node.inputs) subtree += subtree_cost[static_cast<size_t>(in)];
+      subtree_cost[static_cast<size_t>(node.id)] = subtree;
+      node.features.cost_subtree = subtree;
+      // Cardinality estimates carry noise too (at least one row survives).
+      node.features.output_cardinality = std::max(
+          1.0, node.features.output_cardinality *
+                   EstimateNoise(rng, config_.estimate_noise_sigma));
+      node.features.leaf_input_cardinality = std::max(
+          1.0, node.features.leaf_input_cardinality *
+                   EstimateNoise(rng, config_.estimate_noise_sigma));
+      node.features.children_input_cardinality = std::max(
+          1.0, node.features.children_input_cardinality *
+                   EstimateNoise(rng, config_.estimate_noise_sigma));
+    }
+  }
+  // Total plan cost: subtree cost of the single sink, stamped on every
+  // operator (the optimizer exposes the job-level total everywhere).
+  double total_cost = subtree_cost.empty() ? 0.0 : subtree_cost.back();
+  for (OperatorNode& node : graph.operators) {
+    node.features.cost_total = total_cost;
+  }
+  return job;
+}
+
+}  // namespace tasq

@@ -1,0 +1,115 @@
+#ifndef TASQ_WORKLOAD_GENERATOR_H_
+#define TASQ_WORKLOAD_GENERATOR_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "workload/job_graph.h"
+
+namespace tasq {
+
+/// Skyline archetypes the generator mixes (paper Figures 5 and 8 contrast
+/// "peaky" and "flatter" jobs).
+enum class JobArchetype : int {
+  /// One or two very wide stages, the rest narrow — deep valleys.
+  kPeaky = 0,
+  /// Uniformly wide stages — high sustained utilization.
+  kFlat,
+  /// Widths drawn across the whole range.
+  kMixed,
+  /// Many narrow stages in a long chain — serial-dominated.
+  kDeepPipeline,
+  /// Several independent branches unioned into a final stage.
+  kUnionFan,
+};
+
+inline constexpr int kJobArchetypeCount = 5;
+
+/// Knobs of the synthetic SCOPE-like workload. Defaults reproduce the
+/// *shape* of the paper's production workload statistics (right-skewed run
+/// times with a median of a few minutes; right-skewed peak tokens with a
+/// median of a few tens) at laptop scale.
+struct WorkloadConfig {
+  uint64_t seed = 7;
+  /// Fraction of jobs instantiated from a recurring template.
+  double recurring_fraction = 0.6;
+  /// Number of distinct recurring templates.
+  int num_templates = 40;
+  /// Median of the per-template parallelism base (peak-width scale).
+  double tokens_median = 40.0;
+  /// Log-sigma of the parallelism base (right skew).
+  double tokens_log_sigma = 0.9;
+  /// Hard cap on any stage width.
+  int max_stage_width = 1500;
+  /// Median per-task duration in seconds.
+  double task_seconds_median = 18.0;
+  double task_seconds_log_sigma = 0.5;
+  /// Range of the user's over-provisioning factor for the default token
+  /// request (Figure 1: requested 125 while using < 80).
+  double overprovision_lo = 1.0;
+  double overprovision_hi = 2.2;
+  /// Log-sigma of input-size drift between recurrences of a template.
+  double recurrence_drift_sigma = 0.35;
+  /// Systematic multiplier on every job's input scale — models workload
+  /// growth over time (paper §1: skylines "change significantly over time
+  /// due to changes in workloads, such as changes in the input sizes").
+  /// Templates are unaffected, so the same recurring jobs exist at every
+  /// drift level.
+  double global_input_scale = 1.0;
+  /// Seconds of real work per unit of estimated cost. Optimizer cost
+  /// estimates are abstract units; when the cluster (hardware, runtime
+  /// version) changes, the calibration between cost units and seconds
+  /// shifts without the estimates knowing. Raising this makes every job
+  /// slower than its (unchanged) cost features suggest — the relationship
+  /// drift that invalidates stale models.
+  double seconds_per_cost_unit = 1.0;
+  /// Log-sigma of the multiplicative noise on optimizer estimates
+  /// (cardinalities and costs), so models face realistic mis-estimation.
+  double estimate_noise_sigma = 0.25;
+};
+
+/// Deterministic generator of synthetic SCOPE-like jobs. Job `i` of a given
+/// config is always the same job: the generator forks a child RNG per
+/// template and per job id, so adding jobs never perturbs earlier ones.
+///
+/// Each generated job carries (a) a stage plan the cluster simulator can
+/// execute and (b) an operator DAG whose Table-1 features are derived from
+/// that plan (cardinalities and costs proportional to stage work, partition
+/// counts equal to stage widths, plus estimate noise) — so compile-time
+/// features are predictive of run-time behaviour, as on a real platform.
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(const WorkloadConfig& config);
+
+  /// Generates jobs with ids [first_id, first_id + count).
+  std::vector<Job> Generate(int64_t first_id, int64_t count) const;
+
+  /// Generates the single job with the given id.
+  Job GenerateJob(int64_t job_id) const;
+
+  const WorkloadConfig& config() const { return config_; }
+
+ private:
+  struct TemplateSpec {
+    JobArchetype archetype = JobArchetype::kMixed;
+    double parallelism_base = 40.0;
+    double task_seconds_base = 18.0;
+    std::vector<double> width_scales;
+    std::vector<double> duration_scales;
+    std::vector<std::vector<int>> deps;
+  };
+
+  TemplateSpec MakeTemplate(Rng rng) const;
+  Job InstantiateJob(int64_t job_id, const TemplateSpec& spec,
+                     int template_id, bool recurring, double input_scale,
+                     Rng rng) const;
+
+  WorkloadConfig config_;
+  std::vector<TemplateSpec> templates_;
+};
+
+}  // namespace tasq
+
+#endif  // TASQ_WORKLOAD_GENERATOR_H_

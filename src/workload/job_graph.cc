@@ -1,0 +1,47 @@
+#include "workload/job_graph.h"
+
+#include <algorithm>
+
+namespace tasq {
+
+std::vector<std::pair<int, int>> JobGraph::Edges() const {
+  std::vector<std::pair<int, int>> edges;
+  for (const OperatorNode& node : operators) {
+    for (int input : node.inputs) {
+      edges.emplace_back(input, node.id);
+    }
+  }
+  return edges;
+}
+
+int JobGraph::NumStages() const {
+  int max_stage = -1;
+  for (const OperatorNode& node : operators) {
+    max_stage = std::max(max_stage, node.stage);
+  }
+  return max_stage + 1;
+}
+
+Status JobGraph::Validate() const {
+  if (operators.empty()) {
+    return Status::InvalidArgument("job graph has no operators");
+  }
+  for (size_t i = 0; i < operators.size(); ++i) {
+    const OperatorNode& node = operators[i];
+    if (node.id != static_cast<int>(i)) {
+      return Status::InvalidArgument("operator ids must be dense and ordered");
+    }
+    for (int input : node.inputs) {
+      if (input < 0 || input >= node.id) {
+        return Status::InvalidArgument(
+            "operator inputs must reference earlier operators");
+      }
+    }
+    if (node.stage < 0) {
+      return Status::InvalidArgument("operator stage must be non-negative");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace tasq

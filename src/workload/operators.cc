@@ -1,0 +1,72 @@
+#include "workload/operators.h"
+
+namespace tasq {
+namespace {
+
+// Indexed by the enum value of PhysicalOperator.
+constexpr OperatorTraits kTraits[kPhysicalOperatorCount] = {
+    // name, sel_lo, sel_hi, cost, leaf, multi, sorts, repart
+    {"Extract", 1.0, 1.0, 1.0, true, false, false, false},
+    {"Filter", 0.05, 0.9, 0.3, false, false, false, false},
+    {"Project", 1.0, 1.0, 0.2, false, false, false, false},
+    {"ComputeScalar", 1.0, 1.0, 0.4, false, false, false, false},
+    {"HashJoin", 0.3, 1.5, 2.0, false, true, false, false},
+    {"MergeJoin", 0.3, 1.5, 1.2, false, true, true, false},
+    {"NestedLoopJoin", 0.1, 2.0, 4.0, false, true, false, false},
+    {"BroadcastJoin", 0.3, 1.5, 1.8, false, true, false, false},
+    {"SemiJoin", 0.1, 0.8, 1.5, false, true, false, false},
+    {"AntiSemiJoin", 0.1, 0.8, 1.5, false, true, false, false},
+    {"CrossJoin", 1.5, 4.0, 6.0, false, true, false, false},
+    {"HashAggregate", 0.001, 0.3, 1.8, false, false, false, false},
+    {"StreamAggregate", 0.001, 0.3, 0.8, false, false, true, false},
+    {"LocalAggregate", 0.01, 0.5, 1.0, false, false, false, false},
+    {"Sort", 1.0, 1.0, 2.5, false, false, true, false},
+    {"TopSort", 0.0001, 0.01, 1.5, false, false, true, false},
+    {"WindowAggregate", 1.0, 1.0, 2.2, false, false, true, false},
+    {"ExchangePartition", 1.0, 1.0, 0.8, false, false, false, true},
+    {"ExchangeMerge", 1.0, 1.0, 0.6, false, false, true, true},
+    {"ExchangeBroadcast", 1.0, 1.0, 1.2, false, false, false, true},
+    {"Union", 0.6, 1.0, 1.0, false, true, false, false},
+    {"UnionAll", 1.0, 1.0, 0.3, false, true, false, false},
+    {"Intersect", 0.05, 0.5, 1.4, false, true, false, false},
+    {"Except", 0.05, 0.8, 1.4, false, true, false, false},
+    {"Spool", 1.0, 1.0, 0.7, false, false, false, false},
+    {"Split", 1.0, 1.0, 0.3, false, false, false, false},
+    {"Sample", 0.001, 0.1, 0.2, false, false, false, false},
+    {"ProcessUdo", 0.2, 2.0, 3.0, false, false, false, false},
+    {"ReduceUdo", 0.01, 0.8, 3.0, false, false, true, false},
+    {"CombineUdo", 0.2, 1.5, 3.0, false, true, false, false},
+    {"IndexLookup", 0.0001, 0.05, 0.8, true, false, false, false},
+    {"RangeScan", 0.01, 0.5, 0.9, true, false, false, false},
+    {"Output", 1.0, 1.0, 0.8, false, false, false, false},
+    {"Assert", 1.0, 1.0, 0.1, false, false, false, false},
+    {"Sequence", 1.0, 1.0, 0.1, false, false, false, false},
+};
+
+}  // namespace
+
+const OperatorTraits& GetOperatorTraits(PhysicalOperator op) {
+  return kTraits[static_cast<size_t>(op)];
+}
+
+const char* OperatorName(PhysicalOperator op) {
+  return GetOperatorTraits(op).name;
+}
+
+const char* PartitioningMethodName(PartitioningMethod method) {
+  switch (method) {
+    case PartitioningMethod::kNone:
+      return "None";
+    case PartitioningMethod::kHash:
+      return "Hash";
+    case PartitioningMethod::kRange:
+      return "Range";
+    case PartitioningMethod::kRoundRobin:
+      return "RoundRobin";
+    case PartitioningMethod::kBroadcast:
+      return "Broadcast";
+  }
+  return "Unknown";
+}
+
+}  // namespace tasq

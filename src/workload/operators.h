@@ -1,0 +1,96 @@
+#ifndef TASQ_WORKLOAD_OPERATORS_H_
+#define TASQ_WORKLOAD_OPERATORS_H_
+
+#include <cstddef>
+
+namespace tasq {
+
+/// The 35 SCOPE physical operators modeled by the synthetic workload
+/// (paper Table 1 cites 35 physical operators, described in Zhou et al.).
+/// The exact production names are proprietary; these are the standard
+/// SCOPE/relational physical operators that the public papers describe.
+enum class PhysicalOperator : int {
+  kExtract = 0,
+  kFilter,
+  kProject,
+  kComputeScalar,
+  kHashJoin,
+  kMergeJoin,
+  kNestedLoopJoin,
+  kBroadcastJoin,
+  kSemiJoin,
+  kAntiSemiJoin,
+  kCrossJoin,
+  kHashAggregate,
+  kStreamAggregate,
+  kLocalAggregate,
+  kSort,
+  kTopSort,
+  kWindowAggregate,
+  kExchangePartition,
+  kExchangeMerge,
+  kExchangeBroadcast,
+  kUnion,
+  kUnionAll,
+  kIntersect,
+  kExcept,
+  kSpool,
+  kSplit,
+  kSample,
+  kProcessUdo,
+  kReduceUdo,
+  kCombineUdo,
+  kIndexLookup,
+  kRangeScan,
+  kOutput,
+  kAssert,
+  kSequence,
+};
+
+/// Number of distinct physical operators (one-hot width for featurization).
+inline constexpr size_t kPhysicalOperatorCount = 35;
+
+/// The four SCOPE partitioning methods (paper Table 1).
+enum class PartitioningMethod : int {
+  kNone = 0,  // Operator does not repartition.
+  kHash,
+  kRange,
+  kRoundRobin,
+  kBroadcast,
+};
+
+/// Number of partitioning methods encoded one-hot (kNone is encoded as the
+/// absence of all four).
+inline constexpr size_t kPartitioningMethodCount = 4;
+
+/// Static properties of an operator type used by the workload generator to
+/// derive consistent cardinalities and costs.
+struct OperatorTraits {
+  const char* name;
+  /// Typical output/input cardinality ratio range.
+  double selectivity_lo;
+  double selectivity_hi;
+  /// Relative CPU cost per input row (1.0 = a simple filter).
+  double cost_factor;
+  /// True for operators that read from storage (no operator inputs).
+  bool is_leaf;
+  /// True for operators that combine two or more inputs.
+  bool is_multi_input;
+  /// True for operators that sort and therefore carry sort columns.
+  bool sorts;
+  /// True for exchange operators that repartition data.
+  bool repartitions;
+};
+
+/// Returns the traits for `op`.
+const OperatorTraits& GetOperatorTraits(PhysicalOperator op);
+
+/// Short human-readable operator name (e.g., "HashJoin").
+const char* OperatorName(PhysicalOperator op);
+
+/// Short name for a partitioning method ("Hash", "Range", ...).
+const char* PartitioningMethodName(PartitioningMethod method);
+
+}  // namespace tasq
+
+#endif  // TASQ_WORKLOAD_OPERATORS_H_

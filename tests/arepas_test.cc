@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arepas/arepas.h"
+#include "common/rng.h"
+
+namespace tasq {
+namespace {
+
+TEST(ArepasTest, AllocationAtOrAbovePeakLeavesSkylineUnchanged) {
+  Skyline original({2.0, 5.0, 3.0});
+  Arepas arepas;
+  Result<Skyline> at_peak = arepas.SimulateSkyline(original, 5.0);
+  ASSERT_TRUE(at_peak.ok());
+  EXPECT_EQ(at_peak.value(), original);
+  Result<Skyline> above = arepas.SimulateSkyline(original, 100.0);
+  ASSERT_TRUE(above.ok());
+  EXPECT_EQ(above.value(), original);
+}
+
+TEST(ArepasTest, RejectsInvalidInput) {
+  Arepas arepas;
+  EXPECT_FALSE(arepas.SimulateSkyline(Skyline(), 5.0).ok());
+  EXPECT_FALSE(arepas.SimulateSkyline(Skyline({1.0}), 0.0).ok());
+  EXPECT_FALSE(arepas.SimulateSkyline(Skyline({1.0}), -3.0).ok());
+}
+
+TEST(ArepasTest, PaperFigure7Example) {
+  // The paper's Figure 6/7 toy job: a tall section whose area is
+  // redistributed at max token 3. A flat section at height 6 for 5 seconds
+  // (30 token-seconds) becomes 10 seconds at height 3.
+  std::vector<double> usage(20, 2.0);
+  for (size_t t = 5; t < 10; ++t) usage[t] = 6.0;
+  Skyline original(usage);
+  Arepas arepas;
+  Result<Skyline> simulated = arepas.SimulateSkyline(original, 3.0);
+  ASSERT_TRUE(simulated.ok());
+  // Original: 5s @2, 5s @6, 10s @2 -> simulated: 5s @2, 10s @3, 10s @2.
+  EXPECT_EQ(simulated.value().duration_seconds(), 25u);
+  EXPECT_DOUBLE_EQ(simulated.value().UsageAt(4), 2.0);
+  EXPECT_DOUBLE_EQ(simulated.value().UsageAt(5), 3.0);
+  EXPECT_DOUBLE_EQ(simulated.value().UsageAt(14), 3.0);
+  EXPECT_DOUBLE_EQ(simulated.value().UsageAt(15), 2.0);
+}
+
+TEST(ArepasTest, ExactRoundingPreservesAreaExactly) {
+  Skyline original({1.0, 7.0, 7.0, 2.0, 9.0, 1.0});
+  Arepas arepas;
+  for (double tokens : {1.0, 2.0, 3.0, 4.5, 6.0, 8.0}) {
+    Result<Skyline> simulated = arepas.SimulateSkyline(original, tokens);
+    ASSERT_TRUE(simulated.ok());
+    EXPECT_NEAR(simulated.value().Area(), original.Area(), 1e-9)
+        << "tokens=" << tokens;
+  }
+}
+
+TEST(ArepasTest, SimulatedSkylineNeverExceedsAllocation) {
+  Skyline original({4.0, 10.0, 3.0, 8.0});
+  Arepas arepas;
+  Result<Skyline> simulated = arepas.SimulateSkyline(original, 5.0);
+  ASSERT_TRUE(simulated.ok());
+  for (double v : simulated.value().values()) {
+    EXPECT_LE(v, 5.0 + 1e-12);
+  }
+}
+
+TEST(ArepasTest, UnderSectionsCopiedUnchanged) {
+  // Leading and trailing under-threshold parts must appear verbatim.
+  Skyline original({1.0, 2.0, 9.0, 9.0, 2.0, 1.0});
+  Arepas arepas;
+  Result<Skyline> simulated = arepas.SimulateSkyline(original, 3.0);
+  ASSERT_TRUE(simulated.ok());
+  const auto& v = simulated.value().values();
+  EXPECT_DOUBLE_EQ(v[0], 1.0);
+  EXPECT_DOUBLE_EQ(v[1], 2.0);
+  EXPECT_DOUBLE_EQ(v[v.size() - 2], 2.0);
+  EXPECT_DOUBLE_EQ(v[v.size() - 1], 1.0);
+}
+
+TEST(ArepasTest, RunTimeNonIncreasingInTokensUpToQuantization) {
+  // More tokens can never lengthen the simulation beyond 1-second
+  // quantization: raising the allocation can split one over-section into
+  // two, and each stretched section rounds its length up to whole ticks, so
+  // local increases are bounded by the number of sections.
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> usage;
+    size_t len = static_cast<size_t>(rng.UniformInt(5, 60));
+    for (size_t t = 0; t < len; ++t) {
+      usage.push_back(static_cast<double>(rng.UniformInt(0, 40)));
+    }
+    Skyline original(usage);
+    Arepas arepas;
+    double at_one = arepas.SimulateRunTimeSeconds(original, 1.0).value_or(-1);
+    double previous = 1e18;
+    for (double tokens = 1.0; tokens <= 41.0; tokens += 1.0) {
+      double runtime =
+          arepas.SimulateRunTimeSeconds(original, tokens).value_or(-1.0);
+      ASSERT_GE(runtime, 0.0);
+      size_t sections = SplitSections(original, tokens).size();
+      EXPECT_LE(runtime, previous + static_cast<double>(sections))
+          << "trial=" << trial << " tokens=" << tokens;
+      // Globally the trend must still point down.
+      EXPECT_LE(runtime, at_one + 1e-9);
+      previous = runtime;
+    }
+    // And the endpoints are strictly ordered for skylines with real peaks.
+    double at_peak =
+        arepas.SimulateRunTimeSeconds(original, original.Peak()).value_or(-1);
+    EXPECT_LE(at_peak, at_one);
+  }
+}
+
+TEST(ArepasTest, FloorRoundingMatchesPaperPseudocode) {
+  // One over section of area 10 at allocation 3: floor(10/3) = 3 ticks.
+  Skyline original({10.0});
+  Arepas floor_sim(ArepasOptions{AreaRounding::kFloor});
+  Result<Skyline> simulated = floor_sim.SimulateSkyline(original, 3.0);
+  ASSERT_TRUE(simulated.ok());
+  EXPECT_EQ(simulated.value().duration_seconds(), 3u);
+  for (double v : simulated.value().values()) EXPECT_DOUBLE_EQ(v, 3.0);
+}
+
+TEST(ArepasTest, CeilRoundingRoundsUp) {
+  Skyline original({10.0});
+  Arepas ceil_sim(ArepasOptions{AreaRounding::kCeil});
+  Result<Skyline> simulated = ceil_sim.SimulateSkyline(original, 3.0);
+  ASSERT_TRUE(simulated.ok());
+  EXPECT_EQ(simulated.value().duration_seconds(), 4u);
+  for (double v : simulated.value().values()) EXPECT_DOUBLE_EQ(v, 3.0);
+}
+
+TEST(ArepasTest, ExactRoundingFractionalTail) {
+  Skyline original({10.0});
+  Arepas arepas;
+  Result<Skyline> simulated = arepas.SimulateSkyline(original, 3.0);
+  ASSERT_TRUE(simulated.ok());
+  ASSERT_EQ(simulated.value().duration_seconds(), 4u);
+  EXPECT_DOUBLE_EQ(simulated.value().UsageAt(3), 1.0);
+  EXPECT_NEAR(simulated.value().Area(), 10.0, 1e-12);
+}
+
+TEST(SamplePccTest, ProducesMonotoneCurve) {
+  Skyline original({2.0, 20.0, 20.0, 5.0, 15.0, 1.0});
+  auto grid = LinearTokenGrid(2.0, 20.0, 10);
+  Result<std::vector<PccSample>> samples = SamplePcc(original, grid);
+  ASSERT_TRUE(samples.ok());
+  ASSERT_EQ(samples.value().size(), 10u);
+  for (size_t i = 1; i < samples.value().size(); ++i) {
+    EXPECT_LE(samples.value()[i].runtime_seconds,
+              samples.value()[i - 1].runtime_seconds + 1e-9);
+  }
+}
+
+TEST(SamplePccTest, FailsOnNonPositiveGridEntry) {
+  Skyline original({2.0, 3.0});
+  EXPECT_FALSE(SamplePcc(original, {1.0, 0.0}).ok());
+}
+
+TEST(LinearTokenGridTest, SpansRangeInclusive) {
+  auto grid = LinearTokenGrid(10.0, 50.0, 5);
+  ASSERT_EQ(grid.size(), 5u);
+  EXPECT_DOUBLE_EQ(grid.front(), 10.0);
+  EXPECT_DOUBLE_EQ(grid.back(), 50.0);
+  EXPECT_DOUBLE_EQ(grid[1], 20.0);
+}
+
+TEST(LinearTokenGridTest, RejectsDegenerateInput) {
+  EXPECT_TRUE(LinearTokenGrid(10.0, 50.0, 1).empty());
+  EXPECT_TRUE(LinearTokenGrid(0.0, 50.0, 5).empty());
+  EXPECT_TRUE(LinearTokenGrid(50.0, 10.0, 5).empty());
+}
+
+TEST(AreaDeviationTest, SymmetricPercentDifference) {
+  Skyline a({10.0});
+  Skyline b({12.0});
+  // |10-12| / 11 * 100.
+  EXPECT_NEAR(AreaDeviationPercent(a, b), 200.0 / 11.0, 1e-9);
+  EXPECT_NEAR(AreaDeviationPercent(b, a), AreaDeviationPercent(a, b), 1e-12);
+  EXPECT_DOUBLE_EQ(AreaDeviationPercent(Skyline(), Skyline()), 0.0);
+}
+
+TEST(PairwiseAreaDeviationsTest, AllPairs) {
+  std::vector<Skyline> runs = {Skyline({10.0}), Skyline({10.0}),
+                               Skyline({20.0})};
+  auto devs = PairwiseAreaDeviations(runs);
+  ASSERT_EQ(devs.size(), 3u);  // C(3,2).
+}
+
+TEST(CountAreaOutliersTest, FlagsTheOddOneOut) {
+  std::vector<Skyline> runs = {Skyline({10.0}), Skyline({10.5}),
+                               Skyline({9.8}), Skyline({30.0})};
+  EXPECT_EQ(CountAreaOutliers(runs, 20.0), 1);
+  EXPECT_EQ(CountAreaOutliers(runs, 300.0), 0);
+}
+
+TEST(CountAreaOutliersTest, FewerThanTwoExecutions) {
+  EXPECT_EQ(CountAreaOutliers({}, 10.0), 0);
+  EXPECT_EQ(CountAreaOutliers({Skyline({5.0})}, 10.0), 0);
+}
+
+}  // namespace
+}  // namespace tasq

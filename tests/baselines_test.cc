@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/autotoken.h"
+#include "common/stats.h"
+#include "baselines/stage_simulators.h"
+#include "workload/generator.h"
+
+namespace tasq {
+namespace {
+
+Job RecurringJob(int template_id, int tasks, double duration) {
+  Job job;
+  job.id = template_id * 100;
+  job.template_id = template_id;
+  job.recurring = true;
+  job.plan.stages.push_back(StageSpec{0, {}, tasks, duration});
+  return job;
+}
+
+TEST(StageHistoryTest, RecordsRunningMeans) {
+  StageHistory history;
+  ASSERT_TRUE(history.Record(RecurringJob(1, 10, 4.0)).ok());
+  ASSERT_TRUE(history.Record(RecurringJob(1, 20, 8.0)).ok());
+  Result<JobHistoryStats> stats = history.Lookup(RecurringJob(1, 1, 1.0));
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().runs_observed, 2);
+  ASSERT_EQ(stats.value().stages.size(), 1u);
+  EXPECT_DOUBLE_EQ(stats.value().stages[0].mean_tasks, 15.0);
+  EXPECT_DOUBLE_EQ(stats.value().stages[0].mean_task_seconds, 6.0);
+}
+
+TEST(StageHistoryTest, AdhocJobsHaveNoHistory) {
+  StageHistory history;
+  Job adhoc = RecurringJob(-1, 10, 4.0);
+  adhoc.template_id = -1;
+  EXPECT_FALSE(history.Record(adhoc).ok());
+  EXPECT_FALSE(history.Lookup(adhoc).ok());
+  EXPECT_EQ(history.Lookup(RecurringJob(9, 1, 1.0)).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(AmdahlSimulatorTest, MatchesClosedForm) {
+  JobHistoryStats stats;
+  stats.stages.push_back(StageStats{10.0, 5.0});  // S=5, P=45.
+  Result<double> at4 = AmdahlSimulateRunTime(stats, 4.0);
+  ASSERT_TRUE(at4.ok());
+  EXPECT_DOUBLE_EQ(at4.value(), 5.0 + 45.0 / 4.0);
+  // Serial floor as N grows.
+  Result<double> at1e6 = AmdahlSimulateRunTime(stats, 1e6);
+  ASSERT_TRUE(at1e6.ok());
+  EXPECT_NEAR(at1e6.value(), 5.0, 1e-3);
+}
+
+TEST(JockeySimulatorTest, WaveModel) {
+  JobHistoryStats stats;
+  stats.stages.push_back(StageStats{10.0, 3.0});
+  // 4 tokens -> ceil(10/4)=3 waves of 3s.
+  Result<double> runtime = JockeySimulateRunTime(stats, 4.0);
+  ASSERT_TRUE(runtime.ok());
+  EXPECT_DOUBLE_EQ(runtime.value(), 9.0);
+}
+
+TEST(StageSimulatorsTest, BothMonotoneNonIncreasing) {
+  JobHistoryStats stats;
+  stats.stages.push_back(StageStats{30.0, 4.0});
+  stats.stages.push_back(StageStats{8.0, 10.0});
+  double prev_amdahl = 1e300;
+  double prev_jockey = 1e300;
+  for (double tokens = 1.0; tokens <= 64.0; tokens *= 2.0) {
+    double amdahl = AmdahlSimulateRunTime(stats, tokens).value();
+    double jockey = JockeySimulateRunTime(stats, tokens).value();
+    EXPECT_LE(amdahl, prev_amdahl + 1e-9);
+    EXPECT_LE(jockey, prev_jockey + 1e-9);
+    prev_amdahl = amdahl;
+    prev_jockey = jockey;
+  }
+}
+
+TEST(StageSimulatorsTest, RejectBadInput) {
+  JobHistoryStats empty;
+  EXPECT_FALSE(AmdahlSimulateRunTime(empty, 4.0).ok());
+  EXPECT_FALSE(JockeySimulateRunTime(empty, 4.0).ok());
+  JobHistoryStats stats;
+  stats.stages.push_back(StageStats{10.0, 5.0});
+  EXPECT_FALSE(AmdahlSimulateRunTime(stats, 0.5).ok());
+  EXPECT_FALSE(JockeySimulateRunTime(stats, 0.0).ok());
+}
+
+TEST(StageSimulatorsTest, ReasonableAgainstGroundTruthForRecurringJobs) {
+  // With history from two noiseless prior runs, both baselines should
+  // track the true runtime of a recurrence within a modest factor.
+  WorkloadConfig config;
+  config.seed = 61;
+  config.recurring_fraction = 1.0;
+  WorkloadGenerator generator(config);
+  ClusterSimulator simulator;
+  StageHistory history;
+  std::map<int, std::vector<Job>> by_template;
+  for (const Job& job : generator.Generate(0, 250)) {
+    by_template[job.template_id].push_back(job);
+  }
+  int evaluated = 0;
+  for (auto& [tmpl, jobs] : by_template) {
+    if (jobs.size() < 3) continue;
+    // Record the first two runs, evaluate the third. Recurrences may have
+    // a different stage count under drift (branch pruning); skip those.
+    if (jobs[0].plan.stages.size() != jobs[2].plan.stages.size()) continue;
+    ASSERT_TRUE(history.Record(jobs[0]).ok());
+    ASSERT_TRUE(history.Record(jobs[1]).ok());
+    const Job& target = jobs[2];
+    auto stats = history.Lookup(target);
+    if (!stats.ok()) continue;
+    double tokens = std::max(2.0, target.default_tokens / 2.0);
+    auto truth = simulator.Run(target.plan, RunConfig{tokens, {}, 0});
+    ASSERT_TRUE(truth.ok());
+    for (double predicted :
+         {AmdahlSimulateRunTime(stats.value(), tokens).value_or(-1),
+          JockeySimulateRunTime(stats.value(), tokens).value_or(-1)}) {
+      ASSERT_GT(predicted, 0.0);
+      double ratio = predicted / truth.value().runtime_seconds;
+      EXPECT_GT(ratio, 0.2);
+      EXPECT_LT(ratio, 5.0);
+    }
+    ++evaluated;
+    if (evaluated >= 10) break;
+  }
+  EXPECT_GE(evaluated, 3);
+}
+
+TEST(AutoTokenTest, PredictsPeakForCoveredGroups) {
+  WorkloadConfig config;
+  config.seed = 62;
+  config.recurring_fraction = 1.0;
+  config.num_templates = 10;
+  WorkloadGenerator generator(config);
+  auto observed =
+      ObserveWorkload(generator.Generate(0, 200), NoiseModel{}, 1).value();
+  AutoToken autotoken;
+  ASSERT_TRUE(autotoken.Train(observed).ok());
+  EXPECT_GT(autotoken.num_groups(), 5u);
+
+  // Predictions for fresh recurrences of covered templates are within a
+  // reasonable band of the realized peak.
+  auto test = ObserveWorkload(generator.Generate(500, 40), NoiseModel{}, 2)
+                  .value();
+  int covered = 0;
+  std::vector<double> ratios;
+  for (const ObservedJob& entry : test) {
+    Result<double> predicted = autotoken.PredictPeakTokens(entry.job);
+    if (!predicted.ok()) continue;
+    ++covered;
+    ratios.push_back(predicted.value() / std::max(1.0, entry.peak_tokens));
+  }
+  ASSERT_GT(covered, 20);
+  EXPECT_GT(Median(ratios), 0.4);
+  EXPECT_LT(Median(ratios), 2.5);
+}
+
+TEST(AutoTokenTest, DoesNotCoverAdhocJobs) {
+  WorkloadConfig config;
+  config.seed = 63;
+  config.recurring_fraction = 0.5;
+  WorkloadGenerator generator(config);
+  auto observed =
+      ObserveWorkload(generator.Generate(0, 150), NoiseModel{}, 1).value();
+  AutoToken autotoken;
+  ASSERT_TRUE(autotoken.Train(observed).ok());
+  int adhoc_rejected = 0;
+  for (const Job& job : generator.Generate(700, 60)) {
+    if (!job.recurring) {
+      EXPECT_FALSE(autotoken.PredictPeakTokens(job).ok());
+      ++adhoc_rejected;
+    }
+  }
+  EXPECT_GT(adhoc_rejected, 10);
+}
+
+TEST(AutoTokenTest, FailsCleanlyUntrainedAndEmpty) {
+  AutoToken autotoken;
+  EXPECT_FALSE(autotoken.Train({}).ok());
+  Job job;
+  job.template_id = 0;
+  EXPECT_FALSE(autotoken.PredictPeakTokens(job).ok());
+}
+
+}  // namespace
+}  // namespace tasq

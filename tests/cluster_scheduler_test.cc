@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "simcluster/cluster_scheduler.h"
+#include "workload/generator.h"
+
+namespace tasq {
+namespace {
+
+JobPlan TinyPlan(int tasks, double duration) {
+  JobPlan plan;
+  plan.stages.push_back(StageSpec{0, {}, tasks, duration});
+  return plan;
+}
+
+Submission MakeSubmission(int64_t id, double arrival, double tokens,
+                          JobPlan plan) {
+  Submission submission;
+  submission.job_id = id;
+  submission.arrival_seconds = arrival;
+  submission.requested_tokens = tokens;
+  submission.plan = std::move(plan);
+  return submission;
+}
+
+TEST(ClusterSchedulerTest, SingleJobStartsImmediately) {
+  ClusterScheduler scheduler(SchedulerConfig{100.0, false, {}, 0});
+  auto trace = scheduler.Run({MakeSubmission(1, 5.0, 10.0, TinyPlan(10, 3.0))});
+  ASSERT_TRUE(trace.ok());
+  const ScheduledJob& job = trace.value()[0];
+  EXPECT_DOUBLE_EQ(job.start_seconds, 5.0);
+  EXPECT_DOUBLE_EQ(job.wait_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(job.runtime_seconds, 3.0);
+  EXPECT_DOUBLE_EQ(job.finish_seconds, 8.0);
+}
+
+TEST(ClusterSchedulerTest, QueuesWhenPoolExhausted) {
+  // Pool of 10: two jobs of 10 tokens each must run back to back.
+  ClusterScheduler scheduler(SchedulerConfig{10.0, false, {}, 0});
+  auto trace = scheduler.Run({
+      MakeSubmission(1, 0.0, 10.0, TinyPlan(10, 5.0)),
+      MakeSubmission(2, 0.0, 10.0, TinyPlan(10, 5.0)),
+  });
+  ASSERT_TRUE(trace.ok());
+  EXPECT_DOUBLE_EQ(trace.value()[0].start_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(trace.value()[1].start_seconds, 5.0);
+  EXPECT_DOUBLE_EQ(trace.value()[1].wait_seconds(), 5.0);
+}
+
+TEST(ClusterSchedulerTest, ParallelAdmissionWhenPoolAllows) {
+  ClusterScheduler scheduler(SchedulerConfig{20.0, false, {}, 0});
+  auto trace = scheduler.Run({
+      MakeSubmission(1, 0.0, 10.0, TinyPlan(10, 5.0)),
+      MakeSubmission(2, 0.0, 10.0, TinyPlan(10, 5.0)),
+  });
+  ASSERT_TRUE(trace.ok());
+  EXPECT_DOUBLE_EQ(trace.value()[0].start_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(trace.value()[1].start_seconds, 0.0);
+}
+
+TEST(ClusterSchedulerTest, StrictFifoHeadOfLineBlocking) {
+  // Job 2 needs 15 tokens; job 3 needs 2 and could backfill, but strict
+  // FIFO makes it wait behind job 2.
+  ClusterScheduler scheduler(SchedulerConfig{20.0, false, {}, 0});
+  auto trace = scheduler.Run({
+      MakeSubmission(1, 0.0, 10.0, TinyPlan(10, 10.0)),
+      MakeSubmission(2, 1.0, 15.0, TinyPlan(15, 5.0)),
+      MakeSubmission(3, 2.0, 2.0, TinyPlan(2, 1.0)),
+  });
+  ASSERT_TRUE(trace.ok());
+  EXPECT_DOUBLE_EQ(trace.value()[1].start_seconds, 10.0);
+  EXPECT_GE(trace.value()[2].start_seconds, 10.0);
+}
+
+TEST(ClusterSchedulerTest, SmallerRequestsReduceWaits) {
+  // The paper's §1 claim at cluster level: halving requests (at some
+  // runtime cost) cuts queueing delay for a congested trace.
+  WorkloadConfig config;
+  config.seed = 3;
+  WorkloadGenerator generator(config);
+  std::vector<Submission> full;
+  std::vector<Submission> halved;
+  double arrival = 0.0;
+  for (const Job& job : generator.Generate(0, 40)) {
+    arrival += 5.0;
+    double request = std::min(300.0, job.default_tokens);
+    full.push_back(MakeSubmission(job.id, arrival, request, job.plan));
+    halved.push_back(MakeSubmission(
+        job.id, arrival, std::max(1.0, std::round(request / 2.0)), job.plan));
+  }
+  ClusterScheduler scheduler(SchedulerConfig{300.0, false, {}, 0});
+  auto full_trace = scheduler.Run(full);
+  auto halved_trace = scheduler.Run(halved);
+  ASSERT_TRUE(full_trace.ok());
+  ASSERT_TRUE(halved_trace.ok());
+  TraceSummary full_summary = SummarizeTrace(full_trace.value(), 300.0);
+  TraceSummary halved_summary = SummarizeTrace(halved_trace.value(), 300.0);
+  EXPECT_LT(halved_summary.mean_wait_seconds, full_summary.mean_wait_seconds);
+}
+
+TEST(ClusterSchedulerTest, AdaptiveReleaseUnblocksQueuedJobs) {
+  // Job 1 is peaky: a 10-wide stage for 5s, then a 1-wide stage for 20s.
+  // With adaptive release its 9 idle tokens return after the first stage,
+  // letting job 2 (9 tokens) start long before job 1 finishes.
+  JobPlan peaky;
+  peaky.stages.push_back(StageSpec{0, {}, 10, 5.0});
+  peaky.stages.push_back(StageSpec{1, {0}, 1, 20.0});
+  JobPlan small = TinyPlan(9, 2.0);
+
+  SchedulerConfig strict{10.0, false, {}, 0};
+  SchedulerConfig adaptive{10.0, true, {}, 0};
+  std::vector<Submission> submissions = {
+      MakeSubmission(1, 0.0, 10.0, peaky),
+      MakeSubmission(2, 1.0, 9.0, small),
+  };
+  auto strict_trace = ClusterScheduler(strict).Run(submissions);
+  auto adaptive_trace = ClusterScheduler(adaptive).Run(submissions);
+  ASSERT_TRUE(strict_trace.ok());
+  ASSERT_TRUE(adaptive_trace.ok());
+  // Strict: job 2 waits for the full 25s run of job 1.
+  EXPECT_DOUBLE_EQ(strict_trace.value()[1].start_seconds, 25.0);
+  // Adaptive: job 2 starts shortly after job 1's wide stage ends.
+  EXPECT_LT(adaptive_trace.value()[1].start_seconds, 8.0);
+  EXPECT_GT(adaptive_trace.value()[1].start_seconds, 4.0);
+}
+
+TEST(ClusterSchedulerTest, AdaptiveReleaseConservesTokens) {
+  // After everything finishes, all released tokens must add back to the
+  // pool: a subsequent full-pool job can still be admitted.
+  SchedulerConfig adaptive{10.0, true, {}, 0};
+  JobPlan peaky;
+  peaky.stages.push_back(StageSpec{0, {}, 10, 3.0});
+  peaky.stages.push_back(StageSpec{1, {0}, 2, 4.0});
+  auto trace = ClusterScheduler(adaptive).Run({
+      MakeSubmission(1, 0.0, 10.0, peaky),
+      MakeSubmission(2, 0.0, 10.0, TinyPlan(10, 2.0)),
+      MakeSubmission(3, 0.0, 10.0, TinyPlan(10, 2.0)),
+  });
+  ASSERT_TRUE(trace.ok());
+  for (const ScheduledJob& job : trace.value()) {
+    EXPECT_GT(job.runtime_seconds, 0.0);
+    EXPECT_GE(job.start_seconds, 0.0);
+  }
+  // The last job cannot start before both predecessors' releases sum back
+  // to a full pool; it must still run.
+  EXPECT_GT(trace.value()[2].finish_seconds,
+            trace.value()[2].start_seconds);
+}
+
+TEST(ClusterSchedulerTest, RejectsOversizedOrInvalidSubmissions) {
+  ClusterScheduler scheduler(SchedulerConfig{10.0, false, {}, 0});
+  EXPECT_FALSE(
+      scheduler.Run({MakeSubmission(1, 0.0, 11.0, TinyPlan(1, 1.0))}).ok());
+  EXPECT_FALSE(
+      scheduler.Run({MakeSubmission(1, 0.0, 0.5, TinyPlan(1, 1.0))}).ok());
+  EXPECT_FALSE(scheduler.Run({MakeSubmission(1, 0.0, 5.0, JobPlan{})}).ok());
+}
+
+TEST(ClusterSchedulerTest, SummaryStatistics) {
+  ClusterScheduler scheduler(SchedulerConfig{10.0, false, {}, 0});
+  auto trace = scheduler.Run({
+      MakeSubmission(1, 0.0, 10.0, TinyPlan(10, 4.0)),
+      MakeSubmission(2, 0.0, 10.0, TinyPlan(10, 4.0)),
+  });
+  ASSERT_TRUE(trace.ok());
+  TraceSummary summary = SummarizeTrace(trace.value(), 10.0);
+  EXPECT_DOUBLE_EQ(summary.mean_wait_seconds, 2.0);  // 0 and 4.
+  EXPECT_DOUBLE_EQ(summary.mean_runtime_seconds, 4.0);
+  EXPECT_DOUBLE_EQ(summary.span_seconds, 8.0);
+  EXPECT_NEAR(summary.mean_reserved_fraction, 1.0, 1e-9);
+  // Empty trace is harmless.
+  TraceSummary empty = SummarizeTrace({}, 10.0);
+  EXPECT_DOUBLE_EQ(empty.span_seconds, 0.0);
+}
+
+TEST(ClusterSchedulerTest, ResultsInSubmissionOrder) {
+  ClusterScheduler scheduler(SchedulerConfig{50.0, false, {}, 0});
+  auto trace = scheduler.Run({
+      MakeSubmission(7, 3.0, 5.0, TinyPlan(5, 1.0)),
+      MakeSubmission(9, 1.0, 5.0, TinyPlan(5, 1.0)),
+  });
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace.value()[0].job_id, 7);
+  EXPECT_EQ(trace.value()[1].job_id, 9);
+  // The earlier arrival started earlier despite later submission order.
+  EXPECT_LT(trace.value()[1].start_seconds, trace.value()[0].start_seconds);
+}
+
+}  // namespace
+}  // namespace tasq

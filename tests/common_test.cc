@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/table.h"
+
+namespace tasq {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "Ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad tokens");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad tokens");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(-1), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000000), b.UniformInt(0, 1000000));
+  }
+}
+
+TEST(RngTest, ForkIsIndependentOfParentDraws) {
+  Rng a(5);
+  Rng b(5);
+  // Consuming entropy from one parent must not change its fork's stream.
+  a.Uniform(0.0, 1.0);
+  a.Uniform(0.0, 1.0);
+  Rng fa = a.Fork(9);
+  Rng fb = b.Fork(9);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(fa.UniformInt(0, 1 << 30), fb.UniformInt(0, 1 << 30));
+  }
+}
+
+TEST(RngTest, DistinctForkTagsDiverge) {
+  Rng root(5);
+  Rng a = root.Fork(1);
+  Rng b = root.Fork(2);
+  int differing = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.UniformInt(0, 1 << 30) != b.UniformInt(0, 1 << 30)) ++differing;
+  }
+  EXPECT_GT(differing, 40);
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(1);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(3, 5);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 5);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 5);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(1);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+  EXPECT_FALSE(rng.Bernoulli(-2.0));
+  EXPECT_TRUE(rng.Bernoulli(2.0));
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(77);
+  std::vector<double> weights = {0.0, 10.0, 0.0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.Categorical(weights), 1u);
+  }
+}
+
+TEST(RngTest, CategoricalAllZeroIsUniform) {
+  Rng rng(77);
+  std::vector<double> weights = {0.0, 0.0, 0.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 3000; ++i) ++counts[rng.Categorical(weights)];
+  for (int c : counts) EXPECT_GT(c, 500);
+}
+
+TEST(StatsTest, MeanAndStdDev) {
+  std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Mean(v), 2.5);
+  EXPECT_NEAR(StdDev(v), std::sqrt(1.25), 1e-12);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+}
+
+TEST(StatsTest, QuantileInterpolates) {
+  std::vector<double> v = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 25.0);
+  EXPECT_DOUBLE_EQ(Median(v), 25.0);
+}
+
+TEST(StatsTest, MedianAbsolutePercentError) {
+  std::vector<double> pred = {110.0, 90.0, 100.0};
+  std::vector<double> act = {100.0, 100.0, 100.0};
+  EXPECT_NEAR(MedianAbsolutePercentError(pred, act), 10.0, 1e-12);
+  EXPECT_NEAR(MeanAbsolutePercentError(pred, act), 20.0 / 3.0, 1e-12);
+}
+
+TEST(StatsTest, PercentErrorsSkipZeroActuals) {
+  std::vector<double> pred = {50.0, 110.0};
+  std::vector<double> act = {0.0, 100.0};
+  auto errs = AbsolutePercentErrors(pred, act);
+  ASSERT_EQ(errs.size(), 1u);
+  EXPECT_NEAR(errs[0], 10.0, 1e-12);
+}
+
+TEST(StatsTest, KsStatisticIdenticalSamplesIsZero) {
+  std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(KsStatistic(a, a), 0.0);
+}
+
+TEST(StatsTest, KsStatisticDisjointSamplesIsOne) {
+  std::vector<double> a = {1.0, 2.0};
+  std::vector<double> b = {10.0, 20.0};
+  EXPECT_DOUBLE_EQ(KsStatistic(a, b), 1.0);
+}
+
+TEST(StatsTest, KsStatisticDetectsShift) {
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 100; ++i) {
+    a.push_back(static_cast<double>(i));
+    b.push_back(static_cast<double>(i) + 30.0);
+  }
+  double d = KsStatistic(a, b);
+  EXPECT_GT(d, 0.25);
+  EXPECT_LT(d, 0.4);
+}
+
+TEST(StatsTest, KsStatisticEmptySampleIsMaximal) {
+  EXPECT_DOUBLE_EQ(KsStatistic({}, {1.0}), 1.0);
+}
+
+TEST(StatsTest, FitLineRecoversSlopeIntercept) {
+  std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  std::vector<double> y = {5.0, 7.0, 9.0, 11.0};
+  LineFit fit = FitLine(x, y);
+  ASSERT_TRUE(fit.ok);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(StatsTest, FitLineRejectsDegenerateInput) {
+  EXPECT_FALSE(FitLine({1.0}, {2.0}).ok);
+  EXPECT_FALSE(FitLine({1.0, 1.0}, {2.0, 3.0}).ok);  // Constant x.
+}
+
+TEST(StatsTest, PearsonCorrelationSigns) {
+  std::vector<double> x = {1.0, 2.0, 3.0};
+  std::vector<double> up = {10.0, 20.0, 30.0};
+  std::vector<double> down = {30.0, 20.0, 10.0};
+  EXPECT_NEAR(PearsonCorrelation(x, up), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation(x, down), -1.0, 1e-12);
+}
+
+TEST(TableTest, RendersAlignedColumns) {
+  TextTable t({"Model", "Err"});
+  t.AddRow({"NN", "0.5"});
+  t.AddRow({"GNN", "0.25"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("Model"), std::string::npos);
+  EXPECT_NE(out.find("GNN"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TableTest, CellFormatsNumbers) {
+  EXPECT_EQ(Cell(3.14159, 2), "3.14");
+  EXPECT_EQ(Cell(static_cast<int64_t>(42)), "42");
+}
+
+}  // namespace
+}  // namespace tasq

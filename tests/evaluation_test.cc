@@ -1,0 +1,131 @@
+// Direct tests of the evaluation module and of pipeline configuration
+// variants (which models are trained, LF3 wiring, error paths).
+
+#include <gtest/gtest.h>
+
+#include "tasq/evaluation.h"
+#include "tasq/tasq.h"
+#include "workload/generator.h"
+
+namespace tasq {
+namespace {
+
+class EvalFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    WorkloadConfig config;
+    config.seed = 91;
+    WorkloadGenerator generator(config);
+    NoiseModel noise;
+    noise.enabled = true;
+    train_ = new std::vector<ObservedJob>(
+        ObserveWorkload(generator.Generate(0, 80), noise, 1).value());
+    test_ = new Dataset(
+        DatasetBuilder()
+            .Build(ObserveWorkload(generator.Generate(80, 20), noise, 2)
+                       .value())
+            .value());
+  }
+  static void TearDownTestSuite() {
+    delete train_;
+    delete test_;
+    train_ = nullptr;
+    test_ = nullptr;
+  }
+
+  static TasqOptions FastOptions() {
+    TasqOptions options;
+    options.nn.epochs = 5;
+    options.gnn.epochs = 1;
+    options.gnn.gcn_hidden = {8};
+    options.gnn.head_hidden = {8};
+    options.xgb.gbdt.num_trees = 10;
+    return options;
+  }
+
+  static std::vector<ObservedJob>* train_;
+  static Dataset* test_;
+};
+
+std::vector<ObservedJob>* EvalFixture::train_ = nullptr;
+Dataset* EvalFixture::test_ = nullptr;
+
+TEST_F(EvalFixture, XgbOnlyPipeline) {
+  TasqOptions options = FastOptions();
+  options.train_nn = false;
+  options.train_gnn = false;
+  Tasq pipeline(options);
+  ASSERT_TRUE(pipeline.Train(*train_).ok());
+  EXPECT_NE(pipeline.xgb(), nullptr);
+  EXPECT_EQ(pipeline.nn(), nullptr);
+  EXPECT_EQ(pipeline.gnn(), nullptr);
+  // XGBoost metrics work; NN metrics fail cleanly.
+  EXPECT_TRUE(EvaluateModel(pipeline, ModelKind::kXgboostPl, *test_).ok());
+  Result<ModelEvalMetrics> nn = EvaluateModel(pipeline, ModelKind::kNn,
+                                              *test_);
+  EXPECT_FALSE(nn.ok());
+  EXPECT_EQ(nn.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(EvalFixture, NnOnlyPipelineRejectsLf3WithoutXgb) {
+  TasqOptions options = FastOptions();
+  options.train_xgb = false;
+  options.train_gnn = false;
+  options.nn.loss_form = LossForm::kLF3;
+  Tasq pipeline(options);
+  Status trained = pipeline.Train(*train_);
+  EXPECT_FALSE(trained.ok());
+  EXPECT_EQ(trained.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(EvalFixture, Lf3PipelineWiresXgbPredictionsIntoNn) {
+  TasqOptions options = FastOptions();
+  options.train_gnn = false;
+  options.nn.loss_form = LossForm::kLF3;
+  Tasq pipeline(options);
+  EXPECT_TRUE(pipeline.Train(*train_).ok());
+  EXPECT_TRUE(EvaluateModel(pipeline, ModelKind::kNn, *test_).ok());
+}
+
+TEST_F(EvalFixture, EvaluateModelValidatesInput) {
+  Tasq untrained;
+  EXPECT_FALSE(EvaluateModel(untrained, ModelKind::kNn, *test_).ok());
+  TasqOptions options = FastOptions();
+  options.train_gnn = false;
+  Tasq pipeline(options);
+  ASSERT_TRUE(pipeline.Train(*train_).ok());
+  Dataset empty;
+  EXPECT_FALSE(EvaluateModel(pipeline, ModelKind::kNn, empty).ok());
+}
+
+TEST_F(EvalFixture, PredictRuntimesAlignWithDataset) {
+  TasqOptions options = FastOptions();
+  options.train_gnn = false;
+  Tasq pipeline(options);
+  ASSERT_TRUE(pipeline.Train(*train_).ok());
+  Result<std::vector<double>> predictions =
+      PredictRuntimes(pipeline, ModelKind::kNn, *test_);
+  ASSERT_TRUE(predictions.ok());
+  ASSERT_EQ(predictions.value().size(), test_->size());
+  for (double p : predictions.value()) EXPECT_GT(p, 0.0);
+}
+
+TEST_F(EvalFixture, MetricsAreInternallyConsistent) {
+  TasqOptions options = FastOptions();
+  Tasq pipeline(options);
+  ASSERT_TRUE(pipeline.Train(*train_).ok());
+  for (ModelKind kind : {ModelKind::kXgboostSs, ModelKind::kXgboostPl,
+                         ModelKind::kNn, ModelKind::kGnn}) {
+    Result<ModelEvalMetrics> metrics = EvaluateModel(pipeline, kind, *test_);
+    ASSERT_TRUE(metrics.ok()) << ModelKindName(kind);
+    EXPECT_GE(metrics.value().pattern_nonincrease_percent, 0.0);
+    EXPECT_LE(metrics.value().pattern_nonincrease_percent, 100.0);
+    EXPECT_GE(metrics.value().median_ae_runtime_percent, 0.0);
+    EXPECT_EQ(metrics.value().jobs, test_->size());
+    EXPECT_EQ(metrics.value().has_curve_params(),
+              kind != ModelKind::kXgboostSs);
+  }
+}
+
+}  // namespace
+}  // namespace tasq

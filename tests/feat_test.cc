@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "feat/featurizer.h"
+#include "workload/generator.h"
+
+namespace tasq {
+namespace {
+
+JobGraph TinyGraph() {
+  JobGraph graph;
+  OperatorNode extract;
+  extract.id = 0;
+  extract.op = PhysicalOperator::kExtract;
+  extract.stage = 0;
+  extract.features.output_cardinality = 1000.0;
+  extract.features.leaf_input_cardinality = 1000.0;
+  extract.features.children_input_cardinality = 1000.0;
+  extract.features.average_row_length = 100.0;
+  extract.features.cost_subtree = 50.0;
+  extract.features.cost_exclusive = 50.0;
+  extract.features.cost_total = 80.0;
+  extract.features.num_partitions = 8;
+
+  OperatorNode filter = extract;
+  filter.id = 1;
+  filter.op = PhysicalOperator::kFilter;
+  filter.inputs = {0};
+  filter.features.cost_exclusive = 30.0;
+  filter.features.cost_subtree = 80.0;
+
+  graph.operators = {extract, filter};
+  return graph;
+}
+
+TEST(FeaturizerTest, OperatorRowLayout) {
+  JobGraph graph = TinyGraph();
+  std::vector<double> row(Featurizer::kOperatorFeatureDim);
+  Featurizer::OperatorRow(graph.operators[0], row.data());
+  EXPECT_NEAR(row[0], std::log1p(1000.0), 1e-12);  // Output cardinality.
+  EXPECT_NEAR(row[3], std::log1p(100.0), 1e-12);   // Row length.
+  EXPECT_NEAR(row[7], std::log1p(8.0), 1e-12);     // Partitions.
+  // One-hot: Extract is enum 0.
+  EXPECT_DOUBLE_EQ(row[10], 1.0);
+  double onehot_sum = 0.0;
+  for (size_t k = 10; k < 10 + kPhysicalOperatorCount; ++k) {
+    onehot_sum += row[k];
+  }
+  EXPECT_DOUBLE_EQ(onehot_sum, 1.0);
+  // No partitioning method set.
+  for (size_t k = 10 + kPhysicalOperatorCount;
+       k < Featurizer::kOperatorFeatureDim; ++k) {
+    EXPECT_DOUBLE_EQ(row[k], 0.0);
+  }
+}
+
+TEST(FeaturizerTest, PartitioningOneHot) {
+  JobGraph graph = TinyGraph();
+  graph.operators[1].partitioning = PartitioningMethod::kHash;
+  std::vector<double> row(Featurizer::kOperatorFeatureDim);
+  Featurizer::OperatorRow(graph.operators[1], row.data());
+  size_t base = 10 + kPhysicalOperatorCount;
+  EXPECT_DOUBLE_EQ(row[base + 0], 1.0);  // Hash is the first method.
+  EXPECT_DOUBLE_EQ(row[base + 1], 0.0);
+}
+
+TEST(FeaturizerTest, JobLevelAggregation) {
+  Featurizer featurizer;
+  JobGraph graph = TinyGraph();
+  Result<std::vector<double>> vec = featurizer.JobLevel(graph);
+  ASSERT_TRUE(vec.ok());
+  ASSERT_EQ(vec.value().size(), Featurizer::kJobFeatureDim);
+  // Continuous features are means: both ops share output cardinality.
+  EXPECT_NEAR(vec.value()[0], std::log1p(1000.0), 1e-12);
+  // Categorical features are counts: one Extract, one Filter.
+  EXPECT_DOUBLE_EQ(vec.value()[10 + 0], 1.0);
+  EXPECT_DOUBLE_EQ(vec.value()[10 + 1], 1.0);
+  // Operator and stage counts at the tail.
+  EXPECT_DOUBLE_EQ(vec.value()[Featurizer::kOperatorFeatureDim], 2.0);
+  EXPECT_DOUBLE_EQ(vec.value()[Featurizer::kOperatorFeatureDim + 1], 1.0);
+}
+
+TEST(FeaturizerTest, FeaturizeProducesConsistentShapes) {
+  Featurizer featurizer;
+  WorkloadGenerator generator(WorkloadConfig{});
+  for (const Job& job : generator.Generate(0, 30)) {
+    Result<JobFeatures> features = featurizer.Featurize(job.graph);
+    ASSERT_TRUE(features.ok());
+    size_t n = features.value().num_operators;
+    EXPECT_EQ(n, job.graph.operators.size());
+    EXPECT_EQ(features.value().op_matrix.size(),
+              n * Featurizer::kOperatorFeatureDim);
+    EXPECT_EQ(features.value().norm_adjacency.size(), n * n);
+    EXPECT_EQ(features.value().job_vector.size(), Featurizer::kJobFeatureDim);
+  }
+}
+
+TEST(FeaturizerTest, NormalizedAdjacencyIsSymmetricWithSelfLoops) {
+  Featurizer featurizer;
+  JobGraph graph = TinyGraph();
+  Result<JobFeatures> features = featurizer.Featurize(graph);
+  ASSERT_TRUE(features.ok());
+  const auto& adj = features.value().norm_adjacency;
+  size_t n = 2;
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_GT(adj[i * n + i], 0.0);  // Self loop.
+    for (size_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(adj[i * n + j], adj[j * n + i], 1e-12);
+    }
+  }
+  // Two nodes with one edge: D = 2 for both, entries 1/2.
+  EXPECT_NEAR(adj[0], 0.5, 1e-12);
+  EXPECT_NEAR(adj[1], 0.5, 1e-12);
+}
+
+TEST(FeaturizerTest, RejectsInvalidGraph) {
+  Featurizer featurizer;
+  EXPECT_FALSE(featurizer.Featurize(JobGraph{}).ok());
+  EXPECT_FALSE(featurizer.JobLevel(JobGraph{}).ok());
+}
+
+TEST(FeaturizerTest, JobFeatureNamesCoverAllIndices) {
+  // Every in-range index has a specific, non-"unknown" name.
+  for (size_t i = 0; i < Featurizer::kJobFeatureDim; ++i) {
+    EXPECT_NE(Featurizer::JobFeatureName(i), "unknown") << "index " << i;
+  }
+  EXPECT_EQ(Featurizer::JobFeatureName(0), "mean log output_cardinality");
+  EXPECT_EQ(Featurizer::JobFeatureName(10), "count Extract");
+  EXPECT_EQ(Featurizer::JobFeatureName(10 + kPhysicalOperatorCount),
+            "count partitioning Hash");
+  EXPECT_EQ(Featurizer::JobFeatureName(Featurizer::kOperatorFeatureDim),
+            "num_operators");
+  EXPECT_EQ(Featurizer::JobFeatureName(Featurizer::kJobFeatureDim),
+            "log1p tokens");
+  EXPECT_EQ(Featurizer::JobFeatureName(Featurizer::kJobFeatureDim + 5),
+            "unknown");
+}
+
+TEST(FeatureScalerTest, StandardizesColumns) {
+  // Two columns: [1,3] mean 2 std 1; [10,10] constant.
+  std::vector<double> data = {1.0, 10.0, 3.0, 10.0};
+  Result<FeatureScaler> scaler = FeatureScaler::Fit(data, 2, 2);
+  ASSERT_TRUE(scaler.ok());
+  std::vector<double> row = {3.0, 10.0};
+  scaler.value().Transform(row);
+  EXPECT_NEAR(row[0], 1.0, 1e-12);
+  EXPECT_NEAR(row[1], 0.0, 1e-12);  // Constant column: centered only.
+}
+
+TEST(FeatureScalerTest, TransformMatrixAppliesRowwise) {
+  std::vector<double> data = {0.0, 2.0, 4.0, 6.0};
+  Result<FeatureScaler> scaler = FeatureScaler::Fit(data, 2, 2);
+  ASSERT_TRUE(scaler.ok());
+  std::vector<double> matrix = data;
+  scaler.value().TransformMatrix(matrix);
+  EXPECT_NEAR(matrix[0], -1.0, 1e-12);
+  EXPECT_NEAR(matrix[2], 1.0, 1e-12);
+}
+
+TEST(FeatureScalerTest, RejectsEmptyOrMismatchedInput) {
+  EXPECT_FALSE(FeatureScaler::Fit({}, 0, 3).ok());
+  EXPECT_FALSE(FeatureScaler::Fit({1.0, 2.0}, 2, 3).ok());
+}
+
+}  // namespace
+}  // namespace tasq

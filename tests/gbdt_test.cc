@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "gbdt/gbdt.h"
+#include "gbdt/xgb_pcc.h"
+
+namespace tasq {
+namespace {
+
+// y = 3*x0 + noise on x in [0,1]^2 (x1 irrelevant).
+void MakeLinearData(size_t n, uint64_t seed, std::vector<double>& features,
+                    std::vector<double>& targets) {
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    double x0 = rng.Uniform(0.0, 1.0);
+    double x1 = rng.Uniform(0.0, 1.0);
+    features.insert(features.end(), {x0, x1});
+    targets.push_back(3.0 * x0 + rng.Normal(0.0, 0.05));
+  }
+}
+
+TEST(GbdtTest, FitsLinearFunctionSquaredError) {
+  std::vector<double> features;
+  std::vector<double> targets;
+  MakeLinearData(2000, 1, features, targets);
+  GbdtOptions options;
+  options.objective = GbdtOptions::Objective::kSquaredError;
+  options.num_trees = 80;
+  GbdtRegressor model(options);
+  ASSERT_TRUE(model.Train(features, 2000, 2, targets).ok());
+  Rng rng(2);
+  double mae = 0.0;
+  int count = 200;
+  for (int i = 0; i < count; ++i) {
+    double x0 = rng.Uniform(0.05, 0.95);
+    double x1 = rng.Uniform(0.0, 1.0);
+    mae += std::fabs(model.Predict({x0, x1}) - 3.0 * x0);
+  }
+  EXPECT_LT(mae / count, 0.15);
+}
+
+TEST(GbdtTest, GammaObjectiveFitsPositiveSkewedTargets) {
+  // y = exp(2 + 1.5*x0) * lognormal noise.
+  Rng rng(3);
+  std::vector<double> features;
+  std::vector<double> targets;
+  size_t n = 2000;
+  for (size_t i = 0; i < n; ++i) {
+    double x0 = rng.Uniform(0.0, 1.0);
+    double x1 = rng.Uniform(0.0, 1.0);
+    features.insert(features.end(), {x0, x1});
+    targets.push_back(std::exp(2.0 + 1.5 * x0) * rng.LogNormal(0.0, 0.1));
+  }
+  GbdtOptions options;
+  options.objective = GbdtOptions::Objective::kGamma;
+  options.num_trees = 100;
+  GbdtRegressor model(options);
+  ASSERT_TRUE(model.Train(features, n, 2, targets).ok());
+  // Percent error on fresh points.
+  std::vector<double> predicted;
+  std::vector<double> truth;
+  for (int i = 0; i < 200; ++i) {
+    double x0 = rng.Uniform(0.05, 0.95);
+    predicted.push_back(model.Predict({x0, 0.5}));
+    truth.push_back(std::exp(2.0 + 1.5 * x0));
+  }
+  EXPECT_LT(MedianAbsolutePercentError(predicted, truth), 10.0);
+  // Predictions are positive by construction of the log link.
+  for (double p : predicted) EXPECT_GT(p, 0.0);
+}
+
+TEST(GbdtTest, GammaRejectsNonPositiveTargets) {
+  GbdtRegressor model(GbdtOptions{});
+  std::vector<double> features = {0.1, 0.2, 0.3, 0.4};
+  std::vector<double> targets = {1.0, -1.0};
+  EXPECT_FALSE(model.Train(features, 2, 2, targets).ok());
+}
+
+TEST(GbdtTest, RejectsMismatchedSizes) {
+  GbdtRegressor model(GbdtOptions{});
+  EXPECT_FALSE(model.Train({1.0, 2.0}, 2, 2, {1.0, 2.0}).ok());
+  EXPECT_FALSE(model.Train({}, 0, 0, {}).ok());
+}
+
+TEST(GbdtTest, UntrainedPredictsZero) {
+  GbdtRegressor model(GbdtOptions{});
+  EXPECT_DOUBLE_EQ(model.Predict({1.0}), 0.0);
+  EXPECT_FALSE(model.trained());
+}
+
+TEST(GbdtTest, MinSamplesLeafLimitsTreeGrowth) {
+  std::vector<double> features;
+  std::vector<double> targets;
+  MakeLinearData(40, 5, features, targets);
+  GbdtOptions options;
+  options.objective = GbdtOptions::Objective::kSquaredError;
+  options.min_samples_leaf = 40;  // No split can satisfy both children.
+  options.num_trees = 5;
+  GbdtRegressor model(options);
+  ASSERT_TRUE(model.Train(features, 40, 2, targets).ok());
+  // All trees are stumps (single leaf), so prediction is constant.
+  double p1 = model.Predict({0.0, 0.0});
+  double p2 = model.Predict({1.0, 1.0});
+  EXPECT_DOUBLE_EQ(p1, p2);
+}
+
+TEST(GbdtTest, DeterministicGivenSeed) {
+  std::vector<double> features;
+  std::vector<double> targets;
+  MakeLinearData(300, 6, features, targets);
+  GbdtOptions options;
+  options.objective = GbdtOptions::Objective::kSquaredError;
+  options.seed = 77;
+  GbdtRegressor a(options);
+  GbdtRegressor b(options);
+  ASSERT_TRUE(a.Train(features, 300, 2, targets).ok());
+  ASSERT_TRUE(b.Train(features, 300, 2, targets).ok());
+  EXPECT_DOUBLE_EQ(a.Predict({0.3, 0.7}), b.Predict({0.3, 0.7}));
+}
+
+// ---- XGBoost-style PCC wrappers -----------------------------------------
+
+// Training data for a power-law runtime surface: runtime = b(x) * A^(a(x)).
+struct PccPointData {
+  std::vector<double> features;  // N x 2.
+  std::vector<double> tokens;
+  std::vector<double> runtimes;
+  size_t n = 0;
+};
+
+PccPointData MakePccPoints(size_t jobs, uint64_t seed) {
+  PccPointData data;
+  Rng rng(seed);
+  for (size_t j = 0; j < jobs; ++j) {
+    double f0 = rng.Uniform(0.0, 1.0);
+    double f1 = rng.Uniform(0.0, 1.0);
+    double a = -(0.3 + 0.5 * f0);
+    double b = std::exp(5.0 + 2.0 * f1);
+    for (double frac : {0.6, 0.8, 1.0, 1.2}) {
+      double tokens = 40.0 * frac;
+      data.features.insert(data.features.end(), {f0, f1});
+      data.tokens.push_back(tokens);
+      data.runtimes.push_back(b * std::pow(tokens, a) *
+                              rng.LogNormal(0.0, 0.03));
+      ++data.n;
+    }
+  }
+  return data;
+}
+
+TEST(XgbRuntimeModelTest, PointPredictionAccuracy) {
+  PccPointData data = MakePccPoints(400, 10);
+  XgbPccOptions options;
+  options.gbdt.num_trees = 150;
+  XgbRuntimeModel model(options);
+  ASSERT_TRUE(model.Train(data.features, data.n, 2, data.tokens,
+                          data.runtimes)
+                  .ok());
+  Rng rng(11);
+  std::vector<double> predicted;
+  std::vector<double> truth;
+  for (int i = 0; i < 150; ++i) {
+    double f0 = rng.Uniform(0.1, 0.9);
+    double f1 = rng.Uniform(0.1, 0.9);
+    double tokens = rng.Uniform(28.0, 44.0);
+    Result<double> p = model.PredictRuntime({f0, f1}, tokens);
+    ASSERT_TRUE(p.ok());
+    predicted.push_back(p.value());
+    truth.push_back(std::exp(5.0 + 2.0 * f1) *
+                    std::pow(tokens, -(0.3 + 0.5 * f0)));
+  }
+  EXPECT_LT(MedianAbsolutePercentError(predicted, truth), 20.0);
+}
+
+TEST(XgbRuntimeModelTest, CurveSpansReferenceWindow) {
+  PccPointData data = MakePccPoints(100, 12);
+  XgbRuntimeModel model(XgbPccOptions{});
+  ASSERT_TRUE(model.Train(data.features, data.n, 2, data.tokens,
+                          data.runtimes)
+                  .ok());
+  Result<std::vector<PccSample>> curve = model.PredictCurve({0.5, 0.5}, 40.0);
+  ASSERT_TRUE(curve.ok());
+  ASSERT_GE(curve.value().size(), 3u);
+  EXPECT_NEAR(curve.value().front().tokens, 24.0, 1e-9);   // -40%.
+  EXPECT_NEAR(curve.value().back().tokens, 56.0, 1e-9);    // +40%.
+}
+
+TEST(XgbRuntimeModelTest, PowerLawPccRecoversTrend) {
+  PccPointData data = MakePccPoints(400, 13);
+  XgbPccOptions options;
+  options.gbdt.num_trees = 150;
+  XgbRuntimeModel model(options);
+  ASSERT_TRUE(model.Train(data.features, data.n, 2, data.tokens,
+                          data.runtimes)
+                  .ok());
+  Result<PowerLawPcc> pcc = model.PredictPowerLawPcc({0.5, 0.5}, 40.0);
+  ASSERT_TRUE(pcc.ok());
+  // True exponent at f0=0.5 is -0.55; the refit should land in range.
+  EXPECT_LT(pcc.value().a, -0.1);
+  EXPECT_GT(pcc.value().a, -1.2);
+}
+
+TEST(XgbRuntimeModelTest, SmoothedCurveIsFiniteAndOrdered) {
+  PccPointData data = MakePccPoints(100, 14);
+  XgbRuntimeModel model(XgbPccOptions{});
+  ASSERT_TRUE(model.Train(data.features, data.n, 2, data.tokens,
+                          data.runtimes)
+                  .ok());
+  Result<std::vector<PccSample>> curve =
+      model.PredictSmoothedCurve({0.4, 0.6}, 40.0);
+  ASSERT_TRUE(curve.ok());
+  for (size_t i = 1; i < curve.value().size(); ++i) {
+    EXPECT_GT(curve.value()[i].tokens, curve.value()[i - 1].tokens);
+    EXPECT_TRUE(std::isfinite(curve.value()[i].runtime_seconds));
+  }
+}
+
+TEST(XgbRuntimeModelTest, ValidatesInput) {
+  XgbRuntimeModel model(XgbPccOptions{});
+  EXPECT_FALSE(model.PredictRuntime({1.0}, 10.0).ok());  // Untrained.
+  PccPointData data = MakePccPoints(10, 15);
+  ASSERT_TRUE(model.Train(data.features, data.n, 2, data.tokens,
+                          data.runtimes)
+                  .ok());
+  EXPECT_FALSE(model.PredictRuntime({1.0}, 10.0).ok());   // Wrong dim.
+  EXPECT_FALSE(model.PredictRuntime({1.0, 2.0}, 0.0).ok());  // Bad tokens.
+  EXPECT_FALSE(model.PredictCurve({1.0, 2.0}, -5.0).ok());
+}
+
+}  // namespace
+}  // namespace tasq

@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "common/rng.h"
+#include "ml/autograd.h"
+#include "ml/matrix.h"
+#include "ml/optimizer.h"
+
+namespace tasq {
+namespace {
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  m.At(1, 2) = 7.0;
+  EXPECT_DOUBLE_EQ(m.At(1, 2), 7.0);
+  EXPECT_DOUBLE_EQ(m.Sum(), 7.0);
+}
+
+TEST(MatrixTest, RowAndColumnVectors) {
+  Matrix row = Matrix::RowVector({1.0, 2.0, 3.0});
+  EXPECT_EQ(row.rows(), 1u);
+  EXPECT_EQ(row.cols(), 3u);
+  Matrix col = Matrix::ColumnVector({1.0, 2.0});
+  EXPECT_EQ(col.rows(), 2u);
+  EXPECT_EQ(col.cols(), 1u);
+}
+
+TEST(MatrixTest, MatMulKnownResult) {
+  Matrix a(2, 2, {1.0, 2.0, 3.0, 4.0});
+  Matrix b(2, 2, {5.0, 6.0, 7.0, 8.0});
+  Matrix c = a.MatMul(b);
+  EXPECT_DOUBLE_EQ(c.At(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c.At(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 1), 50.0);
+}
+
+TEST(MatrixTest, TransposedRoundTrip) {
+  Matrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  Matrix t = a.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t.At(2, 1), 6.0);
+  Matrix back = t.Transposed();
+  EXPECT_TRUE(back.SameShape(a));
+  EXPECT_DOUBLE_EQ(back.At(1, 0), 4.0);
+}
+
+TEST(MatrixTest, GlorotUniformWithinLimit) {
+  Rng rng(3);
+  Matrix w = Matrix::GlorotUniform(10, 20, rng);
+  double limit = std::sqrt(6.0 / 30.0);
+  for (double v : w.data()) {
+    EXPECT_GE(v, -limit);
+    EXPECT_LE(v, limit);
+  }
+}
+
+// Numeric gradient check: builds a scalar loss from `forward` applied to a
+// parameter and compares autograd against central differences.
+void CheckGradients(Matrix initial,
+                    const std::function<Var(const Var&)>& forward,
+                    double tolerance = 1e-6) {
+  Var param = MakeParameter(initial);
+  Var loss = forward(param);
+  Backward(loss);
+  Matrix analytic = param->grad;
+  const double eps = 1e-6;
+  for (size_t i = 0; i < initial.size(); ++i) {
+    Matrix plus = initial;
+    plus.data()[i] += eps;
+    Matrix minus = initial;
+    minus.data()[i] -= eps;
+    double f_plus = forward(MakeConstant(plus))->value.At(0, 0);
+    double f_minus = forward(MakeConstant(minus))->value.At(0, 0);
+    double numeric = (f_plus - f_minus) / (2.0 * eps);
+    EXPECT_NEAR(analytic.data()[i], numeric, tolerance) << "element " << i;
+  }
+}
+
+TEST(AutogradTest, GradCheckMatMulChain) {
+  Rng rng(1);
+  Matrix x(3, 4);
+  for (double& v : x.data()) v = rng.Uniform(-1.0, 1.0);
+  Matrix w0(4, 2);
+  for (double& v : w0.data()) v = rng.Uniform(-1.0, 1.0);
+  Var input = MakeConstant(x);
+  CheckGradients(w0, [&](const Var& w) {
+    return Mean(Tanh(MatMul(input, w)));
+  });
+}
+
+TEST(AutogradTest, GradCheckBiasBroadcast) {
+  Rng rng(2);
+  Matrix x(5, 3);
+  for (double& v : x.data()) v = rng.Uniform(-1.0, 1.0);
+  Var input = MakeConstant(x);
+  Matrix bias(1, 3);
+  for (double& v : bias.data()) v = rng.Uniform(-0.5, 0.5);
+  CheckGradients(bias, [&](const Var& b) {
+    return Mean(Sigmoid(Add(input, b)));
+  });
+}
+
+TEST(AutogradTest, GradCheckSoftplusAbsExp) {
+  Rng rng(3);
+  Matrix x(4, 2);
+  for (double& v : x.data()) v = rng.Uniform(-2.0, 2.0);
+  CheckGradients(x, [&](const Var& v) {
+    return Sum(Softplus(v));
+  });
+  CheckGradients(x, [&](const Var& v) {
+    return Mean(Exp(ScalarMul(v, 0.3)));
+  });
+  // Abs away from zero.
+  Matrix y(3, 3);
+  for (double& v : y.data()) v = rng.Uniform(0.5, 2.0) * (rng.Bernoulli(0.5) ? 1 : -1);
+  CheckGradients(y, [&](const Var& v) { return Mean(Abs(v)); });
+}
+
+TEST(AutogradTest, GradCheckMulSubTransposeMeanRows) {
+  Rng rng(4);
+  Matrix x(3, 3);
+  for (double& v : x.data()) v = rng.Uniform(-1.0, 1.0);
+  Matrix other(3, 3);
+  for (double& v : other.data()) v = rng.Uniform(-1.0, 1.0);
+  Var constant = MakeConstant(other);
+  CheckGradients(x, [&](const Var& v) {
+    return Sum(Mul(Sub(v, constant), Transpose(v)));
+  });
+  CheckGradients(x, [&](const Var& v) {
+    return Sum(MeanRows(Relu(v)));
+  });
+}
+
+TEST(AutogradTest, GradCheckAttentionPattern) {
+  // The full SimGNN-style pooling expression the GNN model uses.
+  Rng rng(5);
+  size_t n = 4;
+  size_t d = 3;
+  Matrix h(n, d);
+  for (double& v : h.data()) v = rng.Uniform(-1.0, 1.0);
+  Var hidden = MakeConstant(h);
+  Matrix wc(d, d);
+  for (double& v : wc.data()) v = rng.Uniform(-1.0, 1.0);
+  CheckGradients(wc, [&](const Var& w) {
+    Var context = Tanh(MatMul(MeanRows(hidden), w));
+    Var scores = Sigmoid(MatMul(hidden, Transpose(context)));
+    Var pooled = MatMul(Transpose(scores), hidden);
+    return Mean(pooled);
+  });
+}
+
+TEST(AutogradTest, ConcatColsForwardLayout) {
+  Var a = MakeConstant(Matrix(2, 2, {1, 2, 3, 4}));
+  Var b = MakeConstant(Matrix(2, 1, {5, 6}));
+  Var c = ConcatCols(a, b);
+  EXPECT_EQ(c->value.rows(), 2u);
+  EXPECT_EQ(c->value.cols(), 3u);
+  EXPECT_DOUBLE_EQ(c->value.At(0, 2), 5.0);
+  EXPECT_DOUBLE_EQ(c->value.At(1, 0), 3.0);
+}
+
+TEST(AutogradTest, GradCheckConcatCols) {
+  Rng rng(6);
+  Matrix x(3, 2);
+  for (double& v : x.data()) v = rng.Uniform(-1.0, 1.0);
+  Matrix other(3, 2);
+  for (double& v : other.data()) v = rng.Uniform(-1.0, 1.0);
+  Var constant = MakeConstant(other);
+  Matrix w(4, 2);
+  for (double& v : w.data()) v = rng.Uniform(-1.0, 1.0);
+  Var weights = MakeConstant(w);
+  CheckGradients(x, [&](const Var& v) {
+    return Mean(Tanh(MatMul(ConcatCols(v, constant), weights)));
+  });
+  // Gradient also flows through the right operand.
+  CheckGradients(other, [&](const Var& v) {
+    Var left = MakeConstant(x);
+    return Mean(Tanh(MatMul(ConcatCols(left, v), weights)));
+  });
+}
+
+TEST(AutogradTest, GradientAccumulatesWhenParameterUsedTwice) {
+  Matrix x(1, 1, {2.0});
+  Var p = MakeParameter(x);
+  // loss = p * p -> d/dp = 2p = 4.
+  Var loss = Mean(Mul(p, p));
+  Backward(loss);
+  EXPECT_NEAR(p->grad.At(0, 0), 4.0, 1e-12);
+}
+
+TEST(AutogradTest, MaeLossValueAndGradient) {
+  Var pred = MakeParameter(Matrix::ColumnVector({1.0, 5.0}));
+  Var target = MakeConstant(Matrix::ColumnVector({2.0, 3.0}));
+  Var loss = MaeLoss(pred, target);
+  EXPECT_NEAR(loss->value.At(0, 0), (1.0 + 2.0) / 2.0, 1e-12);
+  Backward(loss);
+  EXPECT_NEAR(pred->grad.At(0, 0), -0.5, 1e-12);
+  EXPECT_NEAR(pred->grad.At(1, 0), 0.5, 1e-12);
+}
+
+TEST(AdamTest, MinimizesSimpleQuadratic) {
+  // Minimize ||x - c||^2 from zero.
+  Var x = MakeParameter(Matrix::RowVector({0.0, 0.0, 0.0}));
+  Matrix target_m = Matrix::RowVector({1.0, -2.0, 3.0});
+  Var target = MakeConstant(target_m);
+  AdamOptimizer adam({x}, {.learning_rate = 0.05});
+  for (int step = 0; step < 500; ++step) {
+    Var diff = Sub(x, target);
+    Var loss = Mean(Mul(diff, diff));
+    Backward(loss);
+    adam.Step();
+  }
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(x->value.data()[i], target_m.data()[i], 1e-2);
+  }
+}
+
+TEST(SgdTest, MinimizesSimpleQuadratic) {
+  Var x = MakeParameter(Matrix::RowVector({5.0}));
+  SgdOptimizer sgd({x}, 0.1, 0.5);
+  for (int step = 0; step < 200; ++step) {
+    Var loss = Mean(Mul(x, x));
+    Backward(loss);
+    sgd.Step();
+  }
+  EXPECT_NEAR(x->value.At(0, 0), 0.0, 1e-3);
+}
+
+TEST(OptimizerTest, CountParameters) {
+  Var a = MakeParameter(Matrix(3, 4));
+  Var b = MakeParameter(Matrix(1, 5));
+  EXPECT_EQ(CountParameters({a, b}), 17);
+}
+
+}  // namespace
+}  // namespace tasq

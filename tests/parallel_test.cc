@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "common/parallel.h"
+#include "selection/flighting.h"
+#include "tasq/dataset.h"
+#include "workload/generator.h"
+
+namespace tasq {
+namespace {
+
+TEST(ParallelForTest, VisitsEveryIndexExactlyOnce) {
+  size_t n = 1000;
+  std::vector<std::atomic<int>> visits(n);
+  ParallelFor(n, [&](size_t i) { visits[i].fetch_add(1); });
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, ZeroAndSingleItem) {
+  int calls = 0;
+  ParallelFor(0, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  ParallelFor(1, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelForTest, ExplicitSingleThreadRunsInline) {
+  std::vector<int> order;
+  ParallelFor(
+      5, [&](size_t i) { order.push_back(static_cast<int>(i)); }, 1);
+  std::vector<int> expected = {0, 1, 2, 3, 4};
+  EXPECT_EQ(order, expected);  // Sequential when single-threaded.
+}
+
+TEST(ParallelForTest, MoreThreadsThanItems) {
+  std::vector<std::atomic<int>> visits(3);
+  ParallelFor(3, [&](size_t i) { visits[i].fetch_add(1); }, 64);
+  for (auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ParallelDeterminismTest, ObserveWorkloadMatchesSerialRun) {
+  // The parallel observation must be bit-identical to itself across runs
+  // (and therefore to the serial order, since each index is a pure
+  // function of the job and seed).
+  WorkloadGenerator generator(WorkloadConfig{});
+  auto jobs = generator.Generate(0, 40);
+  NoiseModel noise;
+  noise.enabled = true;
+  auto a = ObserveWorkload(jobs, noise, 5).value();
+  auto b = ObserveWorkload(jobs, noise, 5).value();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].job.id, b[i].job.id);
+    EXPECT_DOUBLE_EQ(a[i].runtime_seconds, b[i].runtime_seconds);
+    EXPECT_EQ(a[i].skyline, b[i].skyline);
+  }
+}
+
+TEST(ParallelDeterminismTest, FlightJobsMatchesRepeatRun) {
+  WorkloadGenerator generator(WorkloadConfig{});
+  auto jobs = generator.Generate(100, 12);
+  FlightHarness harness(FlightConfig{});
+  auto a = harness.FlightJobs(jobs);
+  auto b = harness.FlightJobs(jobs);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].job_id, b[i].job_id);
+    ASSERT_EQ(a[i].flights.size(), b[i].flights.size());
+    for (size_t f = 0; f < a[i].flights.size(); ++f) {
+      EXPECT_DOUBLE_EQ(a[i].flights[f].runtime_seconds,
+                       b[i].flights[f].runtime_seconds);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tasq

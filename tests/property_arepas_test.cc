@@ -1,0 +1,144 @@
+// Property-based tests of AREPAS invariants over randomized skylines and
+// allocations (parameterized over seeds).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arepas/arepas.h"
+#include "common/rng.h"
+
+namespace tasq {
+namespace {
+
+Skyline RandomSkyline(Rng& rng) {
+  size_t length = static_cast<size_t>(rng.UniformInt(1, 120));
+  std::vector<double> usage(length);
+  double peak = static_cast<double>(rng.UniformInt(1, 80));
+  for (double& v : usage) {
+    // Mix of valleys and bursts.
+    v = rng.Bernoulli(0.3) ? peak * rng.Uniform(0.6, 1.0)
+                           : peak * rng.Uniform(0.0, 0.3);
+    v = std::floor(v);
+  }
+  // Ensure at least one nonzero tick so the skyline is a real execution.
+  usage[static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(length) - 1))] =
+      peak;
+  return Skyline(usage);
+}
+
+class ArepasPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ArepasPropertyTest, AreaIsPreservedExactly) {
+  Rng rng(GetParam());
+  Arepas arepas;
+  for (int trial = 0; trial < 25; ++trial) {
+    Skyline original = RandomSkyline(rng);
+    double allocation = rng.Uniform(1.0, original.Peak() + 5.0);
+    Result<Skyline> simulated = arepas.SimulateSkyline(original, allocation);
+    ASSERT_TRUE(simulated.ok());
+    EXPECT_NEAR(simulated.value().Area(), original.Area(),
+                1e-7 * std::max(1.0, original.Area()));
+  }
+}
+
+TEST_P(ArepasPropertyTest, SimulatedUsageNeverExceedsAllocation) {
+  Rng rng(GetParam() ^ 0x1);
+  Arepas arepas;
+  for (int trial = 0; trial < 25; ++trial) {
+    Skyline original = RandomSkyline(rng);
+    double allocation = rng.Uniform(1.0, original.Peak());
+    Result<Skyline> simulated = arepas.SimulateSkyline(original, allocation);
+    ASSERT_TRUE(simulated.ok());
+    for (double v : simulated.value().values()) {
+      EXPECT_LE(v, allocation + 1e-9);
+    }
+  }
+}
+
+TEST_P(ArepasPropertyTest, SimulationIsIdempotent) {
+  // Once a skyline fits under the allocation, re-simulating at the same
+  // allocation must not change it.
+  Rng rng(GetParam() ^ 0x2);
+  Arepas arepas;
+  for (int trial = 0; trial < 25; ++trial) {
+    Skyline original = RandomSkyline(rng);
+    double allocation = rng.Uniform(1.0, original.Peak() + 2.0);
+    Result<Skyline> once = arepas.SimulateSkyline(original, allocation);
+    ASSERT_TRUE(once.ok());
+    Result<Skyline> twice =
+        arepas.SimulateSkyline(once.value(), allocation);
+    ASSERT_TRUE(twice.ok());
+    EXPECT_EQ(once.value(), twice.value());
+  }
+}
+
+TEST_P(ArepasPropertyTest, RunTimeBounds) {
+  // The simulated duration is at least the perfect-packing bound
+  // area/allocation and at least as long as the original when the
+  // allocation is below the peak.
+  Rng rng(GetParam() ^ 0x3);
+  Arepas arepas;
+  for (int trial = 0; trial < 25; ++trial) {
+    Skyline original = RandomSkyline(rng);
+    double allocation = rng.Uniform(1.0, original.Peak() + 2.0);
+    Result<Skyline> simulated = arepas.SimulateSkyline(original, allocation);
+    ASSERT_TRUE(simulated.ok());
+    double duration =
+        static_cast<double>(simulated.value().duration_seconds());
+    EXPECT_GE(duration + 1e-9, original.Area() / allocation);
+    EXPECT_GE(duration, static_cast<double>(
+                            original.duration_seconds()) -
+                            1e-9);
+  }
+}
+
+TEST_P(ArepasPropertyTest, RoundingModesOrderDurations) {
+  // floor <= exact <= ceil tick counts, and floor/ceil differ by at most
+  // one tick per over-section.
+  Rng rng(GetParam() ^ 0x4);
+  for (int trial = 0; trial < 25; ++trial) {
+    Skyline original = RandomSkyline(rng);
+    double allocation = rng.Uniform(1.0, original.Peak());
+    Arepas exact{ArepasOptions{AreaRounding::kExact}};
+    Arepas floor_mode{ArepasOptions{AreaRounding::kFloor}};
+    Arepas ceil_mode{ArepasOptions{AreaRounding::kCeil}};
+    double d_exact =
+        exact.SimulateRunTimeSeconds(original, allocation).value_or(-1);
+    double d_floor =
+        floor_mode.SimulateRunTimeSeconds(original, allocation).value_or(-1);
+    double d_ceil =
+        ceil_mode.SimulateRunTimeSeconds(original, allocation).value_or(-1);
+    ASSERT_GE(d_exact, 0.0);
+    EXPECT_LE(d_floor, d_exact + 1e-9);
+    EXPECT_LE(d_exact, d_ceil + 1e-9);
+    size_t over_sections = 0;
+    for (const auto& sec : SplitSections(original, allocation)) {
+      if (sec.over_threshold) ++over_sections;
+    }
+    EXPECT_LE(d_ceil - d_floor, static_cast<double>(over_sections) + 1e-9);
+  }
+}
+
+TEST_P(ArepasPropertyTest, PccSamplingMatchesDirectSimulation) {
+  Rng rng(GetParam() ^ 0x5);
+  Arepas arepas;
+  for (int trial = 0; trial < 10; ++trial) {
+    Skyline original = RandomSkyline(rng);
+    auto grid = LinearTokenGrid(1.0, original.Peak(), 6);
+    if (grid.empty()) continue;
+    auto samples = SamplePcc(original, grid);
+    ASSERT_TRUE(samples.ok());
+    for (const PccSample& s : samples.value()) {
+      EXPECT_DOUBLE_EQ(
+          s.runtime_seconds,
+          arepas.SimulateRunTimeSeconds(original, s.tokens).value_or(-1));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArepasPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace tasq

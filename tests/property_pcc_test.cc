@@ -1,0 +1,140 @@
+// Property-based tests of PCC fitting, optimal-token search, and the
+// sign-constrained target scaling (parameterized over seeds).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "nn/pcc_loss.h"
+#include "pcc/pcc.h"
+
+namespace tasq {
+namespace {
+
+class PccPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+PowerLawPcc RandomMonotonePcc(Rng& rng) {
+  return PowerLawPcc{-rng.Uniform(0.05, 1.2),
+                     std::exp(rng.Uniform(2.0, 12.0))};
+}
+
+TEST_P(PccPropertyTest, FitRecoversExactCurves) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 30; ++trial) {
+    PowerLawPcc truth = RandomMonotonePcc(rng);
+    std::vector<PccSample> samples;
+    double lo = rng.Uniform(1.0, 10.0);
+    for (double tokens = lo; samples.size() < 8; tokens *= 1.7) {
+      samples.push_back({tokens, truth.EvalRunTime(tokens)});
+    }
+    Result<PowerLawFit> fit = FitPowerLaw(samples);
+    ASSERT_TRUE(fit.ok());
+    EXPECT_NEAR(fit.value().pcc.a, truth.a, 1e-8);
+    EXPECT_NEAR(fit.value().pcc.b / truth.b, 1.0, 1e-8);
+    EXPECT_NEAR(fit.value().log_log_r2, 1.0, 1e-10);
+  }
+}
+
+TEST_P(PccPropertyTest, OptimalTokensWithinRangeAndMonotoneInThreshold) {
+  Rng rng(GetParam() ^ 0x10);
+  for (int trial = 0; trial < 30; ++trial) {
+    PowerLawPcc pcc = RandomMonotonePcc(rng);
+    double max_tokens = rng.Uniform(2.0, 500.0);
+    double previous = max_tokens + 1.0;
+    for (double threshold : {0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+      double tokens = pcc.OptimalTokens(threshold, max_tokens);
+      EXPECT_GE(tokens, 1.0);
+      EXPECT_LE(tokens, max_tokens);
+      // A stricter (higher) improvement requirement never recommends more
+      // tokens.
+      EXPECT_LE(tokens, previous + 1e-9);
+      previous = tokens;
+    }
+  }
+}
+
+TEST_P(PccPropertyTest, ElbowLiesStrictlyInsideConvexCurves) {
+  Rng rng(GetParam() ^ 0x20);
+  for (int trial = 0; trial < 20; ++trial) {
+    PowerLawPcc pcc{-rng.Uniform(0.4, 1.2), std::exp(rng.Uniform(4.0, 9.0))};
+    std::vector<PccSample> samples;
+    for (double tokens = 2.0; tokens <= 256.0; tokens *= 1.3) {
+      samples.push_back({tokens, pcc.EvalRunTime(tokens)});
+    }
+    Result<double> elbow = FindElbowTokens(samples);
+    ASSERT_TRUE(elbow.ok());
+    EXPECT_GT(elbow.value(), samples.front().tokens);
+    EXPECT_LT(elbow.value(), samples.back().tokens);
+  }
+}
+
+TEST_P(PccPropertyTest, ScalingRoundTripsAndGuaranteesMonotonicity) {
+  Rng rng(GetParam() ^ 0x30);
+  std::vector<PowerLawPcc> targets;
+  for (int i = 0; i < 40; ++i) targets.push_back(RandomMonotonePcc(rng));
+  Result<PccTargetScaling> scaling = PccTargetScaling::Fit(targets);
+  ASSERT_TRUE(scaling.ok());
+  for (const PowerLawPcc& t : targets) {
+    auto [t1, t2] = scaling.value().ToScaled(t);
+    EXPECT_GE(t1, 0.0);
+    PowerLawPcc back = scaling.value().FromScaled(t1, t2);
+    EXPECT_NEAR(back.a, t.a, 1e-9 * std::fabs(t.a) + 1e-12);
+    EXPECT_NEAR(back.b / t.b, 1.0, 1e-9);
+  }
+  // Arbitrary (even adversarial) predictions always map back to a valid
+  // monotone curve — the paper's guarantee-by-construction.
+  for (int i = 0; i < 50; ++i) {
+    PowerLawPcc pcc = scaling.value().FromScaled(rng.Uniform(-10.0, 10.0),
+                                                 rng.Uniform(-10.0, 10.0));
+    EXPECT_TRUE(pcc.IsMonotoneNonIncreasing());
+    EXPECT_GT(pcc.b, 0.0);
+  }
+}
+
+TEST_P(PccPropertyTest, SmoothingSplineReproducesStraightLines) {
+  // A natural spline fitted to collinear points is that line for any
+  // lambda (the penalty term vanishes on straight lines).
+  Rng rng(GetParam() ^ 0x40);
+  for (int trial = 0; trial < 10; ++trial) {
+    double slope = rng.Uniform(-5.0, 5.0);
+    double intercept = rng.Uniform(-100.0, 100.0);
+    std::vector<double> x;
+    std::vector<double> y;
+    double at = rng.Uniform(0.0, 10.0);
+    for (int i = 0; i < 8; ++i) {
+      x.push_back(at);
+      y.push_back(intercept + slope * at);
+      at += rng.Uniform(0.5, 3.0);
+    }
+    for (double lambda : {0.0, 1.0, 1e4}) {
+      Result<SmoothingSpline> spline = SmoothingSpline::Fit(x, y, lambda);
+      ASSERT_TRUE(spline.ok());
+      for (size_t i = 0; i < x.size(); ++i) {
+        EXPECT_NEAR(spline.value().Eval(x[i]), y[i],
+                    1e-6 * (std::fabs(y[i]) + 1.0));
+      }
+    }
+  }
+}
+
+TEST_P(PccPropertyTest, MonotoneCheckAgreesWithParametricCurves) {
+  Rng rng(GetParam() ^ 0x50);
+  for (int trial = 0; trial < 30; ++trial) {
+    bool monotone = rng.Bernoulli(0.5);
+    double a = rng.Uniform(0.05, 1.0) * (monotone ? -1.0 : 1.0);
+    PowerLawPcc pcc{a, std::exp(rng.Uniform(3.0, 8.0))};
+    std::vector<PccSample> samples;
+    for (double tokens = 2.0; tokens <= 64.0; tokens *= 2.0) {
+      samples.push_back({tokens, pcc.EvalRunTime(tokens)});
+    }
+    EXPECT_EQ(IsCurveMonotoneNonIncreasing(samples),
+              pcc.IsMonotoneNonIncreasing());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PccPropertyTest,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+}  // namespace
+}  // namespace tasq

@@ -1,0 +1,132 @@
+// Property-based tests of the cluster simulator over generated jobs
+// (parameterized over workload seeds).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "simcluster/cluster_simulator.h"
+#include "workload/generator.h"
+
+namespace tasq {
+namespace {
+
+class SimClusterPropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  WorkloadGenerator MakeGenerator() const {
+    WorkloadConfig config;
+    config.seed = GetParam();
+    return WorkloadGenerator(config);
+  }
+};
+
+TEST_P(SimClusterPropertyTest, SerialRuntimeEqualsTotalWork) {
+  auto generator = MakeGenerator();
+  ClusterSimulator simulator;
+  for (const Job& job : generator.Generate(0, 8)) {
+    auto result = simulator.Run(job.plan, RunConfig{1.0, {}, 0});
+    ASSERT_TRUE(result.ok());
+    EXPECT_NEAR(result.value().runtime_seconds,
+                job.plan.TotalWorkTokenSeconds(),
+                1e-6 * job.plan.TotalWorkTokenSeconds());
+  }
+}
+
+TEST_P(SimClusterPropertyTest, FundamentalLowerBounds) {
+  // runtime >= max(critical path, work / capacity) for any allocation.
+  auto generator = MakeGenerator();
+  ClusterSimulator simulator;
+  for (const Job& job : generator.Generate(0, 6)) {
+    for (double tokens : {2.0, 8.0, 32.0, 128.0}) {
+      auto result = simulator.Run(job.plan, RunConfig{tokens, {}, 0});
+      ASSERT_TRUE(result.ok());
+      double runtime = result.value().runtime_seconds;
+      EXPECT_GE(runtime + 1e-6, job.plan.CriticalPathSeconds());
+      EXPECT_GE(runtime + 1e-6,
+                job.plan.TotalWorkTokenSeconds() / std::floor(tokens));
+    }
+  }
+}
+
+TEST_P(SimClusterPropertyTest, RuntimeMonotoneInTokens) {
+  auto generator = MakeGenerator();
+  ClusterSimulator simulator;
+  for (const Job& job : generator.Generate(0, 5)) {
+    double previous = 1e300;
+    for (double tokens = 1.0; tokens <= 64.0; tokens *= 2.0) {
+      auto result = simulator.Run(job.plan, RunConfig{tokens, {}, 0});
+      ASSERT_TRUE(result.ok());
+      EXPECT_LE(result.value().runtime_seconds, previous + 1e-9);
+      previous = result.value().runtime_seconds;
+    }
+  }
+}
+
+TEST_P(SimClusterPropertyTest, AreaInvariantToAllocation) {
+  // The defining AREPAS-enabling property: without noise, total recorded
+  // token-seconds equal the plan's work at every allocation.
+  auto generator = MakeGenerator();
+  ClusterSimulator simulator;
+  for (const Job& job : generator.Generate(0, 5)) {
+    double work = job.plan.TotalWorkTokenSeconds();
+    for (double tokens : {1.0, 5.0, 40.0, 400.0}) {
+      auto result = simulator.Run(job.plan, RunConfig{tokens, {}, 0});
+      ASSERT_TRUE(result.ok());
+      EXPECT_NEAR(result.value().skyline.Area(), work, 1e-6 * work);
+    }
+  }
+}
+
+TEST_P(SimClusterPropertyTest, PeakBoundedByCapacityAndWidth) {
+  auto generator = MakeGenerator();
+  ClusterSimulator simulator;
+  for (const Job& job : generator.Generate(0, 5)) {
+    for (double tokens : {3.0, 17.0, 200.0}) {
+      auto result = simulator.Run(job.plan, RunConfig{tokens, {}, 0});
+      ASSERT_TRUE(result.ok());
+      EXPECT_LE(result.value().peak_tokens_used, std::floor(tokens) + 1e-9);
+      // Without noise the skyline is bounded by the capacity too.
+      EXPECT_LE(result.value().skyline.Peak(), std::floor(tokens) + 1e-9);
+    }
+  }
+}
+
+TEST_P(SimClusterPropertyTest, SkylineDurationCoversRuntime) {
+  auto generator = MakeGenerator();
+  ClusterSimulator simulator;
+  for (const Job& job : generator.Generate(0, 5)) {
+    auto result = simulator.Run(job.plan, RunConfig{9.0, {}, 0});
+    ASSERT_TRUE(result.ok());
+    double duration =
+        static_cast<double>(result.value().skyline.duration_seconds());
+    EXPECT_GE(duration + 1e-9, result.value().runtime_seconds);
+    EXPECT_LT(duration, result.value().runtime_seconds + 1.0 + 1e-9);
+  }
+}
+
+TEST_P(SimClusterPropertyTest, NoisyRuntimeCloseToClean) {
+  // The noise model perturbs run time moderately: within a factor of ~2
+  // of the clean run for the default settings.
+  auto generator = MakeGenerator();
+  ClusterSimulator simulator;
+  NoiseModel noise;
+  noise.enabled = true;
+  for (const Job& job : generator.Generate(0, 4)) {
+    auto clean = simulator.Run(job.plan, RunConfig{16.0, {}, 0});
+    ASSERT_TRUE(clean.ok());
+    for (uint64_t seed = 0; seed < 3; ++seed) {
+      auto noisy = simulator.Run(job.plan, RunConfig{16.0, noise, seed});
+      ASSERT_TRUE(noisy.ok());
+      double ratio =
+          noisy.value().runtime_seconds / clean.value().runtime_seconds;
+      EXPECT_GT(ratio, 0.5) << "job " << job.id;
+      EXPECT_LT(ratio, 2.5) << "job " << job.id;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimClusterPropertyTest,
+                         ::testing::Values(7, 11, 23, 47, 91));
+
+}  // namespace
+}  // namespace tasq

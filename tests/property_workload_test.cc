@@ -1,0 +1,131 @@
+// Property-based tests of the workload generator across configuration
+// extremes (parameterized over configs) — the generator must stay
+// structurally sound at every knob setting.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "feat/featurizer.h"
+#include "simcluster/cluster_simulator.h"
+#include "workload/generator.h"
+
+namespace tasq {
+namespace {
+
+struct ConfigCase {
+  std::string name;
+  WorkloadConfig config;
+};
+
+class WorkloadConfigPropertyTest
+    : public ::testing::TestWithParam<ConfigCase> {};
+
+std::vector<ConfigCase> AllCases() {
+  std::vector<ConfigCase> cases;
+  {
+    ConfigCase c{"defaults", {}};
+    cases.push_back(c);
+  }
+  {
+    ConfigCase c{"all_adhoc", {}};
+    c.config.recurring_fraction = 0.0;
+    cases.push_back(c);
+  }
+  {
+    ConfigCase c{"all_recurring_one_template", {}};
+    c.config.recurring_fraction = 1.0;
+    c.config.num_templates = 1;
+    cases.push_back(c);
+  }
+  {
+    ConfigCase c{"tiny_jobs", {}};
+    c.config.tokens_median = 2.0;
+    c.config.task_seconds_median = 2.0;
+    cases.push_back(c);
+  }
+  {
+    ConfigCase c{"wide_jobs_capped", {}};
+    c.config.tokens_median = 500.0;
+    c.config.max_stage_width = 200;
+    cases.push_back(c);
+  }
+  {
+    ConfigCase c{"no_estimate_noise", {}};
+    c.config.estimate_noise_sigma = 0.0;
+    cases.push_back(c);
+  }
+  {
+    ConfigCase c{"heavy_drift", {}};
+    c.config.recurrence_drift_sigma = 1.0;
+    cases.push_back(c);
+  }
+  {
+    ConfigCase c{"no_overprovision", {}};
+    c.config.overprovision_lo = 1.0;
+    c.config.overprovision_hi = 1.0;
+    cases.push_back(c);
+  }
+  {
+    ConfigCase c{"grown_inputs", {}};
+    c.config.global_input_scale = 3.0;
+    cases.push_back(c);
+  }
+  {
+    ConfigCase c{"slow_cluster_calibration", {}};
+    c.config.seconds_per_cost_unit = 2.5;
+    cases.push_back(c);
+  }
+  return cases;
+}
+
+TEST_P(WorkloadConfigPropertyTest, JobsAreValidAndFeaturizable) {
+  WorkloadGenerator generator(GetParam().config);
+  Featurizer featurizer;
+  for (const Job& job : generator.Generate(0, 60)) {
+    ASSERT_TRUE(job.plan.Validate().ok()) << "job " << job.id;
+    ASSERT_TRUE(job.graph.Validate().ok()) << "job " << job.id;
+    EXPECT_GE(job.default_tokens, 1.0);
+    EXPECT_LE(job.plan.MaxStageTasks(), GetParam().config.max_stage_width);
+    auto features = featurizer.Featurize(job.graph);
+    ASSERT_TRUE(features.ok()) << "job " << job.id;
+    for (double v : features.value().job_vector) {
+      EXPECT_TRUE(std::isfinite(v));
+    }
+  }
+}
+
+TEST_P(WorkloadConfigPropertyTest, JobsExecuteAtAnyAllocation) {
+  WorkloadGenerator generator(GetParam().config);
+  ClusterSimulator simulator;
+  for (const Job& job : generator.Generate(0, 10)) {
+    for (double tokens : {1.0, 7.0, job.default_tokens}) {
+      auto result = simulator.Run(job.plan, RunConfig{tokens, {}, 0});
+      ASSERT_TRUE(result.ok()) << "job " << job.id << " tokens " << tokens;
+      EXPECT_GT(result.value().runtime_seconds, 0.0);
+    }
+  }
+}
+
+TEST_P(WorkloadConfigPropertyTest, RecurringFractionRespected) {
+  const WorkloadConfig& config = GetParam().config;
+  WorkloadGenerator generator(config);
+  int recurring = 0;
+  int total = 200;
+  for (const Job& job : generator.Generate(0, total)) {
+    if (job.recurring) ++recurring;
+  }
+  double fraction = static_cast<double>(recurring) / total;
+  EXPECT_NEAR(fraction, config.recurring_fraction, 0.12)
+      << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, WorkloadConfigPropertyTest, ::testing::ValuesIn(AllCases()),
+    [](const ::testing::TestParamInfo<ConfigCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace tasq

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "tasq/repository.h"
+#include "workload/generator.h"
+
+namespace tasq {
+namespace {
+
+std::vector<ObservedJob> SampleWorkload(int64_t count) {
+  WorkloadConfig config;
+  config.seed = 55;
+  WorkloadGenerator generator(config);
+  NoiseModel noise;
+  noise.enabled = true;
+  return ObserveWorkload(generator.Generate(0, count), noise, 9).value();
+}
+
+TEST(RepositoryTest, RoundTripPreservesEverything) {
+  std::vector<ObservedJob> workload = SampleWorkload(25);
+  std::stringstream stream;
+  ASSERT_TRUE(SaveWorkload(stream, workload).ok());
+  Result<std::vector<ObservedJob>> loaded = LoadWorkload(stream);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.value().size(), workload.size());
+  for (size_t i = 0; i < workload.size(); ++i) {
+    const ObservedJob& a = workload[i];
+    const ObservedJob& b = loaded.value()[i];
+    EXPECT_EQ(a.job.id, b.job.id);
+    EXPECT_EQ(a.job.template_id, b.job.template_id);
+    EXPECT_EQ(a.job.recurring, b.job.recurring);
+    EXPECT_DOUBLE_EQ(a.job.input_scale, b.job.input_scale);
+    EXPECT_DOUBLE_EQ(a.job.default_tokens, b.job.default_tokens);
+    ASSERT_EQ(a.job.plan.stages.size(), b.job.plan.stages.size());
+    for (size_t s = 0; s < a.job.plan.stages.size(); ++s) {
+      EXPECT_EQ(a.job.plan.stages[s].num_tasks,
+                b.job.plan.stages[s].num_tasks);
+      EXPECT_DOUBLE_EQ(a.job.plan.stages[s].task_duration_seconds,
+                       b.job.plan.stages[s].task_duration_seconds);
+      EXPECT_EQ(a.job.plan.stages[s].dependencies,
+                b.job.plan.stages[s].dependencies);
+    }
+    ASSERT_EQ(a.job.graph.operators.size(), b.job.graph.operators.size());
+    for (size_t n = 0; n < a.job.graph.operators.size(); ++n) {
+      const OperatorNode& x = a.job.graph.operators[n];
+      const OperatorNode& y = b.job.graph.operators[n];
+      EXPECT_EQ(x.op, y.op);
+      EXPECT_EQ(x.partitioning, y.partitioning);
+      EXPECT_EQ(x.inputs, y.inputs);
+      EXPECT_EQ(x.stage, y.stage);
+      EXPECT_DOUBLE_EQ(x.features.output_cardinality,
+                       y.features.output_cardinality);
+      EXPECT_DOUBLE_EQ(x.features.cost_subtree, y.features.cost_subtree);
+      EXPECT_EQ(x.features.num_partitions, y.features.num_partitions);
+    }
+    EXPECT_EQ(a.skyline, b.skyline);
+    EXPECT_DOUBLE_EQ(a.runtime_seconds, b.runtime_seconds);
+    EXPECT_DOUBLE_EQ(a.observed_tokens, b.observed_tokens);
+    EXPECT_DOUBLE_EQ(a.peak_tokens, b.peak_tokens);
+  }
+}
+
+TEST(RepositoryTest, LoadedWorkloadTrainsIdentically) {
+  // The replayed repository must produce the same dataset as the live one.
+  std::vector<ObservedJob> workload = SampleWorkload(15);
+  std::stringstream stream;
+  ASSERT_TRUE(SaveWorkload(stream, workload).ok());
+  auto loaded = LoadWorkload(stream).value();
+  DatasetBuilder builder;
+  Dataset original = builder.Build(workload).value();
+  Dataset replayed = builder.Build(loaded).value();
+  ASSERT_EQ(original.size(), replayed.size());
+  EXPECT_EQ(original.job_features, replayed.job_features);
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_DOUBLE_EQ(original.targets[i].a, replayed.targets[i].a);
+    EXPECT_DOUBLE_EQ(original.targets[i].b, replayed.targets[i].b);
+  }
+  EXPECT_EQ(original.point_runtimes, replayed.point_runtimes);
+}
+
+TEST(RepositoryTest, RejectsCorruptArchives) {
+  std::stringstream wrong_format("workload.format not-a-workload");
+  EXPECT_FALSE(LoadWorkload(wrong_format).ok());
+
+  std::stringstream truncated;
+  ASSERT_TRUE(SaveWorkload(truncated, SampleWorkload(3)).ok());
+  std::string text = truncated.str();
+  std::stringstream cut(text.substr(0, text.size() / 2));
+  EXPECT_FALSE(LoadWorkload(cut).ok());
+}
+
+TEST(RepositoryTest, FileRoundTripAndMissingFile) {
+  std::string path = ::testing::TempDir() + "/tasq_workload_test.txt";
+  std::vector<ObservedJob> workload = SampleWorkload(5);
+  ASSERT_TRUE(SaveWorkloadToFile(path, workload).ok());
+  Result<std::vector<ObservedJob>> loaded = LoadWorkloadFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().size(), 5u);
+  EXPECT_FALSE(LoadWorkloadFromFile("/nonexistent/workload.txt").ok());
+}
+
+TEST(RepositoryTest, EmptyWorkloadRoundTrips) {
+  std::stringstream stream;
+  ASSERT_TRUE(SaveWorkload(stream, {}).ok());
+  Result<std::vector<ObservedJob>> loaded = LoadWorkload(stream);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded.value().empty());
+}
+
+}  // namespace
+}  // namespace tasq

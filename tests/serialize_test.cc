@@ -1,0 +1,293 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/text_io.h"
+#include "feat/featurizer.h"
+#include "gbdt/xgb_pcc.h"
+#include "gnn/gnn_model.h"
+#include "ml/matrix_io.h"
+#include "nn/nn_model.h"
+#include "tasq/evaluation.h"
+#include "tasq/tasq.h"
+#include "workload/generator.h"
+
+namespace tasq {
+namespace {
+
+TEST(TextArchiveTest, ScalarVectorStringRoundTrip) {
+  std::stringstream stream;
+  TextArchiveWriter writer(stream);
+  writer.Scalar("pi", 3.141592653589793);
+  writer.Scalar("count", static_cast<int64_t>(-42));
+  writer.String("name", "tasq-v1");
+  writer.Vector("vec", {1.5, -2.25, 1e-300});
+
+  TextArchiveReader reader(stream);
+  double pi = 0.0;
+  int64_t count = 0;
+  std::string name;
+  std::vector<double> vec;
+  reader.Scalar("pi", pi);
+  reader.Scalar("count", count);
+  reader.String("name", name);
+  reader.Vector("vec", vec);
+  ASSERT_TRUE(reader.status().ok()) << reader.status().ToString();
+  EXPECT_DOUBLE_EQ(pi, 3.141592653589793);
+  EXPECT_EQ(count, -42);
+  EXPECT_EQ(name, "tasq-v1");
+  ASSERT_EQ(vec.size(), 3u);
+  EXPECT_DOUBLE_EQ(vec[2], 1e-300);
+}
+
+TEST(TextArchiveTest, TagMismatchLatchesError) {
+  std::stringstream stream("alpha 1.0\nbeta 2.0\n");
+  TextArchiveReader reader(stream);
+  double value = 0.0;
+  reader.Scalar("alpha", value);
+  EXPECT_TRUE(reader.status().ok());
+  reader.Scalar("gamma", value);  // Wrong tag.
+  EXPECT_FALSE(reader.status().ok());
+  // Subsequent reads stay failed and do not touch outputs.
+  double untouched = 7.0;
+  reader.Scalar("beta", untouched);
+  EXPECT_DOUBLE_EQ(untouched, 7.0);
+}
+
+TEST(TextArchiveTest, TruncatedArchiveFails) {
+  std::stringstream stream("vec 5 1.0 2.0\n");
+  TextArchiveReader reader(stream);
+  std::vector<double> vec;
+  reader.Vector("vec", vec);
+  EXPECT_FALSE(reader.status().ok());
+}
+
+TEST(MatrixIoTest, RoundTrip) {
+  Matrix m(2, 3, {1.0, -2.0, 3.5, 0.0, 1e-12, 9.0});
+  std::stringstream stream;
+  TextArchiveWriter writer(stream);
+  SaveMatrix(writer, "m", m);
+  TextArchiveReader reader(stream);
+  Matrix back = LoadMatrix(reader, "m");
+  ASSERT_TRUE(reader.status().ok());
+  ASSERT_TRUE(back.SameShape(m));
+  for (size_t i = 0; i < m.size(); ++i) {
+    EXPECT_DOUBLE_EQ(back.data()[i], m.data()[i]);
+  }
+}
+
+TEST(FeatureScalerIoTest, RoundTripPreservesTransform) {
+  std::vector<double> data = {1.0, 10.0, 3.0, 30.0, 5.0, 20.0};
+  FeatureScaler scaler = FeatureScaler::Fit(data, 3, 2).value();
+  std::stringstream stream;
+  TextArchiveWriter writer(stream);
+  scaler.Save(writer, "s");
+  TextArchiveReader reader(stream);
+  FeatureScaler loaded = FeatureScaler::Load(reader, "s");
+  ASSERT_TRUE(reader.status().ok());
+  std::vector<double> a = {4.0, 25.0};
+  std::vector<double> b = a;
+  scaler.Transform(a);
+  loaded.Transform(b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(GbdtIoTest, RoundTripPredictionsIdentical) {
+  Rng rng(4);
+  std::vector<double> features;
+  std::vector<double> targets;
+  for (int i = 0; i < 400; ++i) {
+    double x0 = rng.Uniform(0.0, 1.0);
+    double x1 = rng.Uniform(0.0, 1.0);
+    features.insert(features.end(), {x0, x1});
+    targets.push_back(std::exp(1.0 + 2.0 * x0));
+  }
+  GbdtOptions options;
+  options.num_trees = 40;
+  GbdtRegressor model(options);
+  ASSERT_TRUE(model.Train(features, 400, 2, targets).ok());
+
+  std::stringstream stream;
+  TextArchiveWriter writer(stream);
+  model.Save(writer);
+  TextArchiveReader reader(stream);
+  GbdtRegressor loaded = GbdtRegressor::Load(reader);
+  ASSERT_TRUE(reader.status().ok()) << reader.status().ToString();
+  EXPECT_TRUE(loaded.trained());
+  EXPECT_EQ(loaded.num_trees(), model.num_trees());
+  for (int i = 0; i < 50; ++i) {
+    std::vector<double> row = {rng.Uniform(0.0, 1.0), rng.Uniform(0.0, 1.0)};
+    EXPECT_DOUBLE_EQ(loaded.Predict(row), model.Predict(row));
+  }
+}
+
+TEST(GbdtIoTest, CorruptTreeIsRejected) {
+  std::stringstream stream;
+  TextArchiveWriter writer(stream);
+  writer.String("gbdt.format", "tasq-gbdt-v1");
+  writer.Scalar("gbdt.objective", static_cast<int64_t>(1));
+  writer.Scalar("gbdt.num_trees_opt", static_cast<int64_t>(1));
+  writer.Scalar("gbdt.max_depth", static_cast<int64_t>(3));
+  writer.Scalar("gbdt.learning_rate", 0.1);
+  writer.Scalar("gbdt.min_samples_leaf", static_cast<int64_t>(1));
+  writer.Scalar("gbdt.l2_lambda", 1.0);
+  writer.Scalar("gbdt.max_bins", static_cast<int64_t>(8));
+  writer.Scalar("gbdt.subsample", 1.0);
+  writer.Scalar("gbdt.seed", static_cast<int64_t>(0));
+  writer.Scalar("gbdt.dim", static_cast<int64_t>(2));
+  writer.Scalar("gbdt.has_base", static_cast<int64_t>(1));
+  writer.Scalar("gbdt.base_score", 1.0);
+  writer.Scalar("gbdt.num_trees", static_cast<int64_t>(1));
+  // Node referencing a child index out of range.
+  writer.Vector("gbdt.tree", {0.0, 0.5, 7.0, 8.0, 0.0});
+  TextArchiveReader reader(stream);
+  GbdtRegressor loaded = GbdtRegressor::Load(reader);
+  EXPECT_FALSE(reader.status().ok());
+}
+
+// Small trained models shared by the NN/GNN round-trip tests.
+PccSupervision TinySupervision(size_t n, Rng& rng) {
+  PccSupervision supervision;
+  for (size_t i = 0; i < n; ++i) {
+    PowerLawPcc target{-rng.Uniform(0.2, 0.8), std::exp(rng.Uniform(4.0, 7.0))};
+    supervision.targets.push_back(target);
+    double tokens = rng.Uniform(10.0, 100.0);
+    supervision.observed_tokens.push_back(tokens);
+    supervision.observed_runtime.push_back(target.EvalRunTime(tokens));
+  }
+  return supervision;
+}
+
+TEST(NnIoTest, RoundTripPredictionsIdentical) {
+  Rng rng(5);
+  size_t n = 60;
+  size_t dim = 4;
+  std::vector<double> features;
+  for (size_t i = 0; i < n * dim; ++i) {
+    features.push_back(rng.Uniform(-1.0, 1.0));
+  }
+  PccSupervision supervision = TinySupervision(n, rng);
+  NnOptions options;
+  options.epochs = 5;
+  options.hidden_sizes = {8, 4};
+  NnPccModel model(dim, options);
+  ASSERT_TRUE(model.Train(features, supervision).ok());
+
+  std::stringstream stream;
+  TextArchiveWriter writer(stream);
+  model.Save(writer);
+  TextArchiveReader reader(stream);
+  NnPccModel loaded = NnPccModel::Load(reader);
+  ASSERT_TRUE(reader.status().ok()) << reader.status().ToString();
+  ASSERT_TRUE(loaded.trained());
+  EXPECT_EQ(loaded.NumParameters(), model.NumParameters());
+  for (int i = 0; i < 20; ++i) {
+    std::vector<double> row = {rng.Uniform(-1.0, 1.0), rng.Uniform(-1.0, 1.0),
+                               rng.Uniform(-1.0, 1.0), rng.Uniform(-1.0, 1.0)};
+    auto a = model.Predict(row);
+    auto b = loaded.Predict(row);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_DOUBLE_EQ(a.value().a, b.value().a);
+    EXPECT_DOUBLE_EQ(a.value().b, b.value().b);
+  }
+}
+
+TEST(GnnIoTest, RoundTripPredictionsIdentical) {
+  Rng rng(6);
+  size_t dim = 5;
+  std::vector<GraphExample> graphs;
+  for (int g = 0; g < 30; ++g) {
+    GraphExample graph;
+    graph.num_nodes = static_cast<size_t>(rng.UniformInt(2, 6));
+    graph.node_features.resize(graph.num_nodes * dim);
+    for (double& v : graph.node_features) v = rng.Uniform(-1.0, 1.0);
+    graph.norm_adjacency.assign(graph.num_nodes * graph.num_nodes, 0.0);
+    for (size_t i = 0; i < graph.num_nodes; ++i) {
+      graph.norm_adjacency[i * graph.num_nodes + i] = 1.0;
+    }
+    graphs.push_back(std::move(graph));
+  }
+  PccSupervision supervision = TinySupervision(graphs.size(), rng);
+  GnnOptions options;
+  options.epochs = 2;
+  options.gcn_hidden = {6};
+  options.head_hidden = {4};
+  GnnPccModel model(dim, options);
+  ASSERT_TRUE(model.Train(graphs, supervision).ok());
+
+  std::stringstream stream;
+  TextArchiveWriter writer(stream);
+  model.Save(writer);
+  TextArchiveReader reader(stream);
+  GnnPccModel loaded = GnnPccModel::Load(reader);
+  ASSERT_TRUE(reader.status().ok()) << reader.status().ToString();
+  ASSERT_TRUE(loaded.trained());
+  for (const GraphExample& graph : graphs) {
+    auto a = model.Predict(graph);
+    auto b = loaded.Predict(graph);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_DOUBLE_EQ(a.value().a, b.value().a);
+    EXPECT_DOUBLE_EQ(a.value().b, b.value().b);
+  }
+}
+
+TEST(TasqIoTest, PipelineRoundTripScoresIdentically) {
+  WorkloadConfig config;
+  config.seed = 77;
+  WorkloadGenerator generator(config);
+  NoiseModel noise;
+  noise.enabled = true;
+  auto observed = ObserveWorkload(generator.Generate(0, 80), noise, 1).value();
+
+  TasqOptions options;
+  options.nn.epochs = 10;
+  options.gnn.epochs = 2;
+  options.gnn.gcn_hidden = {8};
+  options.gnn.head_hidden = {8};
+  options.xgb.gbdt.num_trees = 20;
+  Tasq original(options);
+  ASSERT_TRUE(original.Train(observed).ok());
+
+  std::stringstream stream;
+  ASSERT_TRUE(original.Save(stream).ok());
+  Result<Tasq> loaded = Tasq::Load(stream);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_TRUE(loaded.value().trained());
+
+  Job job = generator.GenerateJob(5000);
+  for (ModelKind kind :
+       {ModelKind::kXgboostPl, ModelKind::kNn, ModelKind::kGnn}) {
+    auto a = original.PredictPcc(job.graph, kind, job.default_tokens);
+    auto b = loaded.value().PredictPcc(job.graph, kind, job.default_tokens);
+    ASSERT_TRUE(a.ok()) << ModelKindName(kind);
+    ASSERT_TRUE(b.ok()) << ModelKindName(kind);
+    EXPECT_DOUBLE_EQ(a.value().a, b.value().a) << ModelKindName(kind);
+    EXPECT_DOUBLE_EQ(a.value().b, b.value().b) << ModelKindName(kind);
+  }
+  // XGBoost-SS curves also agree.
+  auto curve_a = original.PredictCurve(job.graph, ModelKind::kXgboostSs,
+                                       job.default_tokens,
+                                       {job.default_tokens * 0.8});
+  auto curve_b = loaded.value().PredictCurve(job.graph, ModelKind::kXgboostSs,
+                                             job.default_tokens,
+                                             {job.default_tokens * 0.8});
+  ASSERT_TRUE(curve_a.ok());
+  ASSERT_TRUE(curve_b.ok());
+  EXPECT_DOUBLE_EQ(curve_a.value()[0].runtime_seconds,
+                   curve_b.value()[0].runtime_seconds);
+}
+
+TEST(TasqIoTest, FileRoundTripAndErrors) {
+  Tasq untrained;
+  std::stringstream stream;
+  EXPECT_FALSE(untrained.Save(stream).ok());
+  EXPECT_FALSE(Tasq::LoadFromFile("/nonexistent/path/model.tasq").ok());
+
+  std::stringstream garbage("not a pipeline archive");
+  EXPECT_FALSE(Tasq::Load(garbage).ok());
+}
+
+}  // namespace
+}  // namespace tasq

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spark/autoexecutor.h"
+#include "workload/generator.h"
+
+namespace tasq {
+namespace {
+
+JobPlan WidePlan() {
+  JobPlan plan;
+  plan.stages.push_back(StageSpec{0, {}, 64, 10.0});
+  plan.stages.push_back(StageSpec{1, {0}, 16, 8.0});
+  return plan;
+}
+
+TEST(RunOnExecutorsTest, SkylineMeasuredInExecutorUnits) {
+  SparkPlatformConfig platform;
+  platform.cores_per_executor = 4;
+  Result<ExecutorRunResult> run = RunOnExecutors(WidePlan(), 8, platform);
+  ASSERT_TRUE(run.ok());
+  // 8 executors x 4 cores = 32 slots; 64 tasks of 10s -> two waves, then
+  // 16 tasks in one wave of 8s.
+  EXPECT_DOUBLE_EQ(run.value().runtime_seconds, 28.0);
+  EXPECT_LE(run.value().executor_skyline.Peak(), 8.0 + 1e-9);
+  EXPECT_NEAR(run.value().peak_executors_used, 8.0, 1e-9);
+  // Area in executor-seconds = work / cores.
+  EXPECT_NEAR(run.value().executor_skyline.Area(),
+              WidePlan().TotalWorkTokenSeconds() / 4.0, 1e-6);
+}
+
+TEST(RunOnExecutorsTest, MoreExecutorsNeverSlower) {
+  SparkPlatformConfig platform;
+  double previous = 1e300;
+  for (int executors = 1; executors <= 32; executors *= 2) {
+    Result<ExecutorRunResult> run =
+        RunOnExecutors(WidePlan(), executors, platform);
+    ASSERT_TRUE(run.ok());
+    EXPECT_LE(run.value().runtime_seconds, previous + 1e-9);
+    previous = run.value().runtime_seconds;
+  }
+}
+
+TEST(RunOnExecutorsTest, RejectsInvalidArguments) {
+  SparkPlatformConfig platform;
+  EXPECT_FALSE(RunOnExecutors(WidePlan(), 0, platform).ok());
+  platform.cores_per_executor = 0;
+  EXPECT_FALSE(RunOnExecutors(WidePlan(), 4, platform).ok());
+}
+
+TEST(AutoExecutorTest, TrainsAndRecommendsWithinBounds) {
+  WorkloadConfig config;
+  config.seed = 31;
+  WorkloadGenerator generator(config);
+  AutoExecutorOptions options;
+  options.nn.epochs = 40;
+  AutoExecutor auto_executor(options);
+  ASSERT_TRUE(auto_executor.Train(generator.Generate(0, 120)).ok());
+  EXPECT_TRUE(auto_executor.trained());
+
+  for (const Job& job : generator.Generate(500, 30)) {
+    Result<PowerLawPcc> pcc = auto_executor.PredictPcc(job.graph);
+    ASSERT_TRUE(pcc.ok());
+    EXPECT_TRUE(pcc.value().IsMonotoneNonIncreasing());
+    Result<int> executors =
+        auto_executor.RecommendExecutors(job.graph, 64, 1.0);
+    ASSERT_TRUE(executors.ok());
+    EXPECT_GE(executors.value(), 1);
+    EXPECT_LE(executors.value(), 64);
+  }
+}
+
+TEST(AutoExecutorTest, RecommendationRespectsPlatformCap) {
+  WorkloadConfig config;
+  config.seed = 32;
+  WorkloadGenerator generator(config);
+  AutoExecutorOptions options;
+  options.nn.epochs = 5;
+  options.platform.max_executors = 16;
+  AutoExecutor auto_executor(options);
+  ASSERT_TRUE(auto_executor.Train(generator.Generate(0, 40)).ok());
+  Job job = generator.GenerateJob(999);
+  Result<int> executors =
+      auto_executor.RecommendExecutors(job.graph, 1000, 0.01);
+  ASSERT_TRUE(executors.ok());
+  EXPECT_LE(executors.value(), 16);
+}
+
+TEST(AutoExecutorTest, FailsCleanlyBeforeTrainingAndOnBadInput) {
+  AutoExecutor auto_executor;
+  JobGraph graph;
+  EXPECT_FALSE(auto_executor.PredictPcc(graph).ok());
+  EXPECT_FALSE(auto_executor.Train({}).ok());
+  AutoExecutorOptions lf3;
+  lf3.nn.loss_form = LossForm::kLF3;
+  AutoExecutor bad(lf3);
+  WorkloadGenerator generator(WorkloadConfig{});
+  EXPECT_FALSE(bad.Train(generator.Generate(0, 5)).ok());
+}
+
+TEST(AutoExecutorTest, PredictionsTrackExecutorGroundTruth) {
+  // The adapter must learn the executor-PCC well enough that median error
+  // against a ground-truth executor sweep is bounded.
+  WorkloadConfig config;
+  config.seed = 33;
+  WorkloadGenerator generator(config);
+  AutoExecutorOptions options;
+  options.nn.epochs = 80;
+  options.nn.learning_rate = 2e-3;
+  AutoExecutor auto_executor(options);
+  ASSERT_TRUE(auto_executor.Train(generator.Generate(0, 200)).ok());
+
+  std::vector<double> errors;
+  for (const Job& job : generator.Generate(800, 25)) {
+    Result<PowerLawPcc> pcc = auto_executor.PredictPcc(job.graph);
+    ASSERT_TRUE(pcc.ok());
+    int executors = std::max(
+        1, static_cast<int>(std::ceil(job.default_tokens / 4.0)));
+    Result<ExecutorRunResult> truth =
+        RunOnExecutors(job.plan, executors, options.platform);
+    ASSERT_TRUE(truth.ok());
+    double predicted = pcc.value().EvalRunTime(executors);
+    errors.push_back(std::fabs(predicted - truth.value().runtime_seconds) /
+                     truth.value().runtime_seconds * 100.0);
+  }
+  std::sort(errors.begin(), errors.end());
+  EXPECT_LT(errors[errors.size() / 2], 60.0);
+}
+
+}  // namespace
+}  // namespace tasq

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "gbdt/gbdt.h"
+#include "tasq/what_if.h"
+#include "workload/generator.h"
+
+namespace tasq {
+namespace {
+
+class WhatIfFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    WorkloadConfig config;
+    config.seed = 17;
+    generator_ = new WorkloadGenerator(config);
+    NoiseModel noise;
+    noise.enabled = true;
+    auto observed =
+        ObserveWorkload(generator_->Generate(0, 120), noise, 1).value();
+    TasqOptions options;
+    options.nn.epochs = 20;
+    options.gnn.epochs = 2;
+    options.gnn.gcn_hidden = {8};
+    options.gnn.head_hidden = {8};
+    options.xgb.gbdt.num_trees = 30;
+    pipeline_ = new Tasq(options);
+    ASSERT_TRUE(pipeline_->Train(observed).ok());
+  }
+  static void TearDownTestSuite() {
+    delete pipeline_;
+    delete generator_;
+    pipeline_ = nullptr;
+    generator_ = nullptr;
+  }
+
+  static Tasq* pipeline_;
+  static WorkloadGenerator* generator_;
+};
+
+Tasq* WhatIfFixture::pipeline_ = nullptr;
+WorkloadGenerator* WhatIfFixture::generator_ = nullptr;
+
+TEST_F(WhatIfFixture, ReportIsInternallyConsistent) {
+  Job job = generator_->GenerateJob(900);
+  for (ModelKind model : {ModelKind::kNn, ModelKind::kGnn,
+                          ModelKind::kXgboostPl, ModelKind::kXgboostSs}) {
+    auto report = BuildWhatIfReport(*pipeline_, job.graph, model,
+                                    job.default_tokens, 9);
+    ASSERT_TRUE(report.ok()) << ModelKindName(model);
+    const WhatIfReport& r = report.value();
+    EXPECT_EQ(r.has_pcc, model != ModelKind::kXgboostSs);
+    ASSERT_EQ(r.curve.size(), 9u);
+    // Curve spans 20%..100% of the reference.
+    EXPECT_NEAR(r.curve.back().tokens, job.default_tokens, 1e-9);
+    EXPECT_LE(r.curve.front().tokens, job.default_tokens * 0.2 + 1.0);
+    // The reference point itself has zero slowdown and zero savings.
+    EXPECT_NEAR(r.curve.back().predicted_slowdown, 0.0, 1e-9);
+    EXPECT_NEAR(r.curve.back().token_savings_fraction, 0.0, 1e-9);
+    // Recommendations are within range; bounded never requests fewer
+    // tokens than aggressive.
+    EXPECT_GE(r.aggressive.tokens, 1.0);
+    EXPECT_LE(r.aggressive.tokens, job.default_tokens);
+    EXPECT_GE(r.bounded.tokens + 1e-9, r.aggressive.tokens);
+  }
+}
+
+TEST_F(WhatIfFixture, MonotoneModelsProduceMonotoneCurvePoints) {
+  Job job = generator_->GenerateJob(901);
+  auto report = BuildWhatIfReport(*pipeline_, job.graph, ModelKind::kNn,
+                                  job.default_tokens);
+  ASSERT_TRUE(report.ok());
+  for (size_t i = 1; i < report.value().curve.size(); ++i) {
+    EXPECT_LE(report.value().curve[i].predicted_runtime_seconds,
+              report.value().curve[i - 1].predicted_runtime_seconds + 1e-9);
+  }
+}
+
+TEST_F(WhatIfFixture, ToTextMentionsKeyNumbers) {
+  Job job = generator_->GenerateJob(902);
+  auto report = BuildWhatIfReport(*pipeline_, job.graph, ModelKind::kNn,
+                                  job.default_tokens);
+  ASSERT_TRUE(report.ok());
+  std::string text = report.value().ToText();
+  EXPECT_NE(text.find("What-if report (NN)"), std::string::npos);
+  EXPECT_NE(text.find("predicted PCC"), std::string::npos);
+  EXPECT_NE(text.find("aggressive"), std::string::npos);
+  EXPECT_NE(text.find("bounded"), std::string::npos);
+}
+
+TEST_F(WhatIfFixture, ValidatesInput) {
+  Job job = generator_->GenerateJob(903);
+  EXPECT_FALSE(
+      BuildWhatIfReport(*pipeline_, job.graph, ModelKind::kNn, 0.5).ok());
+  Tasq untrained;
+  EXPECT_FALSE(
+      BuildWhatIfReport(untrained, job.graph, ModelKind::kNn, 50.0).ok());
+}
+
+TEST(FeatureImportanceTest, HighlightsInformativeFeature) {
+  // y depends only on feature 0; importance must concentrate there.
+  Rng rng(2);
+  std::vector<double> features;
+  std::vector<double> targets;
+  for (int i = 0; i < 600; ++i) {
+    double x0 = rng.Uniform(0.0, 1.0);
+    double x1 = rng.Uniform(0.0, 1.0);
+    double x2 = rng.Uniform(0.0, 1.0);
+    features.insert(features.end(), {x0, x1, x2});
+    targets.push_back(std::exp(1.0 + 2.0 * x0));
+  }
+  GbdtOptions options;
+  options.num_trees = 40;
+  GbdtRegressor model(options);
+  ASSERT_TRUE(model.Train(features, 600, 3, targets).ok());
+  std::vector<double> importance = model.FeatureImportance();
+  ASSERT_EQ(importance.size(), 3u);
+  EXPECT_GT(importance[0], 0.6);
+  double sum = importance[0] + importance[1] + importance[2];
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  // Untrained model: all zero.
+  GbdtRegressor fresh(options);
+  EXPECT_TRUE(fresh.FeatureImportance().empty());
+}
+
+}  // namespace
+}  // namespace tasq

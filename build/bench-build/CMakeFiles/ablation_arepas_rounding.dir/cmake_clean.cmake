@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_arepas_rounding"
+  "../bench/ablation_arepas_rounding.pdb"
+  "CMakeFiles/ablation_arepas_rounding.dir/ablation_arepas_rounding.cc.o"
+  "CMakeFiles/ablation_arepas_rounding.dir/ablation_arepas_rounding.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_arepas_rounding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

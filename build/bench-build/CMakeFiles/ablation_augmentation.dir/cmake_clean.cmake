@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_augmentation"
+  "../bench/ablation_augmentation.pdb"
+  "CMakeFiles/ablation_augmentation.dir/ablation_augmentation.cc.o"
+  "CMakeFiles/ablation_augmentation.dir/ablation_augmentation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_augmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_early_stopping"
+  "../bench/ablation_early_stopping.pdb"
+  "CMakeFiles/ablation_early_stopping.dir/ablation_early_stopping.cc.o"
+  "CMakeFiles/ablation_early_stopping.dir/ablation_early_stopping.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_early_stopping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_gnn_pooling"
+  "../bench/ablation_gnn_pooling.pdb"
+  "CMakeFiles/ablation_gnn_pooling.dir/ablation_gnn_pooling.cc.o"
+  "CMakeFiles/ablation_gnn_pooling.dir/ablation_gnn_pooling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gnn_pooling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_loss_weight"
+  "../bench/ablation_loss_weight.pdb"
+  "CMakeFiles/ablation_loss_weight.dir/ablation_loss_weight.cc.o"
+  "CMakeFiles/ablation_loss_weight.dir/ablation_loss_weight.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_loss_weight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/baseline_autotoken"
+  "../bench/baseline_autotoken.pdb"
+  "CMakeFiles/baseline_autotoken.dir/baseline_autotoken.cc.o"
+  "CMakeFiles/baseline_autotoken.dir/baseline_autotoken.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_autotoken.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for baseline_autotoken.
+# This may be replaced when dependencies are built.

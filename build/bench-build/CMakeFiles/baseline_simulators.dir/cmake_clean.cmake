@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/baseline_simulators"
+  "../bench/baseline_simulators.pdb"
+  "CMakeFiles/baseline_simulators.dir/baseline_simulators.cc.o"
+  "CMakeFiles/baseline_simulators.dir/baseline_simulators.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_simulators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_allocation_policies"
+  "../bench/ext_allocation_policies.pdb"
+  "CMakeFiles/ext_allocation_policies.dir/ext_allocation_policies.cc.o"
+  "CMakeFiles/ext_allocation_policies.dir/ext_allocation_policies.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_allocation_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

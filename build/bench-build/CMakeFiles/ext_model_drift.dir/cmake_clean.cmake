@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_model_drift"
+  "../bench/ext_model_drift.pdb"
+  "CMakeFiles/ext_model_drift.dir/ext_model_drift.cc.o"
+  "CMakeFiles/ext_model_drift.dir/ext_model_drift.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_model_drift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_scheduler_wait_times"
+  "../bench/ext_scheduler_wait_times.pdb"
+  "CMakeFiles/ext_scheduler_wait_times.dir/ext_scheduler_wait_times.cc.o"
+  "CMakeFiles/ext_scheduler_wait_times.dir/ext_scheduler_wait_times.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_scheduler_wait_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_seed_robustness"
+  "../bench/ext_seed_robustness.pdb"
+  "CMakeFiles/ext_seed_robustness.dir/ext_seed_robustness.cc.o"
+  "CMakeFiles/ext_seed_robustness.dir/ext_seed_robustness.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_seed_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_spark_autoexecutor"
+  "../bench/ext_spark_autoexecutor.pdb"
+  "CMakeFiles/ext_spark_autoexecutor.dir/ext_spark_autoexecutor.cc.o"
+  "CMakeFiles/ext_spark_autoexecutor.dir/ext_spark_autoexecutor.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_spark_autoexecutor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig01_allocation_policies"
+  "../bench/fig01_allocation_policies.pdb"
+  "CMakeFiles/fig01_allocation_policies.dir/fig01_allocation_policies.cc.o"
+  "CMakeFiles/fig01_allocation_policies.dir/fig01_allocation_policies.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_allocation_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

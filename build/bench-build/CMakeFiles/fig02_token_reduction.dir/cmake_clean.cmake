@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_token_reduction"
+  "../bench/fig02_token_reduction.pdb"
+  "CMakeFiles/fig02_token_reduction.dir/fig02_token_reduction.cc.o"
+  "CMakeFiles/fig02_token_reduction.dir/fig02_token_reduction.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_token_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

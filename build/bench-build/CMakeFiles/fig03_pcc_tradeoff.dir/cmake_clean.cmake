@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_pcc_tradeoff"
+  "../bench/fig03_pcc_tradeoff.pdb"
+  "CMakeFiles/fig03_pcc_tradeoff.dir/fig03_pcc_tradeoff.cc.o"
+  "CMakeFiles/fig03_pcc_tradeoff.dir/fig03_pcc_tradeoff.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_pcc_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

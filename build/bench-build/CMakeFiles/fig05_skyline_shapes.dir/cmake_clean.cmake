@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_skyline_shapes"
+  "../bench/fig05_skyline_shapes.pdb"
+  "CMakeFiles/fig05_skyline_shapes.dir/fig05_skyline_shapes.cc.o"
+  "CMakeFiles/fig05_skyline_shapes.dir/fig05_skyline_shapes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_skyline_shapes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

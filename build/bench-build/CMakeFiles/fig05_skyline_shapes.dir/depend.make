@@ -1,0 +1,2 @@
+# Empty dependencies file for fig05_skyline_shapes.
+# This may be replaced when dependencies are built.

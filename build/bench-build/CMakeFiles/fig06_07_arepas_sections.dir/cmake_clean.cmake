@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_07_arepas_sections"
+  "../bench/fig06_07_arepas_sections.pdb"
+  "CMakeFiles/fig06_07_arepas_sections.dir/fig06_07_arepas_sections.cc.o"
+  "CMakeFiles/fig06_07_arepas_sections.dir/fig06_07_arepas_sections.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_07_arepas_sections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

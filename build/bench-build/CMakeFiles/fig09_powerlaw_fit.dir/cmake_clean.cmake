@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_powerlaw_fit"
+  "../bench/fig09_powerlaw_fit.pdb"
+  "CMakeFiles/fig09_powerlaw_fit.dir/fig09_powerlaw_fit.cc.o"
+  "CMakeFiles/fig09_powerlaw_fit.dir/fig09_powerlaw_fit.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_powerlaw_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_job_selection"
+  "../bench/fig11_job_selection.pdb"
+  "CMakeFiles/fig11_job_selection.dir/fig11_job_selection.cc.o"
+  "CMakeFiles/fig11_job_selection.dir/fig11_job_selection.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_job_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_area_conservation"
+  "../bench/fig12_area_conservation.pdb"
+  "CMakeFiles/fig12_area_conservation.dir/fig12_area_conservation.cc.o"
+  "CMakeFiles/fig12_area_conservation.dir/fig12_area_conservation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_area_conservation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_area_conservation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_arepas_error"
+  "../bench/fig13_arepas_error.pdb"
+  "CMakeFiles/fig13_arepas_error.dir/fig13_arepas_error.cc.o"
+  "CMakeFiles/fig13_arepas_error.dir/fig13_arepas_error.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_arepas_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/microbench_core.cc" "bench-build/CMakeFiles/microbench_core.dir/microbench_core.cc.o" "gcc" "bench-build/CMakeFiles/microbench_core.dir/microbench_core.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tasq/CMakeFiles/tasq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/arepas/CMakeFiles/tasq_arepas.dir/DependInfo.cmake"
+  "/root/repo/build/src/feat/CMakeFiles/tasq_feat.dir/DependInfo.cmake"
+  "/root/repo/build/src/gbdt/CMakeFiles/tasq_gbdt.dir/DependInfo.cmake"
+  "/root/repo/build/src/gnn/CMakeFiles/tasq_gnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/tasq_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/tasq_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcc/CMakeFiles/tasq_pcc.dir/DependInfo.cmake"
+  "/root/repo/build/src/selection/CMakeFiles/tasq_selection.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/tasq_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcluster/CMakeFiles/tasq_simcluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/skyline/CMakeFiles/tasq_skyline.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tasq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/microbench_core"
+  "../bench/microbench_core.pdb"
+  "CMakeFiles/microbench_core.dir/microbench_core.cc.o"
+  "CMakeFiles/microbench_core.dir/microbench_core.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

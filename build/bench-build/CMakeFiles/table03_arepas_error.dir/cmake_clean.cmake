@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table03_arepas_error"
+  "../bench/table03_arepas_error.pdb"
+  "CMakeFiles/table03_arepas_error.dir/table03_arepas_error.cc.o"
+  "CMakeFiles/table03_arepas_error.dir/table03_arepas_error.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table03_arepas_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table04_06_models"
+  "../bench/table04_06_models.pdb"
+  "CMakeFiles/table04_06_models.dir/table04_06_models.cc.o"
+  "CMakeFiles/table04_06_models.dir/table04_06_models.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table04_06_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

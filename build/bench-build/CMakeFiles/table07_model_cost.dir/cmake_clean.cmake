@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table07_model_cost"
+  "../bench/table07_model_cost.pdb"
+  "CMakeFiles/table07_model_cost.dir/table07_model_cost.cc.o"
+  "CMakeFiles/table07_model_cost.dir/table07_model_cost.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table07_model_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

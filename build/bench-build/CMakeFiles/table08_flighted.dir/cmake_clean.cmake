@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table08_flighted"
+  "../bench/table08_flighted.pdb"
+  "CMakeFiles/table08_flighted.dir/table08_flighted.cc.o"
+  "CMakeFiles/table08_flighted.dir/table08_flighted.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table08_flighted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arepas_studio.dir/arepas_studio.cpp.o"
+  "CMakeFiles/arepas_studio.dir/arepas_studio.cpp.o.d"
+  "arepas_studio"
+  "arepas_studio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arepas_studio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

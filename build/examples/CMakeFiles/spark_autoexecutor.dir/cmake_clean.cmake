@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spark_autoexecutor.dir/spark_autoexecutor.cpp.o"
+  "CMakeFiles/spark_autoexecutor.dir/spark_autoexecutor.cpp.o.d"
+  "spark_autoexecutor"
+  "spark_autoexecutor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spark_autoexecutor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

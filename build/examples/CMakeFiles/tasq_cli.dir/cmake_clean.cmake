@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tasq_cli.dir/tasq_cli.cpp.o"
+  "CMakeFiles/tasq_cli.dir/tasq_cli.cpp.o.d"
+  "tasq_cli"
+  "tasq_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tasq_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_optimizer.dir/workload_optimizer.cpp.o"
+  "CMakeFiles/workload_optimizer.dir/workload_optimizer.cpp.o.d"
+  "workload_optimizer"
+  "workload_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

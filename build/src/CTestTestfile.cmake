@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("skyline")
+subdirs("arepas")
+subdirs("pcc")
+subdirs("simcluster")
+subdirs("workload")
+subdirs("feat")
+subdirs("ml")
+subdirs("nn")
+subdirs("gnn")
+subdirs("gbdt")
+subdirs("selection")
+subdirs("tasq")
+subdirs("spark")
+subdirs("baselines")

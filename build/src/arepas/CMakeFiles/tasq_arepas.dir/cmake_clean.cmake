@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tasq_arepas.dir/arepas.cc.o"
+  "CMakeFiles/tasq_arepas.dir/arepas.cc.o.d"
+  "libtasq_arepas.a"
+  "libtasq_arepas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tasq_arepas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tasq_baselines.dir/autotoken.cc.o"
+  "CMakeFiles/tasq_baselines.dir/autotoken.cc.o.d"
+  "CMakeFiles/tasq_baselines.dir/stage_simulators.cc.o"
+  "CMakeFiles/tasq_baselines.dir/stage_simulators.cc.o.d"
+  "libtasq_baselines.a"
+  "libtasq_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tasq_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

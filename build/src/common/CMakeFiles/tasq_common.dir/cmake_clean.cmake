@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tasq_common.dir/rng.cc.o"
+  "CMakeFiles/tasq_common.dir/rng.cc.o.d"
+  "CMakeFiles/tasq_common.dir/stats.cc.o"
+  "CMakeFiles/tasq_common.dir/stats.cc.o.d"
+  "CMakeFiles/tasq_common.dir/status.cc.o"
+  "CMakeFiles/tasq_common.dir/status.cc.o.d"
+  "CMakeFiles/tasq_common.dir/table.cc.o"
+  "CMakeFiles/tasq_common.dir/table.cc.o.d"
+  "CMakeFiles/tasq_common.dir/text_io.cc.o"
+  "CMakeFiles/tasq_common.dir/text_io.cc.o.d"
+  "libtasq_common.a"
+  "libtasq_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tasq_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tasq_feat.dir/featurizer.cc.o"
+  "CMakeFiles/tasq_feat.dir/featurizer.cc.o.d"
+  "libtasq_feat.a"
+  "libtasq_feat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tasq_feat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gbdt/gbdt.cc" "src/gbdt/CMakeFiles/tasq_gbdt.dir/gbdt.cc.o" "gcc" "src/gbdt/CMakeFiles/tasq_gbdt.dir/gbdt.cc.o.d"
+  "/root/repo/src/gbdt/xgb_pcc.cc" "src/gbdt/CMakeFiles/tasq_gbdt.dir/xgb_pcc.cc.o" "gcc" "src/gbdt/CMakeFiles/tasq_gbdt.dir/xgb_pcc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pcc/CMakeFiles/tasq_pcc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tasq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

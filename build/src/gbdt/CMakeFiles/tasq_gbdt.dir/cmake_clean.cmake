@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tasq_gbdt.dir/gbdt.cc.o"
+  "CMakeFiles/tasq_gbdt.dir/gbdt.cc.o.d"
+  "CMakeFiles/tasq_gbdt.dir/xgb_pcc.cc.o"
+  "CMakeFiles/tasq_gbdt.dir/xgb_pcc.cc.o.d"
+  "libtasq_gbdt.a"
+  "libtasq_gbdt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tasq_gbdt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tasq_gnn.dir/gnn_model.cc.o"
+  "CMakeFiles/tasq_gnn.dir/gnn_model.cc.o.d"
+  "libtasq_gnn.a"
+  "libtasq_gnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tasq_gnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

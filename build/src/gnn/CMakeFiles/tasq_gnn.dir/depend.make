@@ -1,0 +1,2 @@
+# Empty dependencies file for tasq_gnn.
+# This may be replaced when dependencies are built.

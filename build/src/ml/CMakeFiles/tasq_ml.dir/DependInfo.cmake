@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/autograd.cc" "src/ml/CMakeFiles/tasq_ml.dir/autograd.cc.o" "gcc" "src/ml/CMakeFiles/tasq_ml.dir/autograd.cc.o.d"
+  "/root/repo/src/ml/matrix.cc" "src/ml/CMakeFiles/tasq_ml.dir/matrix.cc.o" "gcc" "src/ml/CMakeFiles/tasq_ml.dir/matrix.cc.o.d"
+  "/root/repo/src/ml/matrix_io.cc" "src/ml/CMakeFiles/tasq_ml.dir/matrix_io.cc.o" "gcc" "src/ml/CMakeFiles/tasq_ml.dir/matrix_io.cc.o.d"
+  "/root/repo/src/ml/optimizer.cc" "src/ml/CMakeFiles/tasq_ml.dir/optimizer.cc.o" "gcc" "src/ml/CMakeFiles/tasq_ml.dir/optimizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tasq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tasq_ml.dir/autograd.cc.o"
+  "CMakeFiles/tasq_ml.dir/autograd.cc.o.d"
+  "CMakeFiles/tasq_ml.dir/matrix.cc.o"
+  "CMakeFiles/tasq_ml.dir/matrix.cc.o.d"
+  "CMakeFiles/tasq_ml.dir/matrix_io.cc.o"
+  "CMakeFiles/tasq_ml.dir/matrix_io.cc.o.d"
+  "CMakeFiles/tasq_ml.dir/optimizer.cc.o"
+  "CMakeFiles/tasq_ml.dir/optimizer.cc.o.d"
+  "libtasq_ml.a"
+  "libtasq_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tasq_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

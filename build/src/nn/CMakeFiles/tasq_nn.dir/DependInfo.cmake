@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/nn_model.cc" "src/nn/CMakeFiles/tasq_nn.dir/nn_model.cc.o" "gcc" "src/nn/CMakeFiles/tasq_nn.dir/nn_model.cc.o.d"
+  "/root/repo/src/nn/pcc_loss.cc" "src/nn/CMakeFiles/tasq_nn.dir/pcc_loss.cc.o" "gcc" "src/nn/CMakeFiles/tasq_nn.dir/pcc_loss.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ml/CMakeFiles/tasq_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcc/CMakeFiles/tasq_pcc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tasq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

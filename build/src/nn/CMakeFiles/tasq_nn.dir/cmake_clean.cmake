@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tasq_nn.dir/nn_model.cc.o"
+  "CMakeFiles/tasq_nn.dir/nn_model.cc.o.d"
+  "CMakeFiles/tasq_nn.dir/pcc_loss.cc.o"
+  "CMakeFiles/tasq_nn.dir/pcc_loss.cc.o.d"
+  "libtasq_nn.a"
+  "libtasq_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tasq_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tasq_pcc.dir/pcc.cc.o"
+  "CMakeFiles/tasq_pcc.dir/pcc.cc.o.d"
+  "libtasq_pcc.a"
+  "libtasq_pcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tasq_pcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/selection/flighting.cc" "src/selection/CMakeFiles/tasq_selection.dir/flighting.cc.o" "gcc" "src/selection/CMakeFiles/tasq_selection.dir/flighting.cc.o.d"
+  "/root/repo/src/selection/job_selection.cc" "src/selection/CMakeFiles/tasq_selection.dir/job_selection.cc.o" "gcc" "src/selection/CMakeFiles/tasq_selection.dir/job_selection.cc.o.d"
+  "/root/repo/src/selection/kmeans.cc" "src/selection/CMakeFiles/tasq_selection.dir/kmeans.cc.o" "gcc" "src/selection/CMakeFiles/tasq_selection.dir/kmeans.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simcluster/CMakeFiles/tasq_simcluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/tasq_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tasq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/skyline/CMakeFiles/tasq_skyline.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

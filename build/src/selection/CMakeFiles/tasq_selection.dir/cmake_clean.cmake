@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tasq_selection.dir/flighting.cc.o"
+  "CMakeFiles/tasq_selection.dir/flighting.cc.o.d"
+  "CMakeFiles/tasq_selection.dir/job_selection.cc.o"
+  "CMakeFiles/tasq_selection.dir/job_selection.cc.o.d"
+  "CMakeFiles/tasq_selection.dir/kmeans.cc.o"
+  "CMakeFiles/tasq_selection.dir/kmeans.cc.o.d"
+  "libtasq_selection.a"
+  "libtasq_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tasq_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtasq_selection.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tasq_simcluster.dir/cluster_scheduler.cc.o"
+  "CMakeFiles/tasq_simcluster.dir/cluster_scheduler.cc.o.d"
+  "CMakeFiles/tasq_simcluster.dir/cluster_simulator.cc.o"
+  "CMakeFiles/tasq_simcluster.dir/cluster_simulator.cc.o.d"
+  "CMakeFiles/tasq_simcluster.dir/job_plan.cc.o"
+  "CMakeFiles/tasq_simcluster.dir/job_plan.cc.o.d"
+  "libtasq_simcluster.a"
+  "libtasq_simcluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tasq_simcluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tasq_skyline.dir/skyline.cc.o"
+  "CMakeFiles/tasq_skyline.dir/skyline.cc.o.d"
+  "libtasq_skyline.a"
+  "libtasq_skyline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tasq_skyline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

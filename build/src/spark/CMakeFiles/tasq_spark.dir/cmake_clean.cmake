@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tasq_spark.dir/autoexecutor.cc.o"
+  "CMakeFiles/tasq_spark.dir/autoexecutor.cc.o.d"
+  "libtasq_spark.a"
+  "libtasq_spark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tasq_spark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tasq_core.dir/dataset.cc.o"
+  "CMakeFiles/tasq_core.dir/dataset.cc.o.d"
+  "CMakeFiles/tasq_core.dir/evaluation.cc.o"
+  "CMakeFiles/tasq_core.dir/evaluation.cc.o.d"
+  "CMakeFiles/tasq_core.dir/repository.cc.o"
+  "CMakeFiles/tasq_core.dir/repository.cc.o.d"
+  "CMakeFiles/tasq_core.dir/tasq.cc.o"
+  "CMakeFiles/tasq_core.dir/tasq.cc.o.d"
+  "CMakeFiles/tasq_core.dir/what_if.cc.o"
+  "CMakeFiles/tasq_core.dir/what_if.cc.o.d"
+  "libtasq_core.a"
+  "libtasq_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tasq_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

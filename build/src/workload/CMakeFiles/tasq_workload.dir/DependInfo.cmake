@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/generator.cc" "src/workload/CMakeFiles/tasq_workload.dir/generator.cc.o" "gcc" "src/workload/CMakeFiles/tasq_workload.dir/generator.cc.o.d"
+  "/root/repo/src/workload/job_graph.cc" "src/workload/CMakeFiles/tasq_workload.dir/job_graph.cc.o" "gcc" "src/workload/CMakeFiles/tasq_workload.dir/job_graph.cc.o.d"
+  "/root/repo/src/workload/operators.cc" "src/workload/CMakeFiles/tasq_workload.dir/operators.cc.o" "gcc" "src/workload/CMakeFiles/tasq_workload.dir/operators.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simcluster/CMakeFiles/tasq_simcluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tasq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/skyline/CMakeFiles/tasq_skyline.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

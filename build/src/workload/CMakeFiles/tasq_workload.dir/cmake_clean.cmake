@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tasq_workload.dir/generator.cc.o"
+  "CMakeFiles/tasq_workload.dir/generator.cc.o.d"
+  "CMakeFiles/tasq_workload.dir/job_graph.cc.o"
+  "CMakeFiles/tasq_workload.dir/job_graph.cc.o.d"
+  "CMakeFiles/tasq_workload.dir/operators.cc.o"
+  "CMakeFiles/tasq_workload.dir/operators.cc.o.d"
+  "libtasq_workload.a"
+  "libtasq_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tasq_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

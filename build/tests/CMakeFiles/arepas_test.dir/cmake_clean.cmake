@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arepas_test.dir/arepas_test.cc.o"
+  "CMakeFiles/arepas_test.dir/arepas_test.cc.o.d"
+  "arepas_test"
+  "arepas_test.pdb"
+  "arepas_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arepas_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

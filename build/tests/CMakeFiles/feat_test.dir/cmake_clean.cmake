@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feat_test.dir/feat_test.cc.o"
+  "CMakeFiles/feat_test.dir/feat_test.cc.o.d"
+  "feat_test"
+  "feat_test.pdb"
+  "feat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcc_test.dir/pcc_test.cc.o"
+  "CMakeFiles/pcc_test.dir/pcc_test.cc.o.d"
+  "pcc_test"
+  "pcc_test.pdb"
+  "pcc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

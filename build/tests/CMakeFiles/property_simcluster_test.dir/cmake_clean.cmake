@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_simcluster_test.dir/property_simcluster_test.cc.o"
+  "CMakeFiles/property_simcluster_test.dir/property_simcluster_test.cc.o.d"
+  "property_simcluster_test"
+  "property_simcluster_test.pdb"
+  "property_simcluster_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_simcluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

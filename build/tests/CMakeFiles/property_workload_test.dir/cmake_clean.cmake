@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_workload_test.dir/property_workload_test.cc.o"
+  "CMakeFiles/property_workload_test.dir/property_workload_test.cc.o.d"
+  "property_workload_test"
+  "property_workload_test.pdb"
+  "property_workload_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

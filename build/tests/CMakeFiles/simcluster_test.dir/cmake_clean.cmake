@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simcluster_test.dir/simcluster_test.cc.o"
+  "CMakeFiles/simcluster_test.dir/simcluster_test.cc.o.d"
+  "simcluster_test"
+  "simcluster_test.pdb"
+  "simcluster_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simcluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tasq_test.dir/tasq_test.cc.o"
+  "CMakeFiles/tasq_test.dir/tasq_test.cc.o.d"
+  "tasq_test"
+  "tasq_test.pdb"
+  "tasq_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tasq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

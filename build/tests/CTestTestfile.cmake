@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/skyline_test[1]_include.cmake")
+include("/root/repo/build/tests/arepas_test[1]_include.cmake")
+include("/root/repo/build/tests/pcc_test[1]_include.cmake")
+include("/root/repo/build/tests/simcluster_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/feat_test[1]_include.cmake")
+include("/root/repo/build/tests/ml_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_test[1]_include.cmake")
+include("/root/repo/build/tests/gnn_test[1]_include.cmake")
+include("/root/repo/build/tests/gbdt_test[1]_include.cmake")
+include("/root/repo/build/tests/selection_test[1]_include.cmake")
+include("/root/repo/build/tests/tasq_test[1]_include.cmake")
+include("/root/repo/build/tests/property_arepas_test[1]_include.cmake")
+include("/root/repo/build/tests/property_simcluster_test[1]_include.cmake")
+include("/root/repo/build/tests/property_pcc_test[1]_include.cmake")
+include("/root/repo/build/tests/serialize_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_scheduler_test[1]_include.cmake")
+include("/root/repo/build/tests/spark_test[1]_include.cmake")
+include("/root/repo/build/tests/repository_test[1]_include.cmake")
+include("/root/repo/build/tests/property_workload_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/evaluation_test[1]_include.cmake")
+include("/root/repo/build/tests/parallel_test[1]_include.cmake")
+include("/root/repo/build/tests/misc_test[1]_include.cmake")
+include("/root/repo/build/tests/property_gbdt_test[1]_include.cmake")
+include("/root/repo/build/tests/what_if_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Runs the full correctness matrix locally:
+#
+#   1. repo lint          (scripts/tasq_lint.py, plus a self-check)
+#   2. Release            build + full ctest
+#   3. ASan + UBSan       build + full ctest
+#   4. TSan               build + the concurrency-sensitive tests
+#
+# Every leg uses its own build tree (build-check-*), so an existing
+# `build/` stays untouched. Set TASQ_CHECK_JOBS to bound parallelism.
+#
+# Usage: scripts/check.sh [lint|release|asan|tsan]...   (default: all)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${TASQ_CHECK_JOBS:-$(nproc)}"
+REPO_ROOT="$(pwd)"
+
+# Known-benign sanitizer findings are suppressed centrally so one noisy
+# third-party frame never trains people to ignore red output.
+export ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1:${ASAN_OPTIONS:-}"
+export LSAN_OPTIONS="suppressions=${REPO_ROOT}/scripts/sanitizers/lsan.supp:${LSAN_OPTIONS:-}"
+export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1:suppressions=${REPO_ROOT}/scripts/sanitizers/ubsan.supp:${UBSAN_OPTIONS:-}"
+export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1:suppressions=${REPO_ROOT}/scripts/sanitizers/tsan.supp:${TSAN_OPTIONS:-}"
+
+run_leg() {
+  local name="$1" dir="$2" sanitize="$3" test_regex="$4"
+  echo "== ${name}: configure + build (${dir}) =="
+  cmake -B "${dir}" -S . -DTASQ_SANITIZE="${sanitize}" >/dev/null
+  # Progress spam goes to /dev/null; warnings and errors arrive on stderr.
+  cmake --build "${dir}" -j "${JOBS}" >/dev/null
+  echo "== ${name}: ctest =="
+  if [[ -n "${test_regex}" ]]; then
+    ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" -R "${test_regex}"
+  else
+    ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}"
+  fi
+}
+
+lint_leg() {
+  echo "== lint: tasq_lint.py =="
+  python3 scripts/tasq_lint.py
+  echo "== lint: self-check (a seeded violation must fail) =="
+  python3 scripts/tasq_lint.py --self-test
+}
+
+LEGS=("$@")
+if [[ ${#LEGS[@]} -eq 0 ]]; then LEGS=(lint release asan tsan); fi
+
+for leg in "${LEGS[@]}"; do
+  case "${leg}" in
+    lint) lint_leg ;;
+    release) run_leg "release" build-check-release "" "" ;;
+    asan) run_leg "asan+ubsan" build-check-asan "address;undefined" "" ;;
+    # TSan's scheduler interleaving makes the full suite slow; the
+    # concurrency-sensitive suites (ParallelFor*, ParallelStress*, the
+    # cluster simulator/scheduler and their property tests) are the ones
+    # a race can hide in.
+    tsan) run_leg "tsan" build-check-tsan "thread" "Parallel|Cluster" ;;
+    *) echo "unknown leg '${leg}' (want lint|release|asan|tsan)" >&2; exit 2 ;;
+  esac
+done
+
+echo "== all requested legs passed =="

@@ -1,0 +1,374 @@
+#!/usr/bin/env python3
+"""TASQ repository linter: enforces the repo's own conventions.
+
+Rules (stdlib only, no clang dependency):
+
+  include-guard          src/ headers guard with TASQ_<DIR>_<FILE>_H_
+                         derived from the path (e.g. src/pcc/pcc.h ->
+                         TASQ_PCC_PCC_H_).
+  using-namespace-header no `using namespace` at header scope anywhere;
+                         headers leak it into every includer.
+  throw-in-src           no `throw` in src/: fallible operations return
+                         Status/Result<T> (the contract documented in
+                         common/status.h). Tests/benches may throw.
+  cout-in-src            no `std::cout` in src/: library code reports
+                         through return values; printing belongs to the
+                         bench/example binaries (see common/text_io and
+                         common/table for the sanctioned paths).
+  header-unreachable     every header under src/ must be reachable from
+                         some test via transitive #include — an untested
+                         header is dead or untrusted code.
+
+Known, accepted findings live in scripts/lint_baseline.txt; the linter
+exits nonzero only on findings not in the baseline, so it can land green
+and still fail on regressions.
+
+Usage:
+  python3 scripts/tasq_lint.py                  lint the repo
+  python3 scripts/tasq_lint.py --update-baseline  accept current findings
+  python3 scripts/tasq_lint.py --self-test      verify the rules fire on
+                                                a synthetic bad tree
+"""
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BASELINE_PATH = os.path.join("scripts", "lint_baseline.txt")
+SOURCE_SUFFIXES = (".h", ".cc", ".cpp")
+SKIP_DIR_PREFIXES = ("build",)
+
+
+class Finding:
+    def __init__(self, rule, path, line, message):
+        self.rule = rule
+        self.path = path  # Repo-relative, forward slashes.
+        self.line = line  # 1-based, or 0 for whole-file findings.
+        self.message = message
+
+    def key(self):
+        # Line numbers shift too easily to key the baseline on them.
+        return f"{self.rule}\t{self.path}"
+
+    def __str__(self):
+        where = f"{self.path}:{self.line}" if self.line else self.path
+        return f"{where}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text):
+    """Blanks out comments and string/char literals, preserving newlines.
+
+    Good enough for keyword scans: a `throw` in a comment or a log string
+    must not count. Raw strings are treated as plain strings (fine for the
+    patterns we search)."""
+    out = []
+    i = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif c == "/" and nxt == "*":
+            i += 2
+            while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
+                if text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i += 2
+        elif c == '"' or c == "'":
+            quote = c
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    i += 1
+                elif text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def iter_source_files(root, subdirs):
+    for subdir in subdirs:
+        base = os.path.join(root, subdir)
+        for dirpath, dirnames, filenames in os.walk(base):
+            dirnames[:] = sorted(
+                d for d in dirnames
+                if not d.startswith(SKIP_DIR_PREFIXES) and d != ".git")
+            for name in sorted(filenames):
+                if name.endswith(SOURCE_SUFFIXES):
+                    full = os.path.join(dirpath, name)
+                    yield os.path.relpath(full, root).replace(os.sep, "/")
+
+
+def read(root, rel):
+    with open(os.path.join(root, rel), encoding="utf-8", errors="replace") as f:
+        return f.read()
+
+
+def expected_guard(rel_path):
+    # src/pcc/pcc.h -> TASQ_PCC_PCC_H_
+    assert rel_path.startswith("src/") and rel_path.endswith(".h")
+    stem = rel_path[len("src/"):-len(".h")]
+    return "TASQ_" + re.sub(r"[^A-Za-z0-9]", "_", stem).upper() + "_H_"
+
+
+def check_include_guards(root):
+    findings = []
+    for rel in iter_source_files(root, ["src"]):
+        if not rel.endswith(".h"):
+            continue
+        want = expected_guard(rel)
+        text = read(root, rel)
+        ifndef = re.search(r"^#ifndef\s+(\S+)", text, re.MULTILINE)
+        define = re.search(r"^#define\s+(\S+)", text, re.MULTILINE)
+        if not ifndef or not define:
+            findings.append(Finding(
+                "include-guard", rel, 1,
+                f"missing include guard (expected {want})"))
+            continue
+        if ifndef.group(1) != want or define.group(1) != want:
+            line = text[:ifndef.start()].count("\n") + 1
+            findings.append(Finding(
+                "include-guard", rel, line,
+                f"guard is {ifndef.group(1)}, expected {want}"))
+    return findings
+
+
+def check_using_namespace_in_headers(root):
+    findings = []
+    for rel in iter_source_files(root, ["src", "tests", "bench", "examples"]):
+        if not rel.endswith(".h"):
+            continue
+        stripped = strip_comments_and_strings(read(root, rel))
+        for match in re.finditer(r"\busing\s+namespace\b", stripped):
+            line = stripped[:match.start()].count("\n") + 1
+            findings.append(Finding(
+                "using-namespace-header", rel, line,
+                "`using namespace` in a header leaks into every includer"))
+    return findings
+
+
+def check_throw_in_src(root):
+    findings = []
+    for rel in iter_source_files(root, ["src"]):
+        stripped = strip_comments_and_strings(read(root, rel))
+        for match in re.finditer(r"\bthrow\b", stripped):
+            line = stripped[:match.start()].count("\n") + 1
+            findings.append(Finding(
+                "throw-in-src", rel, line,
+                "src/ code returns Status/Result instead of throwing "
+                "(see common/status.h)"))
+    return findings
+
+
+def check_cout_in_src(root):
+    findings = []
+    for rel in iter_source_files(root, ["src"]):
+        stripped = strip_comments_and_strings(read(root, rel))
+        for match in re.finditer(r"\bstd::cout\b", stripped):
+            line = stripped[:match.start()].count("\n") + 1
+            findings.append(Finding(
+                "cout-in-src", rel, line,
+                "library code must not print to stdout; return values or "
+                "take an std::ostream&"))
+    return findings
+
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"', re.MULTILINE)
+
+
+def check_header_reachability(root):
+    """Every src/ header must be in the transitive include closure of the
+    tests. Project includes are rooted at src/ (`#include "pcc/pcc.h"`)."""
+    headers = {rel for rel in iter_source_files(root, ["src"])
+               if rel.endswith(".h")}
+    if not headers:
+        return []
+
+    def includes_of(rel):
+        out = []
+        for inc in INCLUDE_RE.findall(read(root, rel)):
+            candidate = "src/" + inc
+            if candidate in headers:
+                out.append(candidate)
+        return out
+
+    reached = set()
+    frontier = []
+    tests_dir = os.path.join(root, "tests")
+    if os.path.isdir(tests_dir):
+        for rel in iter_source_files(root, ["tests"]):
+            for inc in includes_of(rel):
+                if inc not in reached:
+                    reached.add(inc)
+                    frontier.append(inc)
+    while frontier:
+        current = frontier.pop()
+        for inc in includes_of(current):
+            if inc not in reached:
+                reached.add(inc)
+                frontier.append(inc)
+
+    findings = []
+    for rel in sorted(headers - reached):
+        findings.append(Finding(
+            "header-unreachable", rel, 0,
+            "not reachable from any test via #include; add coverage or "
+            "delete the header"))
+    return findings
+
+
+ALL_CHECKS = [
+    check_include_guards,
+    check_using_namespace_in_headers,
+    check_throw_in_src,
+    check_cout_in_src,
+    check_header_reachability,
+]
+
+
+def run_checks(root):
+    findings = []
+    for check in ALL_CHECKS:
+        findings.extend(check(root))
+    findings.sort(key=lambda f: (f.path, f.rule, f.line))
+    return findings
+
+
+def load_baseline(root):
+    path = os.path.join(root, BASELINE_PATH)
+    entries = set()
+    if os.path.exists(path):
+        with open(path, encoding="utf-8") as f:
+            for line in f:
+                line = line.rstrip("\n")
+                if line and not line.startswith("#"):
+                    entries.add(line)
+    return entries
+
+
+def write_baseline(root, findings):
+    path = os.path.join(root, BASELINE_PATH)
+    with open(path, "w", encoding="utf-8") as f:
+        f.write("# Accepted tasq_lint.py findings (rule<TAB>path).\n")
+        f.write("# Regenerate with: python3 scripts/tasq_lint.py "
+                "--update-baseline\n")
+        for key in sorted({finding.key() for finding in findings}):
+            f.write(key + "\n")
+
+
+def self_test():
+    """Seeds a synthetic tree with one violation per rule and asserts every
+    rule fires, then asserts a clean tree is quiet."""
+    with tempfile.TemporaryDirectory(prefix="tasq_lint_selftest_") as tmp:
+        src = os.path.join(tmp, "src", "mod")
+        tests = os.path.join(tmp, "tests")
+        os.makedirs(src)
+        os.makedirs(tests)
+        with open(os.path.join(src, "bad.h"), "w", encoding="utf-8") as f:
+            f.write(
+                "#ifndef WRONG_GUARD_H\n"
+                "#define WRONG_GUARD_H\n"
+                "using namespace std;\n"
+                "inline void Boom() { throw 1; }\n"
+                "#endif\n")
+        with open(os.path.join(src, "noisy.cc"), "w", encoding="utf-8") as f:
+            f.write(
+                "#include <iostream>\n"
+                "void Print() { std::cout << \"hi\"; }\n"
+                "// a throw in a comment must NOT fire\n"
+                "const char* s = \"throw inside a string\";\n")
+        with open(os.path.join(tests, "mod_test.cc"), "w",
+                  encoding="utf-8") as f:
+            f.write("int main() { return 0; }\n")  # Includes nothing.
+        findings = run_checks(tmp)
+        fired = {f.rule for f in findings}
+        expected = {"include-guard", "using-namespace-header", "throw-in-src",
+                    "cout-in-src", "header-unreachable"}
+        missing = expected - fired
+        if missing:
+            print(f"self-test FAILED: rules did not fire: {sorted(missing)}")
+            for f in findings:
+                print(f"  saw: {f}")
+            return 1
+        comment_string_hits = [
+            f for f in findings
+            if f.rule == "throw-in-src" and f.path.endswith("noisy.cc")]
+        if comment_string_hits:
+            print("self-test FAILED: throw matched inside comment/string")
+            return 1
+
+        # A conforming tree must produce zero findings.
+        with open(os.path.join(src, "bad.h"), "w", encoding="utf-8") as f:
+            f.write(
+                "#ifndef TASQ_MOD_BAD_H_\n"
+                "#define TASQ_MOD_BAD_H_\n"
+                "inline int Fine() { return 1; }\n"
+                "#endif\n")
+        with open(os.path.join(src, "noisy.cc"), "w", encoding="utf-8") as f:
+            f.write("#include \"mod/bad.h\"\nint User() { return Fine(); }\n")
+        with open(os.path.join(tests, "mod_test.cc"), "w",
+                  encoding="utf-8") as f:
+            f.write("#include \"mod/bad.h\"\nint main() { return Fine(); }\n")
+        leftover = run_checks(tmp)
+        if leftover:
+            print("self-test FAILED: clean tree still has findings:")
+            for f in leftover:
+                print(f"  {f}")
+            return 1
+    print("self-test passed: all rules fire and a clean tree is quiet")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=REPO_ROOT,
+                        help="repository root to lint")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="accept all current findings into the baseline")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the linter against a synthetic bad tree")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    findings = run_checks(args.root)
+    if args.update_baseline:
+        write_baseline(args.root, findings)
+        print(f"baseline updated with {len(findings)} finding(s)")
+        return 0
+
+    baseline = load_baseline(args.root)
+    new = [f for f in findings if f.key() not in baseline]
+    found_keys = {f.key() for f in findings}
+    stale = sorted(baseline - found_keys)
+
+    for finding in new:
+        print(finding)
+    if stale:
+        print(f"note: {len(stale)} stale baseline entr"
+              f"{'y' if len(stale) == 1 else 'ies'} (fixed findings — "
+              "run --update-baseline to prune):")
+        for key in stale:
+            print(f"  {key}")
+    if new:
+        print(f"\n{len(new)} new lint finding(s). Fix them or, if accepted, "
+              "run: python3 scripts/tasq_lint.py --update-baseline")
+        return 1
+    print(f"lint ok ({len(findings)} baselined finding(s), "
+          f"{len(stale)} stale)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.h"
 #include "common/stats.h"
 
 namespace tasq {
@@ -51,7 +52,21 @@ Result<Skyline> Arepas::SimulateSkyline(const Skyline& original,
     }
     simulated.push_back(last);
   }
-  return Skyline(std::move(simulated));
+  Skyline result(std::move(simulated));
+  // The simulated skyline must respect the new cap: copied under-threshold
+  // ticks are <= new_allocation by SplitSections' definition, flattened
+  // ticks equal it, and the exact-rounding remainder is clamped into it.
+  for (double v : result.values()) {
+    TASQ_DCHECK_LE(v, new_allocation * (1.0 + 1e-12));
+  }
+  // Area conservation (paper §AREPAS, Figure 12): exact rounding preserves
+  // the skyline's area up to float accumulation; ceil/floor rounding trade
+  // area for whole-tick lengths, so only kExact is checked.
+  if (options_.rounding == AreaRounding::kExact) {
+    TASQ_DCHECK_LE(std::fabs(result.Area() - original.Area()),
+                   1e-6 * std::max(1.0, original.Area()));
+  }
+  return result;
 }
 
 Result<double> Arepas::SimulateRunTimeSeconds(const Skyline& original,

@@ -1,0 +1,143 @@
+#ifndef TASQ_COMMON_CHECK_H_
+#define TASQ_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/status.h"
+
+/// Runtime invariant checks for conditions that indicate a bug in TASQ
+/// itself, as opposed to bad caller input. The policy (see DESIGN.md,
+/// "Verification"):
+///
+///   - Data-dependent or caller-triggerable conditions return `Status` /
+///     `Result<T>` — they are part of the API contract.
+///   - Internal invariants that no input should ever violate use
+///     `TASQ_CHECK*`. A failure prints file:line plus the failed
+///     expression to stderr and aborts; there is no recovery path because
+///     the process state is by definition wrong.
+///   - `TASQ_DCHECK*` is for invariants too hot to verify in production
+///     builds (per-element loops, O(n) scans of already-computed results).
+///     They compile to nothing under NDEBUG unless TASQ_DEBUG_CHECKS is
+///     defined — sanitizer builds define it so the full invariant layer
+///     runs under ASan/UBSan/TSan.
+///
+/// The comparison forms additionally print both operand values:
+///
+///   TASQ_CHECK_GE(free_tokens, 0) -> "check failed ... free_tokens >= 0
+///                                     (lhs=-1, rhs=0)"
+
+namespace tasq {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expression) {
+  std::fprintf(stderr, "%s:%d: check failed: %s\n", file, line, expression);
+  std::fflush(stderr);
+  std::abort();
+}
+
+[[noreturn]] inline void CheckOkFailed(const char* file, int line,
+                                       const char* expression,
+                                       const Status& status) {
+  std::fprintf(stderr, "%s:%d: check failed: %s (status: %s)\n", file, line,
+               expression, status.ToString().c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+// TASQ_CHECK_OK accepts both a plain `Status` and any `Result<T>`.
+inline const Status& GetStatus(const Status& status) { return status; }
+template <typename T>
+const Status& GetStatus(const Result<T>& result) {
+  return result.status();
+}
+
+template <typename Lhs, typename Rhs>
+[[noreturn]] void CheckCmpFailed(const char* file, int line,
+                                 const char* expression, const Lhs& lhs,
+                                 const Rhs& rhs) {
+  std::fprintf(stderr, "%s:%d: check failed: %s (lhs=%.17g, rhs=%.17g)\n",
+               file, line, expression, static_cast<double>(lhs),
+               static_cast<double>(rhs));
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace tasq
+
+/// Aborts with file:line and the expression text when `condition` is false.
+#define TASQ_CHECK(condition)                                          \
+  do {                                                                 \
+    if (!(condition)) {                                                \
+      ::tasq::internal::CheckFailed(__FILE__, __LINE__, #condition);   \
+    }                                                                  \
+  } while (false)
+
+/// Aborts (printing the contained code and message) when a `Status` or
+/// `Result<T>` expression is not OK.
+#define TASQ_CHECK_OK(expression)                                         \
+  do {                                                                    \
+    const auto& tasq_check_ok_value = (expression);                       \
+    if (!tasq_check_ok_value.ok()) {                                      \
+      ::tasq::internal::CheckOkFailed(                                    \
+          __FILE__, __LINE__, #expression,                                \
+          ::tasq::internal::GetStatus(tasq_check_ok_value));              \
+    }                                                                     \
+  } while (false)
+
+#define TASQ_INTERNAL_CHECK_CMP(lhs, rhs, op)                              \
+  do {                                                                     \
+    const auto& tasq_check_lhs = (lhs);                                    \
+    const auto& tasq_check_rhs = (rhs);                                    \
+    if (!(tasq_check_lhs op tasq_check_rhs)) {                             \
+      ::tasq::internal::CheckCmpFailed(__FILE__, __LINE__,                 \
+                                       #lhs " " #op " " #rhs,              \
+                                       tasq_check_lhs, tasq_check_rhs);    \
+    }                                                                      \
+  } while (false)
+
+#define TASQ_CHECK_EQ(lhs, rhs) TASQ_INTERNAL_CHECK_CMP(lhs, rhs, ==)
+#define TASQ_CHECK_NE(lhs, rhs) TASQ_INTERNAL_CHECK_CMP(lhs, rhs, !=)
+#define TASQ_CHECK_LT(lhs, rhs) TASQ_INTERNAL_CHECK_CMP(lhs, rhs, <)
+#define TASQ_CHECK_LE(lhs, rhs) TASQ_INTERNAL_CHECK_CMP(lhs, rhs, <=)
+#define TASQ_CHECK_GT(lhs, rhs) TASQ_INTERNAL_CHECK_CMP(lhs, rhs, >)
+#define TASQ_CHECK_GE(lhs, rhs) TASQ_INTERNAL_CHECK_CMP(lhs, rhs, >=)
+
+// Debug checks are live when the build asked for them (sanitizer builds
+// define TASQ_DEBUG_CHECKS) or when NDEBUG is absent (plain Debug builds).
+#if defined(TASQ_DEBUG_CHECKS) || !defined(NDEBUG)
+#define TASQ_DCHECK_IS_ON 1
+#else
+#define TASQ_DCHECK_IS_ON 0
+#endif
+
+#if TASQ_DCHECK_IS_ON
+#define TASQ_DCHECK(condition) TASQ_CHECK(condition)
+#define TASQ_DCHECK_OK(expression) TASQ_CHECK_OK(expression)
+#define TASQ_DCHECK_EQ(lhs, rhs) TASQ_CHECK_EQ(lhs, rhs)
+#define TASQ_DCHECK_NE(lhs, rhs) TASQ_CHECK_NE(lhs, rhs)
+#define TASQ_DCHECK_LT(lhs, rhs) TASQ_CHECK_LT(lhs, rhs)
+#define TASQ_DCHECK_LE(lhs, rhs) TASQ_CHECK_LE(lhs, rhs)
+#define TASQ_DCHECK_GT(lhs, rhs) TASQ_CHECK_GT(lhs, rhs)
+#define TASQ_DCHECK_GE(lhs, rhs) TASQ_CHECK_GE(lhs, rhs)
+#else
+// Compiled out, but the condition stays visible to the compiler inside an
+// unevaluated sizeof: it cannot bit-rot, and variables used only in a
+// DCHECK do not trigger -Wunused in NDEBUG builds.
+#define TASQ_INTERNAL_DCHECK_NOP(condition) \
+  do {                                      \
+    (void)sizeof(condition);                \
+  } while (false)
+#define TASQ_DCHECK(condition) TASQ_INTERNAL_DCHECK_NOP(condition)
+#define TASQ_DCHECK_OK(expression) TASQ_INTERNAL_DCHECK_NOP((expression).ok())
+#define TASQ_DCHECK_EQ(lhs, rhs) TASQ_INTERNAL_DCHECK_NOP((lhs) == (rhs))
+#define TASQ_DCHECK_NE(lhs, rhs) TASQ_INTERNAL_DCHECK_NOP((lhs) != (rhs))
+#define TASQ_DCHECK_LT(lhs, rhs) TASQ_INTERNAL_DCHECK_NOP((lhs) < (rhs))
+#define TASQ_DCHECK_LE(lhs, rhs) TASQ_INTERNAL_DCHECK_NOP((lhs) <= (rhs))
+#define TASQ_DCHECK_GT(lhs, rhs) TASQ_INTERNAL_DCHECK_NOP((lhs) > (rhs))
+#define TASQ_DCHECK_GE(lhs, rhs) TASQ_INTERNAL_DCHECK_NOP((lhs) >= (rhs))
+#endif  // TASQ_DCHECK_IS_ON
+
+#endif  // TASQ_COMMON_CHECK_H_

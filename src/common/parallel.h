@@ -3,7 +3,9 @@
 
 #include <atomic>
 #include <cstddef>
+#include <exception>
 #include <functional>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -16,6 +18,12 @@ namespace tasq {
 /// indices (typically: write only to slot i of a pre-sized output vector).
 /// Deterministic outputs are preserved because each index computes the
 /// same value regardless of which thread runs it.
+///
+/// Exception contract: if `body` throws, the first exception caught (in
+/// completion order) is rethrown on the calling thread after every worker
+/// has been joined — never std::terminate. Remaining indices may or may
+/// not run once an exception is pending, so a throwing `body` must leave
+/// shared state valid for partially processed ranges.
 inline void ParallelFor(size_t count, const std::function<void(size_t)>& body,
                         unsigned num_threads = 0) {
   if (count == 0) return;
@@ -27,11 +35,23 @@ inline void ParallelFor(size_t count, const std::function<void(size_t)>& body,
     return;
   }
   std::atomic<size_t> next{0};
+  std::atomic<bool> cancelled{false};
+  std::mutex exception_mutex;
+  std::exception_ptr first_exception;  // Guarded by exception_mutex.
   auto worker = [&]() {
-    while (true) {
+    while (!cancelled.load(std::memory_order_relaxed)) {
       size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= count) return;
-      body(i);
+      try {
+        body(i);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(exception_mutex);
+          if (!first_exception) first_exception = std::current_exception();
+        }
+        cancelled.store(true, std::memory_order_relaxed);
+        return;
+      }
     }
   };
   std::vector<std::thread> threads;
@@ -41,6 +61,7 @@ inline void ParallelFor(size_t count, const std::function<void(size_t)>& body,
   }
   worker();  // The calling thread participates.
   for (std::thread& thread : threads) thread.join();
+  if (first_exception) std::rethrow_exception(first_exception);
 }
 
 }  // namespace tasq

@@ -1,8 +1,9 @@
 #include "ml/autograd.h"
 
-#include <cassert>
 #include <cmath>
 #include <unordered_set>
+
+#include "common/check.h"
 
 namespace tasq {
 namespace {
@@ -39,7 +40,10 @@ Var MakeParameter(Matrix value) {
 }
 
 void Backward(const Var& root) {
-  assert(root->value.rows() == 1 && root->value.cols() == 1);
+  // Backprop seeds d(root)/d(root) = 1, which is only meaningful for a
+  // scalar loss; a non-scalar root silently trains on garbage gradients.
+  TASQ_CHECK_EQ(root->value.rows(), 1u);
+  TASQ_CHECK_EQ(root->value.cols(), 1u);
   // Iterative post-order DFS to topologically sort the graph.
   std::vector<AutogradNode*> order;
   std::unordered_set<AutogradNode*> visited;
@@ -86,7 +90,9 @@ Var Add(const Var& a, const Var& b) {
   const Matrix& av = a->value;
   const Matrix& bv = b->value;
   bool broadcast = bv.rows() == 1 && av.rows() > 1 && bv.cols() == av.cols();
-  assert(broadcast || av.SameShape(bv));
+  // Either a true elementwise add or a row-vector bias broadcast; any other
+  // shape pair is a wiring bug in the model graph.
+  TASQ_CHECK(broadcast || av.SameShape(bv));
   Matrix value = av;
   if (broadcast) {
     for (size_t r = 0; r < av.rows(); ++r) {
@@ -113,7 +119,7 @@ Var Add(const Var& a, const Var& b) {
 }
 
 Var Sub(const Var& a, const Var& b) {
-  assert(a->value.SameShape(b->value));
+  TASQ_CHECK(a->value.SameShape(b->value));
   Matrix value = a->value;
   value.AddScaledInPlace(b->value, -1.0);
   Var out = MakeOp(std::move(value), {a, b});
@@ -126,7 +132,7 @@ Var Sub(const Var& a, const Var& b) {
 }
 
 Var Mul(const Var& a, const Var& b) {
-  assert(a->value.SameShape(b->value));
+  TASQ_CHECK(a->value.SameShape(b->value));
   Matrix value = a->value;
   for (size_t i = 0; i < value.size(); ++i) {
     value.data()[i] *= b->value.data()[i];
@@ -222,6 +228,9 @@ Var Exp(const Var& a) {
 Var MeanRows(const Var& a) {
   size_t rows = a->value.rows();
   size_t cols = a->value.cols();
+  // Averaging zero rows divides by zero and poisons the whole graph with
+  // NaNs several ops downstream of the actual bug.
+  TASQ_CHECK_GT(rows, 0u);
   Matrix value(1, cols);
   for (size_t r = 0; r < rows; ++r) {
     for (size_t c = 0; c < cols; ++c) {
@@ -241,7 +250,7 @@ Var MeanRows(const Var& a) {
 }
 
 Var ConcatCols(const Var& a, const Var& b) {
-  assert(a->value.rows() == b->value.rows());
+  TASQ_CHECK_EQ(a->value.rows(), b->value.rows());
   size_t rows = a->value.rows();
   size_t ca = a->value.cols();
   size_t cb = b->value.cols();
@@ -264,6 +273,7 @@ Var ConcatCols(const Var& a, const Var& b) {
 }
 
 Var Mean(const Var& a) {
+  TASQ_CHECK_GT(a->value.size(), 0u);
   double n = static_cast<double>(a->value.size());
   Matrix value(1, 1);
   value.At(0, 0) = a->value.Sum() / n;

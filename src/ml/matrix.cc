@@ -1,13 +1,16 @@
 #include "ml/matrix.h"
 
-#include <cassert>
 #include <cmath>
+
+#include "common/check.h"
 
 namespace tasq {
 
 Matrix::Matrix(size_t rows, size_t cols, std::vector<double> data)
     : rows_(rows), cols_(cols), data_(std::move(data)) {
-  assert(data_.size() == rows_ * cols_);
+  // A wrapped buffer of the wrong size would alias out-of-bounds memory on
+  // the first At(); fail at the construction site instead.
+  TASQ_CHECK_EQ(data_.size(), rows_ * cols_);
 }
 
 Matrix Matrix::RowVector(std::vector<double> values) {
@@ -32,19 +35,22 @@ void Matrix::SetZero() {
 }
 
 void Matrix::AddInPlace(const Matrix& other) {
-  assert(SameShape(other));
+  // Shape agreement is the op's contract; mismatched operands would read
+  // past other.data_ rather than produce a wrong sum.
+  TASQ_CHECK(SameShape(other));
   for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
 }
 
 void Matrix::AddScaledInPlace(const Matrix& other, double scale) {
-  assert(SameShape(other));
+  TASQ_CHECK(SameShape(other));
   for (size_t i = 0; i < data_.size(); ++i) {
     data_[i] += scale * other.data_[i];
   }
 }
 
 Matrix Matrix::MatMul(const Matrix& other) const {
-  assert(cols_ == other.rows_);
+  // Inner dimensions must agree or the k-loop walks off other's rows.
+  TASQ_CHECK_EQ(cols_, other.rows_);
   Matrix out(rows_, other.cols_);
   for (size_t i = 0; i < rows_; ++i) {
     for (size_t k = 0; k < cols_; ++k) {

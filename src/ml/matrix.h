@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/check.h"
 #include "common/rng.h"
 
 namespace tasq {
@@ -39,8 +40,17 @@ class Matrix {
     return rows_ == other.rows_ && cols_ == other.cols_;
   }
 
-  double& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
-  double At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+  double& At(size_t r, size_t c) {
+    // Bounds are debug-only: At() sits in every training inner loop.
+    TASQ_DCHECK_LT(r, rows_);
+    TASQ_DCHECK_LT(c, cols_);
+    return data_[r * cols_ + c];
+  }
+  double At(size_t r, size_t c) const {
+    TASQ_DCHECK_LT(r, rows_);
+    TASQ_DCHECK_LT(c, cols_);
+    return data_[r * cols_ + c];
+  }
 
   std::vector<double>& data() { return data_; }
   const std::vector<double>& data() const { return data_; }

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/check.h"
+
 namespace tasq {
 
 AdamOptimizer::AdamOptimizer(std::vector<Var> parameters)
@@ -25,6 +27,11 @@ void AdamOptimizer::Step() {
   for (size_t i = 0; i < parameters_.size(); ++i) {
     Matrix& value = parameters_[i]->value;
     Matrix& grad = parameters_[i]->grad;
+    // The k-loop indexes value, grad, and the moment buffers with one
+    // counter; if a parameter was resized after construction the update
+    // would scribble across buffers instead of failing loudly.
+    TASQ_DCHECK(grad.SameShape(value));
+    TASQ_DCHECK(m_[i].SameShape(value));
     for (size_t k = 0; k < value.size(); ++k) {
       double g = grad.data()[k];
       if (options_.weight_decay > 0.0) {
@@ -59,6 +66,8 @@ void SgdOptimizer::Step() {
   for (size_t i = 0; i < parameters_.size(); ++i) {
     Matrix& value = parameters_[i]->value;
     Matrix& grad = parameters_[i]->grad;
+    TASQ_DCHECK(grad.SameShape(value));
+    TASQ_DCHECK(velocity_[i].SameShape(value));
     for (size_t k = 0; k < value.size(); ++k) {
       double& vel = velocity_[i].data()[k];
       vel = momentum_ * vel - learning_rate_ * grad.data()[k];

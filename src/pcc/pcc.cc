@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.h"
 #include "common/stats.h"
 
 namespace tasq {
@@ -65,7 +66,18 @@ double PowerLawPcc::MinTokensForSlowdown(
   if (a == 0.0) return 1.0;  // Flat curve: any allocation performs alike.
   double min_tokens =
       reference_tokens * std::pow(1.0 + max_slowdown_fraction, 1.0 / a);
-  return std::clamp(min_tokens, 1.0, reference_tokens);
+  min_tokens = std::clamp(min_tokens, 1.0, reference_tokens);
+  // The paper's core guarantee (§"PCC modeling"): on a monotone
+  // non-increasing curve with a positive scale, shrinking to min_tokens
+  // slows the job by at most the requested fraction relative to the
+  // reference allocation. (b <= 0 models degenerate negative "runtimes";
+  // the bound is meaningless there.)
+  if (b > 0.0) {
+    TASQ_DCHECK_LE(EvalRunTime(min_tokens),
+                   EvalRunTime(reference_tokens) *
+                       (1.0 + max_slowdown_fraction) * (1.0 + 1e-9));
+  }
+  return min_tokens;
 }
 
 double PowerLawPcc::OptimalTokens(double min_improvement_percent,
@@ -77,7 +89,12 @@ double PowerLawPcc::OptimalTokens(double min_improvement_percent,
   // d(runtime)/dA / runtime = a / A, so the marginal improvement per token
   // drops below p% at A* = |a| * 100 / p.
   double optimal = std::fabs(a) * 100.0 / min_improvement_percent;
-  return std::clamp(optimal, 1.0, max_tokens);
+  optimal = std::clamp(optimal, 1.0, max_tokens);
+  // An allocation outside [1, max_tokens] can never be handed to the
+  // scheduler; the clamp above is the last line of defense.
+  TASQ_DCHECK_GE(optimal, 1.0);
+  TASQ_DCHECK_LE(optimal, max_tokens);
+  return optimal;
 }
 
 Result<PowerLawFit> FitPowerLaw(const std::vector<PccSample>& samples) {
@@ -102,6 +119,13 @@ Result<PowerLawFit> FitPowerLaw(const std::vector<PccSample>& samples) {
   fit.pcc.a = line.slope;
   fit.pcc.b = std::exp(line.intercept);
   fit.log_log_r2 = line.r2;
+  // A successful fit must be usable downstream: finite exponent and a
+  // positive finite scale (b = exp(intercept) by construction). Anything
+  // else is a numerical bug in FitLine, not a data problem — the sample
+  // filter above already rejected non-positive inputs.
+  TASQ_CHECK(std::isfinite(fit.pcc.a));
+  TASQ_CHECK(std::isfinite(fit.pcc.b));
+  TASQ_CHECK_GT(fit.pcc.b, 0.0);
   return fit;
 }
 
@@ -129,7 +153,7 @@ std::vector<PccSample> FilterAroundReference(
   return filtered;
 }
 
-Result<double> OptimalTokensFromSamples(std::vector<PccSample> samples,
+Result<double> OptimalTokensFromSamples(const std::vector<PccSample>& samples,
                                         double min_improvement_percent) {
   if (min_improvement_percent <= 0.0) {
     return Status::InvalidArgument("improvement threshold must be positive");
@@ -162,6 +186,9 @@ Result<double> OptimalTokensFromSamples(std::vector<PccSample> samples,
     }
     --i;
   }
+  // The walk only ever lands on one of the filtered samples, all of which
+  // carry positive token counts.
+  TASQ_DCHECK_GT(valid[i].tokens, 0.0);
   return valid[i].tokens;
 }
 
@@ -197,6 +224,10 @@ Result<double> FindElbowTokens(std::vector<PccSample> samples) {
   if (best_distance <= 0.0) {
     return Status::OutOfRange("curve has no elbow (not convex decreasing)");
   }
+  // The elbow is one of the input samples, so it lies inside the scanned
+  // token range by construction.
+  TASQ_DCHECK_GE(best_tokens, x0);
+  TASQ_DCHECK_LE(best_tokens, x1);
   return best_tokens;
 }
 
@@ -267,6 +298,10 @@ Result<SmoothingSpline> SmoothingSpline::Fit(const std::vector<double>& x,
   }
   std::vector<double> gamma(n, 0.0);
   for (size_t j = 0; j < m; ++j) gamma[j + 1] = rhs[j];
+  // Eval() indexes f_ and gamma_ by knot position; a size mismatch with x_
+  // would be silent memory corruption there, not a wrong answer.
+  TASQ_CHECK_EQ(f.size(), n);
+  TASQ_CHECK_EQ(gamma.size(), n);
   return SmoothingSpline(x, std::move(f), std::move(gamma));
 }
 

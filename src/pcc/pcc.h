@@ -91,7 +91,7 @@ std::vector<PccSample> FilterAroundReference(
 /// formulation (§2.1) applied to a discrete curve. Requires >= 2 samples
 /// with positive tokens; non-monotone segments terminate the walk (beyond
 /// them the curve is not a trustworthy trade-off).
-Result<double> OptimalTokensFromSamples(std::vector<PccSample> samples,
+Result<double> OptimalTokensFromSamples(const std::vector<PccSample>& samples,
                                         double min_improvement_percent);
 
 /// Finds the elbow of a sampled PCC (Figure 3's red marker): the sample

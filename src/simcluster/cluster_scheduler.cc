@@ -1,9 +1,11 @@
 #include "simcluster/cluster_scheduler.h"
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
 #include <queue>
 
+#include "common/check.h"
 #include "common/stats.h"
 
 namespace tasq {
@@ -51,6 +53,10 @@ Result<std::vector<ScheduledJob>> ClusterScheduler::Run(
       if (submission.requested_tokens > free_tokens + 1e-9) break;
       queue.pop_front();
       free_tokens -= submission.requested_tokens;
+      // Admission gate: a job is only admitted when its full request fits,
+      // so the pool can dip at most an epsilon below zero (the admission
+      // comparison tolerates 1e-9 of float noise).
+      TASQ_CHECK_GE(free_tokens, -1e-9);
       RunConfig run_config;
       run_config.tokens = submission.requested_tokens;
       run_config.noise = config_.noise;
@@ -67,6 +73,10 @@ Result<std::vector<ScheduledJob>> ClusterScheduler::Run(
       out.runtime_seconds = runtime;
       out.finish_seconds = now + runtime;
       out.requested_tokens = submission.requested_tokens;
+      // Causality: a job cannot start before it arrives, and no job
+      // finishes before it starts (runtimes are non-negative).
+      TASQ_CHECK_GE(out.start_seconds, out.arrival_seconds);
+      TASQ_CHECK_GE(out.finish_seconds, out.start_seconds);
       if (config_.adaptive_release && run.ok()) {
         // Progressive release: hold only the suffix maximum of the job's
         // usage — tokens the job will never need again return to the pool
@@ -110,9 +120,17 @@ Result<std::vector<ScheduledJob>> ClusterScheduler::Run(
       now = completion_time;
       free_tokens += completions.top().tokens;
       completions.pop();
+      // Releases return only what was held: the pool never exceeds the
+      // cluster's capacity (within accumulated float noise).
+      TASQ_CHECK_LE(free_tokens, config_.cluster_tokens + 1e-6);
     }
     admit_head();
   }
+  // Drain: every submission fits the cluster (validated above), so the
+  // queue must be empty and every reserved token returned to the pool.
+  TASQ_CHECK(queue.empty());
+  TASQ_CHECK_LE(std::fabs(free_tokens - config_.cluster_tokens),
+                1e-6 * std::max(1.0, config_.cluster_tokens));
   return results;
 }
 

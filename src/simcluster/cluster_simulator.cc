@@ -6,6 +6,7 @@
 #include <queue>
 #include <vector>
 
+#include "common/check.h"
 #include "common/rng.h"
 
 namespace tasq {
@@ -134,21 +135,36 @@ Result<RunResult> ClusterSimulator::Run(const JobPlan& plan,
   int running = 0;
   int peak_running = 0;
 
+  double busy_token_seconds = 0.0;
+
   while (true) {
     // Start as many ready tasks as tokens allow, FIFO across ready stages.
     while (free_tokens > 0 && !ready.empty()) {
       int stage = ready.front();
       double duration = task_duration(stage);
+      // Drawn durations stay positive: every noise channel multiplies the
+      // positive base duration by a positive factor. A zero/negative draw
+      // would let a task "finish before it starts".
+      TASQ_DCHECK_GT(duration, 0.0);
       recorder.Paint(now, now + duration);
+      busy_token_seconds += duration;
       completions.push(Completion{now + duration, stage});
       --free_tokens;
       ++running;
       peak_running = std::max(peak_running, running);
       if (--tasks_to_start[stage] == 0) ready.pop_front();
     }
+    // Token conservation: tasks in flight never exceed the admission
+    // capacity, and the free count never goes negative.
+    TASQ_CHECK_GE(free_tokens, 0);
+    TASQ_CHECK_LE(running, capacity);
+    TASQ_CHECK_EQ(free_tokens + running, capacity);
     if (completions.empty()) break;
     Completion done = completions.top();
     completions.pop();
+    // Event time is monotone: the earliest pending completion can never
+    // precede the clock (it was scheduled at start + positive duration).
+    TASQ_CHECK_GE(done.time, now);
     now = done.time;
     makespan = std::max(makespan, now);
     ++free_tokens;
@@ -161,10 +177,23 @@ Result<RunResult> ClusterSimulator::Run(const JobPlan& plan,
     }
   }
 
+  // Termination state: every task returned its token and every stage
+  // drained. A leftover count means the DAG deadlocked or double-counted.
+  TASQ_CHECK_EQ(running, 0);
+  TASQ_CHECK_EQ(free_tokens, capacity);
+  for (size_t i = 0; i < n; ++i) {
+    TASQ_CHECK_EQ(tasks_unfinished[i], 0);
+  }
+
   RunResult result;
   result.runtime_seconds = makespan;
   result.peak_tokens_used = static_cast<double>(peak_running);
   result.skyline = recorder.Finish(makespan);
+  // Area conservation: the recorded skyline accounts for exactly the busy
+  // token-time that was painted (SkylineRecorder's contract), up to
+  // floating-point accumulation across ticks.
+  TASQ_DCHECK_LE(std::fabs(result.skyline.Area() - busy_token_seconds),
+                 1e-6 * std::max(1.0, busy_token_seconds));
   if (config.noise.enabled) {
     // Per-run usage-accounting noise: the recorded skyline scales without
     // the run time moving (idle token holding); rare gross outliers can

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.h"
+
 namespace tasq {
 
 Skyline::Skyline(std::vector<double> usage) : usage_(std::move(usage)) {
@@ -14,6 +16,9 @@ Skyline::Skyline(std::vector<double> usage) : usage_(std::move(usage)) {
 double Skyline::Area() const {
   double area = 0.0;
   for (double v : usage_) area += v;
+  // Usage is clamped non-negative at construction, so a negative or NaN
+  // area means a tick was corrupted after the fact.
+  TASQ_DCHECK_GE(area, 0.0);
   return area;
 }
 
@@ -31,7 +36,10 @@ double Skyline::MeanUsage() const {
 Skyline Skyline::TrimmedTrailingZeros() const {
   size_t end = usage_.size();
   while (end > 0 && usage_[end - 1] == 0.0) --end;
-  return Skyline(std::vector<double>(usage_.begin(), usage_.begin() + end));
+  Skyline trimmed(std::vector<double>(usage_.begin(), usage_.begin() + end));
+  // Trimming removes exact zeros only, so the area is preserved exactly.
+  TASQ_DCHECK_EQ(trimmed.Area(), Area());
+  return trimmed;
 }
 
 std::vector<SkylineSection> SplitSections(const Skyline& skyline,
@@ -50,6 +58,14 @@ std::vector<SkylineSection> SplitSections(const Skyline& skyline,
     }
   }
   sections.push_back(current);
+  // Sections must partition [0, duration): contiguous, in order, non-empty.
+  // AREPAS relies on this to copy/flatten each tick exactly once.
+  TASQ_DCHECK_EQ(sections.front().start, 0u);
+  TASQ_DCHECK_EQ(sections.back().end, values.size());
+  for (size_t i = 1; i < sections.size(); ++i) {
+    TASQ_DCHECK_EQ(sections[i].start, sections[i - 1].end);
+    TASQ_DCHECK_LT(sections[i].start, sections[i].end);
+  }
   return sections;
 }
 
@@ -66,6 +82,11 @@ UtilizationSummary ClassifyUtilization(const Skyline& skyline,
       summary.seconds_high += 1.0;
     }
   }
+  // Every tick lands in exactly one band (the sums are exact: whole
+  // seconds counted by 1.0 increments).
+  TASQ_DCHECK_EQ(
+      summary.seconds_minimum + summary.seconds_low + summary.seconds_high,
+      static_cast<double>(skyline.values().size()));
   return summary;
 }
 
@@ -94,6 +115,11 @@ std::vector<double> AllocationSeries(const Skyline& skyline,
       }
       break;
     }
+  }
+  // No policy may starve the job: the allocation covers usage at every
+  // tick (kDefault/kPeak allocate >= Peak(); kAdaptivePeak is a suffix max).
+  for (size_t t = 0; t < usage.size(); ++t) {
+    TASQ_DCHECK_GE(allocation[t], usage[t]);
   }
   return allocation;
 }

@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
+#include <utility>
 
+#include "common/check.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/status.h"
@@ -36,6 +39,97 @@ TEST(ResultTest, HoldsError) {
   EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
   EXPECT_EQ(r.value_or(-1), -1);
 }
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "Ok");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument),
+               "InvalidArgument");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kFailedPrecondition),
+               "FailedPrecondition");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOutOfRange), "OutOfRange");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+}
+
+TEST(StatusTest, ToStringPropagatesMessageForEveryFactory) {
+  EXPECT_EQ(Status::InvalidArgument("a").ToString(), "InvalidArgument: a");
+  EXPECT_EQ(Status::FailedPrecondition("b").ToString(),
+            "FailedPrecondition: b");
+  EXPECT_EQ(Status::NotFound("c").ToString(), "NotFound: c");
+  EXPECT_EQ(Status::OutOfRange("d").ToString(), "OutOfRange: d");
+  EXPECT_EQ(Status::Internal("e").ToString(), "Internal: e");
+  EXPECT_EQ(Status::Ok().ToString(), "Ok");
+}
+
+TEST(StatusTest, MessageSurvivesCopyAndMove) {
+  Status original = Status::Internal("solver diverged");
+  Status copy = original;
+  EXPECT_EQ(copy.message(), "solver diverged");
+  Status moved = std::move(original);
+  EXPECT_EQ(moved.message(), "solver diverged");
+  EXPECT_EQ(moved.code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, MoveOnlyValueMovesOut) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r.value(), 7);  // Lvalue access does not consume the value.
+  std::unique_ptr<int> taken = std::move(r).value();
+  ASSERT_NE(taken, nullptr);
+  EXPECT_EQ(*taken, 7);
+}
+
+TEST(ResultTest, MoveOnlyErrorPath) {
+  Result<std::unique_ptr<int>> r(Status::OutOfRange("no curve"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(r.status().message(), "no curve");
+}
+
+TEST(ResultTest, MutableValueReferenceWritesThrough) {
+  Result<int> r(1);
+  ASSERT_TRUE(r.ok());
+  r.value() = 99;
+  EXPECT_EQ(r.value(), 99);
+}
+
+using CheckDeathTest = ::testing::Test;
+
+TEST(CheckDeathTest, CheckPrintsExpressionAndAborts) {
+  EXPECT_DEATH(TASQ_CHECK(1 + 1 == 3), "check failed: 1 \\+ 1 == 3");
+}
+
+TEST(CheckDeathTest, CheckCmpPrintsBothOperands) {
+  int free_tokens = -2;
+  EXPECT_DEATH(TASQ_CHECK_GE(free_tokens, 0),
+               "free_tokens >= 0 \\(lhs=-2, rhs=0\\)");
+}
+
+TEST(CheckDeathTest, CheckOkPrintsStatus) {
+  EXPECT_DEATH(TASQ_CHECK_OK(Status::Internal("broken pool")),
+               "Internal: broken pool");
+}
+
+TEST(CheckDeathTest, PassingChecksAreSilent) {
+  TASQ_CHECK(true);
+  TASQ_CHECK_EQ(2, 2);
+  TASQ_CHECK_LE(1.0, 2.0);
+  TASQ_CHECK_OK(Status::Ok());
+  TASQ_DCHECK(true);
+  TASQ_DCHECK_NE(1, 2);
+  SUCCEED();
+}
+
+#if TASQ_DCHECK_IS_ON
+TEST(CheckDeathTest, DcheckAbortsWhenEnabled) {
+  EXPECT_DEATH(TASQ_DCHECK_LT(5, 3), "5 < 3");
+}
+#else
+TEST(CheckDeathTest, DcheckCompilesOutWhenDisabled) {
+  TASQ_DCHECK_LT(5, 3);  // Must be a no-op, not an abort.
+  SUCCEED();
+}
+#endif
 
 TEST(RngTest, DeterministicGivenSeed) {
   Rng a(123);

@@ -1,0 +1,176 @@
+// Race-stress suite for the parallel core. Designed to run under
+// ThreadSanitizer (scripts/check.sh tsan): every pattern here is one the
+// later perf PRs will lean on, so a regression that introduces a data race
+// or breaks the exception contract fails this binary before it ships.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+
+namespace tasq {
+namespace {
+
+// Shared-slot writes: the canonical usage pattern (each index owns slot i
+// of a pre-sized vector). TSan must see no race between distinct slots or
+// with the final read after join.
+TEST(ParallelStressTest, SharedSlotWritesAreRaceFree) {
+  const size_t n = 10000;
+  std::vector<double> out(n, 0.0);
+  ParallelFor(n, [&](size_t i) {
+    out[i] = static_cast<double>(i) * 0.5;
+  });
+  double sum = std::accumulate(out.begin(), out.end(), 0.0);
+  EXPECT_DOUBLE_EQ(sum, 0.5 * static_cast<double>(n) * (n - 1) / 2.0);
+}
+
+// A mutex-guarded shared accumulator must also be clean: the loop makes no
+// assumptions about bodies being disjoint as long as they synchronize.
+TEST(ParallelStressTest, MutexGuardedAccumulatorIsRaceFree) {
+  const size_t n = 5000;
+  std::mutex mutex;
+  long total = 0;
+  ParallelFor(n, [&](size_t i) {
+    std::lock_guard<std::mutex> lock(mutex);
+    total += static_cast<long>(i);
+  });
+  EXPECT_EQ(total, static_cast<long>(n) * (n - 1) / 2);
+}
+
+// Atomic read-modify-write across all indices: stresses the work-stealing
+// counter under maximal contention (bodies that finish instantly).
+TEST(ParallelStressTest, AtomicContentionVisitsEveryIndexOnce) {
+  const size_t n = 50000;
+  std::atomic<size_t> visited{0};
+  std::vector<std::atomic<unsigned char>> seen(n);
+  ParallelFor(n, [&](size_t i) {
+    visited.fetch_add(1, std::memory_order_relaxed);
+    seen[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(visited.load(), n);
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(int{seen[i].load()}, 1) << "index " << i;
+  }
+}
+
+// Nested ParallelFor: an outer parallel loop whose body runs its own inner
+// loop. The inner call must neither deadlock nor race on the outer state.
+TEST(ParallelStressTest, NestedCallsAreSafe) {
+  const size_t outer = 16;
+  const size_t inner = 64;
+  std::vector<std::vector<double>> results(outer);
+  ParallelFor(outer, [&](size_t o) {
+    results[o].assign(inner, 0.0);
+    ParallelFor(
+        inner, [&, o](size_t i) {
+          results[o][i] = static_cast<double>(o * 1000 + i);
+        },
+        2);
+  });
+  for (size_t o = 0; o < outer; ++o) {
+    for (size_t i = 0; i < inner; ++i) {
+      EXPECT_DOUBLE_EQ(results[o][i], static_cast<double>(o * 1000 + i));
+    }
+  }
+}
+
+// Exception contract: the first exception thrown by a body is rethrown on
+// the calling thread after all workers joined (never std::terminate).
+TEST(ParallelStressTest, ExceptionInBodyPropagatesToCaller) {
+  const size_t n = 1000;
+  EXPECT_THROW(
+      ParallelFor(n,
+                  [&](size_t i) {
+                    if (i == 137) throw std::runtime_error("body failed");
+                  },
+                  8),
+      std::runtime_error);
+}
+
+// After an exception, every worker must have joined: writes made by other
+// indices before the cancellation are visible and unracy.
+TEST(ParallelStressTest, WorkersJoinAfterException) {
+  const size_t n = 2000;
+  std::vector<std::atomic<int>> touched(n);
+  std::string message;
+  try {
+    ParallelFor(n,
+                [&](size_t i) {
+                  touched[i].fetch_add(1, std::memory_order_relaxed);
+                  if (i == 500) throw std::logic_error("halt");
+                },
+                4);
+  } catch (const std::logic_error& e) {
+    message = e.what();
+  }
+  EXPECT_EQ(message, "halt");
+  // Each index ran at most once; at least the throwing one ran.
+  size_t ran = 0;
+  for (size_t i = 0; i < n; ++i) {
+    int count = touched[i].load();
+    ASSERT_LE(count, 1) << "index " << i;
+    ran += static_cast<size_t>(count);
+  }
+  EXPECT_GE(ran, 1u);
+}
+
+// Exceptions from several bodies at once: exactly one wins, the process
+// survives, and the winner is one of the thrown values.
+TEST(ParallelStressTest, ConcurrentExceptionsRethrowExactlyOne) {
+  const size_t n = 4000;
+  int value = -1;
+  try {
+    ParallelFor(n, [&](size_t i) { throw static_cast<int>(i); }, 8);
+  } catch (int i) {
+    value = i;
+  }
+  EXPECT_GE(value, 0);
+  EXPECT_LT(value, static_cast<int>(n));
+}
+
+// Seeded determinism: the same per-index pure computation must produce
+// bit-identical results across 1, 2, and 8 threads — the property every
+// flighting/observation path in the repo depends on.
+TEST(ParallelStressTest, DeterministicAcrossOneTwoEightThreads) {
+  const size_t n = 4096;
+  const uint64_t seed = 0xC0FFEE;
+  auto run = [&](unsigned threads) {
+    std::vector<double> out(n, 0.0);
+    ParallelFor(
+        n,
+        [&](size_t i) {
+          Rng rng(seed ^ (static_cast<uint64_t>(i) * 0x9E3779B97F4A7C15ULL));
+          double acc = 0.0;
+          for (int k = 0; k < 16; ++k) acc += rng.Uniform(0.0, 1.0);
+          out[i] = acc;
+        },
+        threads);
+    return out;
+  };
+  std::vector<double> one = run(1);
+  std::vector<double> two = run(2);
+  std::vector<double> eight = run(8);
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(one[i], two[i]) << "index " << i;
+    ASSERT_EQ(one[i], eight[i]) << "index " << i;
+  }
+}
+
+// Repeated small launches: thread creation/teardown churn is where lazy
+// initialization races and counter reuse bugs hide.
+TEST(ParallelStressTest, RepeatedLaunchesStayConsistent) {
+  for (int round = 0; round < 200; ++round) {
+    std::vector<int> out(17, 0);
+    ParallelFor(out.size(), [&](size_t i) { out[i] = round; }, 3);
+    for (int v : out) ASSERT_EQ(v, round);
+  }
+}
+
+}  // namespace
+}  // namespace tasq

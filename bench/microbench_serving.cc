@@ -1,0 +1,143 @@
+// Serving-layer microbenchmark: throughput of PccServer at 1/2/8 worker
+// threads on a cold cache (every request unique) and on a warm,
+// 90%-recurring workload (the regime the paper targets — §2.2 scores
+// recurring jobs at submission time), plus cache hit ratios and the full
+// ServerStats block for the largest run.
+//
+// Results are hardware-dependent: thread scaling tracks the number of
+// physical cores ctest/bench can actually use.
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "serve/server.h"
+
+namespace tasq {
+namespace {
+
+struct StreamRun {
+  double seconds = 0.0;
+  ServerStats stats;
+};
+
+StreamRun RunStream(const Tasq& pipeline,
+                    const std::vector<ScoreRequest>& stream,
+                    unsigned num_threads, size_t cache_capacity) {
+  PccServerOptions options;
+  options.num_threads = num_threads;
+  options.queue_capacity = 64;
+  options.max_batch = 16;
+  options.cache_capacity = cache_capacity;
+  PccServer server(pipeline, options);
+  auto start = std::chrono::steady_clock::now();
+  std::vector<Result<WhatIfReport>> results =
+      server.ScoreBatch(stream);  // Submits everything, waits for all.
+  StreamRun run;
+  run.seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  for (const auto& result : results) {
+    if (!result.ok()) {
+      std::fprintf(stderr, "request failed: %s\n",
+                   result.status().ToString().c_str());
+      std::exit(1);
+    }
+  }
+  server.Shutdown();
+  run.stats = server.Stats();
+  return run;
+}
+
+void PrintRow(unsigned threads, const StreamRun& run, double baseline_rps) {
+  double rps = static_cast<double>(run.stats.completed) / run.seconds;
+  uint64_t lookups = run.stats.cache_hits + run.stats.cache_misses;
+  double hit_ratio = lookups > 0 ? static_cast<double>(run.stats.cache_hits) /
+                                       static_cast<double>(lookups)
+                                 : 0.0;
+  std::printf("  %u thread%s: %8.0f req/s  (%.2fx)   cache hits %.0f%%\n",
+              threads, threads == 1 ? " " : "s", rps, rps / baseline_rps,
+              100.0 * hit_ratio);
+}
+
+}  // namespace
+}  // namespace tasq
+
+int main() {
+  using namespace tasq;
+  using namespace tasq::bench;
+
+  auto generator = MakeGenerator(7);
+  std::printf("training pipeline...\n");
+  TasqOptions options;
+  options.nn.epochs = 40;
+  options.gnn.epochs = 2;
+  options.gnn.gcn_hidden = {8};
+  options.gnn.head_hidden = {8};
+  options.xgb.gbdt.num_trees = 40;
+  Tasq pipeline(options);
+  auto observed = ObserveJobs(generator, 0, 300, 1);
+  if (!pipeline.Train(observed).ok()) {
+    std::fprintf(stderr, "training failed\n");
+    return 1;
+  }
+
+  auto make_request = [&](int64_t job_id) {
+    Job job = generator.GenerateJob(job_id);
+    ScoreRequest request;
+    request.graph = job.graph;
+    request.model = ModelKind::kNn;
+    request.reference_tokens = job.default_tokens;
+    return request;
+  };
+
+  // Cold cache: every request is a distinct job, so every request pays one
+  // model inference (batched across a worker's pull).
+  const int64_t kColdRequests = 240;
+  std::vector<ScoreRequest> cold;
+  for (int64_t i = 0; i < kColdRequests; ++i) {
+    cold.push_back(make_request(2000 + i));
+  }
+  std::printf("\ncold cache, %lld unique requests:\n",
+              static_cast<long long>(kColdRequests));
+  double cold_baseline = 0.0;
+  for (unsigned threads : {1u, 2u, 8u}) {
+    StreamRun run = RunStream(pipeline, cold, threads, /*cache_capacity=*/0);
+    double rps = static_cast<double>(run.stats.completed) / run.seconds;
+    if (threads == 1) cold_baseline = rps;
+    PrintRow(threads, run, cold_baseline);
+  }
+
+  // Warm workload: 90% of requests recur from a 24-job working set (cache
+  // hits after first touch), 10% are fresh jobs — the recurring-job regime
+  // the fingerprint cache is built for.
+  const int64_t kWarmRequests = 600;
+  const int64_t kWorkingSet = 24;
+  Rng rng(41);
+  std::vector<ScoreRequest> warm;
+  int64_t next_fresh = 5000;
+  for (int64_t i = 0; i < kWarmRequests; ++i) {
+    if (rng.Uniform(0.0, 1.0) < 0.9) {
+      int64_t pick = static_cast<int64_t>(
+          rng.Uniform(0.0, static_cast<double>(kWorkingSet) - 0.001));
+      warm.push_back(make_request(4000 + pick));
+    } else {
+      warm.push_back(make_request(next_fresh++));
+    }
+  }
+  std::printf("\nwarm workload, %lld requests (90%% from a %lld-job "
+              "working set):\n",
+              static_cast<long long>(kWarmRequests),
+              static_cast<long long>(kWorkingSet));
+  StreamRun last;
+  for (unsigned threads : {1u, 2u, 8u}) {
+    last = RunStream(pipeline, warm, threads, /*cache_capacity=*/4096);
+    PrintRow(threads, last, cold_baseline);
+  }
+
+  std::printf("\nserver stats (warm, 8 threads):\n%s",
+              last.stats.ToText().c_str());
+  return 0;
+}

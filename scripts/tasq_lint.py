@@ -18,6 +18,10 @@ Rules (stdlib only, no clang dependency):
   header-unreachable     every header under src/ must be reachable from
                          some test via transitive #include — an untested
                          header is dead or untrusted code.
+  serve-header-untested  headers under src/serve/ must be #included
+                         directly by a file in tests/: the serving layer
+                         is the repo's concurrency surface, and transitive
+                         reachability is not direct coverage.
 
 Known, accepted findings live in scripts/lint_baseline.txt; the linter
 exits nonzero only on findings not in the baseline, so it can land green
@@ -227,12 +231,38 @@ def check_header_reachability(root):
     return findings
 
 
+def check_serve_headers_tested(root):
+    """Every header under src/serve/ must be directly #included by at
+    least one tests/ file. Concurrency code regresses silently when only
+    exercised transitively, so the serving layer gets a stricter bar than
+    check_header_reachability."""
+    serve_headers = {rel for rel in iter_source_files(root, ["src"])
+                     if rel.startswith("src/serve/") and rel.endswith(".h")}
+    if not serve_headers:
+        return []
+    directly_included = set()
+    if os.path.isdir(os.path.join(root, "tests")):
+        for rel in iter_source_files(root, ["tests"]):
+            for inc in INCLUDE_RE.findall(read(root, rel)):
+                candidate = "src/" + inc
+                if candidate in serve_headers:
+                    directly_included.add(candidate)
+    findings = []
+    for rel in sorted(serve_headers - directly_included):
+        findings.append(Finding(
+            "serve-header-untested", rel, 0,
+            "serving-layer headers must be #included directly by a test "
+            "under tests/"))
+    return findings
+
+
 ALL_CHECKS = [
     check_include_guards,
     check_using_namespace_in_headers,
     check_throw_in_src,
     check_cout_in_src,
     check_header_reachability,
+    check_serve_headers_tested,
 ]
 
 
@@ -287,13 +317,24 @@ def self_test():
                 "void Print() { std::cout << \"hi\"; }\n"
                 "// a throw in a comment must NOT fire\n"
                 "const char* s = \"throw inside a string\";\n")
+        serve = os.path.join(tmp, "src", "serve")
+        os.makedirs(serve)
+        # Correctly guarded, so only the coverage rules fire on it.
+        with open(os.path.join(serve, "orphan.h"), "w",
+                  encoding="utf-8") as f:
+            f.write(
+                "#ifndef TASQ_SERVE_ORPHAN_H_\n"
+                "#define TASQ_SERVE_ORPHAN_H_\n"
+                "inline int Serve() { return 1; }\n"
+                "#endif\n")
         with open(os.path.join(tests, "mod_test.cc"), "w",
                   encoding="utf-8") as f:
             f.write("int main() { return 0; }\n")  # Includes nothing.
         findings = run_checks(tmp)
         fired = {f.rule for f in findings}
         expected = {"include-guard", "using-namespace-header", "throw-in-src",
-                    "cout-in-src", "header-unreachable"}
+                    "cout-in-src", "header-unreachable",
+                    "serve-header-untested"}
         missing = expected - fired
         if missing:
             print(f"self-test FAILED: rules did not fire: {sorted(missing)}")
@@ -318,7 +359,9 @@ def self_test():
             f.write("#include \"mod/bad.h\"\nint User() { return Fine(); }\n")
         with open(os.path.join(tests, "mod_test.cc"), "w",
                   encoding="utf-8") as f:
-            f.write("#include \"mod/bad.h\"\nint main() { return Fine(); }\n")
+            f.write("#include \"mod/bad.h\"\n"
+                    "#include \"serve/orphan.h\"\n"
+                    "int main() { return Fine() + Serve(); }\n")
         leftover = run_checks(tmp)
         if leftover:
             print("self-test FAILED: clean tree still has findings:")

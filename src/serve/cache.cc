@@ -1,0 +1,70 @@
+#include "serve/cache.h"
+
+#include <bit>
+
+namespace tasq {
+
+namespace {
+
+uint64_t Mix(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+size_t ReportCacheKeyHash::operator()(const ReportCacheKey& key) const {
+  uint64_t h = Mix(key.fingerprint);
+  h = Mix(h ^ (static_cast<uint64_t>(key.model) + 0x9E3779B97F4A7C15ULL));
+  h = Mix(h ^ std::bit_cast<uint64_t>(key.reference_tokens));
+  h = Mix(h ^ key.grid_points);
+  return static_cast<size_t>(h);
+}
+
+ReportCache::ReportCache(size_t capacity) : capacity_(capacity) {}
+
+std::optional<WhatIfReport> ReportCache::Get(const ReportCacheKey& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);  // Refresh recency.
+  return it->second->second;
+}
+
+void ReportCache::Put(const ReportCacheKey& key, WhatIfReport report) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(report);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (lru_.size() >= capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++evictions_;
+  }
+  lru_.emplace_front(key, std::move(report));
+  index_[key] = lru_.begin();
+  ++insertions_;
+}
+
+ReportCacheCounters ReportCache::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ReportCacheCounters counters;
+  counters.hits = hits_;
+  counters.misses = misses_;
+  counters.evictions = evictions_;
+  counters.insertions = insertions_;
+  counters.size = lru_.size();
+  counters.capacity = capacity_;
+  return counters;
+}
+
+}  // namespace tasq

@@ -1,0 +1,86 @@
+#ifndef TASQ_SERVE_CACHE_H_
+#define TASQ_SERVE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "tasq/what_if.h"
+
+namespace tasq {
+
+/// Identity of one scoring request for cache purposes: the job graph's
+/// content fingerprint (JobGraph::Fingerprint) plus every scoring knob
+/// that changes the report. Two requests with equal keys produce
+/// byte-identical WhatIfReports, because scoring a trained pipeline is a
+/// pure function of (graph, model, reference tokens, grid resolution).
+struct ReportCacheKey {
+  uint64_t fingerprint = 0;
+  ModelKind model = ModelKind::kNn;
+  double reference_tokens = 0.0;
+  uint64_t grid_points = 0;
+
+  bool operator==(const ReportCacheKey& other) const {
+    return fingerprint == other.fingerprint && model == other.model &&
+           reference_tokens == other.reference_tokens &&
+           grid_points == other.grid_points;
+  }
+};
+
+/// Hash for ReportCacheKey (splitmix-style mixing of the four fields).
+struct ReportCacheKeyHash {
+  size_t operator()(const ReportCacheKey& key) const;
+};
+
+/// Counter snapshot of a cache instance since construction.
+struct ReportCacheCounters {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t insertions = 0;
+  size_t size = 0;
+  size_t capacity = 0;
+};
+
+/// A thread-safe LRU cache of WhatIfReports keyed by request identity.
+/// The paper's dominant workload is recurring jobs (same template, same
+/// compile-time graph), so the serving layer answers repeats from here
+/// and skips model inference entirely. Capacity 0 disables caching (every
+/// Get is a miss, Put is a no-op) — handy for A/B benchmarks.
+class ReportCache {
+ public:
+  explicit ReportCache(size_t capacity);
+
+  /// Returns the cached report and refreshes its recency, or nullopt on a
+  /// miss. Counts the hit/miss either way.
+  std::optional<WhatIfReport> Get(const ReportCacheKey& key);
+
+  /// Inserts (or refreshes) `report`, evicting the least recently used
+  /// entry when at capacity.
+  void Put(const ReportCacheKey& key, WhatIfReport report);
+
+  /// Point-in-time counters (consistent snapshot).
+  ReportCacheCounters counters() const;
+
+ private:
+  using Entry = std::pair<ReportCacheKey, WhatIfReport>;
+
+  size_t capacity_;
+  mutable std::mutex mutex_;
+  // Most recently used at the front. Guarded by mutex_.
+  std::list<Entry> lru_;
+  std::unordered_map<ReportCacheKey, std::list<Entry>::iterator,
+                     ReportCacheKeyHash>
+      index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+  uint64_t insertions_ = 0;
+};
+
+}  // namespace tasq
+
+#endif  // TASQ_SERVE_CACHE_H_

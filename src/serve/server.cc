@@ -1,0 +1,327 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+namespace tasq {
+
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+void Record(StageLatency& stage, double ms) {
+  ++stage.count;
+  stage.total_ms += ms;
+  stage.max_ms = std::max(stage.max_ms, ms);
+}
+
+}  // namespace
+
+std::string ServerStats::ToText() const {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "requests: %llu received, %llu completed, %llu failed\n",
+                static_cast<unsigned long long>(received),
+                static_cast<unsigned long long>(completed),
+                static_cast<unsigned long long>(failed));
+  out += line;
+  uint64_t lookups = cache_hits + cache_misses;
+  std::snprintf(line, sizeof(line),
+                "cache:    %llu hits / %llu lookups (%.1f%%), "
+                "%llu evictions, %zu entries\n",
+                static_cast<unsigned long long>(cache_hits),
+                static_cast<unsigned long long>(lookups),
+                lookups > 0 ? 100.0 * static_cast<double>(cache_hits) /
+                                  static_cast<double>(lookups)
+                            : 0.0,
+                static_cast<unsigned long long>(cache_evictions), cache_size);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "batches:  %llu scored, mean size %.2f\n",
+                static_cast<unsigned long long>(batches),
+                batches > 0 ? static_cast<double>(batched_requests) /
+                                  static_cast<double>(batches)
+                            : 0.0);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "queue:    depth %zu, max %zu, capacity %zu\n", queue_depth,
+                max_queue_depth, queue_capacity);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "latency:  queue-wait mean %.3f ms (max %.3f), "
+                "inference/batch mean %.3f ms (max %.3f)\n",
+                queue_wait.mean_ms(), queue_wait.max_ms, inference.mean_ms(),
+                inference.max_ms);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "          end-to-end mean %.3f ms (max %.3f)\n",
+                end_to_end.mean_ms(), end_to_end.max_ms);
+  out += line;
+  return out;
+}
+
+PccServer::PccServer(const Tasq& tasq, PccServerOptions options)
+    : tasq_(tasq),
+      options_(options),
+      cache_(options.cache_capacity),
+      // Drain tasks on the pool never exceed num_threads (see
+      // active_drainers_), so the pool's own queue can stay small; request
+      // backpressure happens on queue_ below.
+      pool_(options.num_threads,
+            static_cast<size_t>(
+                options.num_threads > 0
+                    ? options.num_threads
+                    : std::max(1u, std::thread::hardware_concurrency())) +
+                1) {
+  if (options_.num_threads == 0) options_.num_threads = pool_.concurrency();
+  if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+  if (options_.max_batch == 0) options_.max_batch = 1;
+}
+
+PccServer::~PccServer() { Shutdown(); }
+
+std::future<Result<WhatIfReport>> PccServer::Submit(ScoreRequest request) {
+  auto submitted_at = std::chrono::steady_clock::now();
+  ReportCacheKey key;
+  key.fingerprint = request.graph.Fingerprint();
+  key.model = request.model;
+  key.reference_tokens = request.reference_tokens;
+  key.grid_points = request.grid_points;
+
+  Pending pending;
+  pending.request = std::move(request);
+  pending.key = key;
+  pending.submitted_at = submitted_at;
+  std::future<Result<WhatIfReport>> future = pending.promise.get_future();
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++received_;
+  }
+
+  // Fingerprint-cache fast path: recurring jobs (the dominant workload)
+  // skip the queue and model inference entirely.
+  std::optional<WhatIfReport> cached = cache_.Get(key);
+  if (cached.has_value()) {
+    FulfillOk(pending, std::move(cached.value()), /*from_cache=*/true);
+    return future;
+  }
+
+  bool schedule_drainer = false;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    space_free_cv_.wait(lock, [this] {
+      return shutting_down_ || queue_.size() < options_.queue_capacity;
+    });
+    if (shutting_down_) {
+      lock.unlock();
+      FulfillError(pending,
+                   Status::FailedPrecondition("server is shut down"));
+      return future;
+    }
+    queue_.push_back(std::move(pending));
+    max_queue_depth_ = std::max(max_queue_depth_, queue_.size());
+    if (active_drainers_ < options_.num_threads) {
+      ++active_drainers_;
+      schedule_drainer = true;
+    }
+  }
+  if (schedule_drainer && !pool_.Submit([this]() { DrainQueue(); })) {
+    // The pool only rejects during shutdown; drain on the caller so the
+    // request cannot be stranded.
+    DrainQueue();
+  }
+  return future;
+}
+
+Result<WhatIfReport> PccServer::Score(ScoreRequest request) {
+  return Submit(std::move(request)).get();
+}
+
+std::vector<Result<WhatIfReport>> PccServer::ScoreBatch(
+    std::vector<ScoreRequest> requests) {
+  std::vector<std::future<Result<WhatIfReport>>> futures;
+  futures.reserve(requests.size());
+  for (ScoreRequest& request : requests) {
+    futures.push_back(Submit(std::move(request)));
+  }
+  std::vector<Result<WhatIfReport>> results;
+  results.reserve(futures.size());
+  for (auto& future : futures) {
+    results.push_back(future.get());
+  }
+  return results;
+}
+
+void PccServer::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  // Wake producers blocked on backpressure; they observe the flag and
+  // reject their requests.
+  space_free_cv_.notify_all();
+  // Drainers exit only once the queue is empty, and the pool's graceful
+  // shutdown waits for them — so every request accepted before the flag
+  // flipped is scored and its future fulfilled.
+  pool_.Shutdown();
+}
+
+void PccServer::DrainQueue() {
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (queue_.empty()) {
+        --active_drainers_;
+        return;
+      }
+      size_t take = std::min(options_.max_batch, queue_.size());
+      batch.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    space_free_cv_.notify_all();
+    auto picked_at = std::chrono::steady_clock::now();
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      for (const Pending& pending : batch) {
+        Record(queue_wait_, std::chrono::duration<double, std::milli>(
+                                picked_at - pending.submitted_at)
+                                .count());
+      }
+      ++batches_;
+      batched_requests_ += batch.size();
+    }
+    ProcessBatch(std::move(batch));
+  }
+}
+
+void PccServer::ProcessBatch(std::vector<Pending> batch) {
+  auto inference_start = std::chrono::steady_clock::now();
+
+  // Group the parametric requests per model kind so the batch shares
+  // inference (one NN forward pass per group); XGBoost-SS has no
+  // parametric form and scores per request.
+  std::vector<size_t> parametric[4];
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (batch[i].request.model != ModelKind::kXgboostSs) {
+      parametric[static_cast<size_t>(batch[i].request.model)].push_back(i);
+    }
+  }
+  for (const std::vector<size_t>& group : parametric) {
+    if (group.empty()) continue;
+    ModelKind kind = batch[group.front()].request.model;
+    std::vector<const JobGraph*> graphs;
+    std::vector<double> reference_tokens;
+    graphs.reserve(group.size());
+    reference_tokens.reserve(group.size());
+    for (size_t i : group) {
+      graphs.push_back(&batch[i].request.graph);
+      reference_tokens.push_back(batch[i].request.reference_tokens);
+    }
+    Result<std::vector<PowerLawPcc>> pccs =
+        tasq_.PredictPccBatch(graphs, kind, reference_tokens);
+    if (pccs.ok()) {
+      for (size_t g = 0; g < group.size(); ++g) {
+        Pending& pending = batch[group[g]];
+        Result<WhatIfReport> report = BuildWhatIfReportFromPcc(
+            pccs.value()[g], kind, pending.request.reference_tokens,
+            pending.request.grid_points);
+        if (report.ok()) {
+          FulfillOk(pending, std::move(report.value()), /*from_cache=*/false);
+        } else {
+          FulfillError(pending, report.status());
+        }
+      }
+    } else {
+      // A batch fails as a unit (e.g., one unfeaturizable graph); rescore
+      // individually so each request gets its own verdict, exactly as the
+      // sequential path would.
+      for (size_t i : group) ScoreOne(batch[i]);
+    }
+  }
+  for (Pending& pending : batch) {
+    if (pending.request.model == ModelKind::kXgboostSs) {
+      ScoreOne(pending);
+    }
+  }
+
+  double inference_ms = MsSince(inference_start);
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  Record(inference_, inference_ms);
+}
+
+void PccServer::ScoreOne(Pending& pending) {
+  Result<WhatIfReport> report = BuildWhatIfReport(
+      tasq_, pending.request.graph, pending.request.model,
+      pending.request.reference_tokens, pending.request.grid_points);
+  if (report.ok()) {
+    FulfillOk(pending, std::move(report.value()), /*from_cache=*/false);
+  } else {
+    FulfillError(pending, report.status());
+  }
+}
+
+void PccServer::FulfillOk(Pending& pending, WhatIfReport report,
+                          bool from_cache) {
+  if (!from_cache) {
+    cache_.Put(pending.key, report);
+  }
+  double total_ms = MsSince(pending.submitted_at);
+  // Count before resolving the future so a caller that observed the result
+  // never reads a Stats() snapshot that has not seen it yet.
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++completed_;
+    Record(end_to_end_, total_ms);
+  }
+  pending.promise.set_value(std::move(report));
+}
+
+void PccServer::FulfillError(Pending& pending, Status status) {
+  double total_ms = MsSince(pending.submitted_at);
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++failed_;
+    Record(end_to_end_, total_ms);
+  }
+  pending.promise.set_value(std::move(status));
+}
+
+ServerStats PccServer::Stats() const {
+  ServerStats stats;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats.received = received_;
+    stats.completed = completed_;
+    stats.failed = failed_;
+    stats.batches = batches_;
+    stats.batched_requests = batched_requests_;
+    stats.queue_wait = queue_wait_;
+    stats.inference = inference_;
+    stats.end_to_end = end_to_end_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats.queue_depth = queue_.size();
+    stats.max_queue_depth = max_queue_depth_;
+    stats.queue_capacity = options_.queue_capacity;
+  }
+  ReportCacheCounters cache = cache_.counters();
+  stats.cache_hits = cache.hits;
+  stats.cache_misses = cache.misses;
+  stats.cache_evictions = cache.evictions;
+  stats.cache_size = cache.size;
+  return stats;
+}
+
+}  // namespace tasq

@@ -1,0 +1,173 @@
+#ifndef TASQ_SERVE_SERVER_H_
+#define TASQ_SERVE_SERVER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/cache.h"
+#include "serve/thread_pool.h"
+#include "tasq/tasq.h"
+#include "tasq/what_if.h"
+#include "workload/job_graph.h"
+
+namespace tasq {
+
+/// One scoring request: the compile-time artifact TASQ sees at submission
+/// (paper §2.2 — the job's operator graph plus the tokens the user asked
+/// for), and which model family should score it.
+struct ScoreRequest {
+  JobGraph graph;
+  ModelKind model = ModelKind::kNn;
+  double reference_tokens = 1.0;
+  size_t grid_points = 9;
+};
+
+/// Accumulated latency of one serving stage, in milliseconds.
+struct StageLatency {
+  uint64_t count = 0;
+  double total_ms = 0.0;
+  double max_ms = 0.0;
+
+  double mean_ms() const { return count > 0 ? total_ms / count : 0.0; }
+};
+
+/// Point-in-time snapshot of a PccServer's behavior since construction.
+struct ServerStats {
+  /// Requests accepted by Submit (cache hits included).
+  uint64_t received = 0;
+  /// Requests fulfilled with an OK report.
+  uint64_t completed = 0;
+  /// Requests fulfilled with an error status (shutdown rejections included).
+  uint64_t failed = 0;
+
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
+  size_t cache_size = 0;
+
+  /// Worker-side batches scored and the requests they covered
+  /// (batched_requests / batches = realized mean batch size).
+  uint64_t batches = 0;
+  uint64_t batched_requests = 0;
+
+  size_t queue_depth = 0;
+  size_t max_queue_depth = 0;
+  size_t queue_capacity = 0;
+
+  /// Per-request time between enqueue and worker pickup.
+  StageLatency queue_wait;
+  /// Per-batch model-inference time (count == batches).
+  StageLatency inference;
+  /// Per-request time from Submit to promise fulfillment.
+  StageLatency end_to_end;
+
+  /// Renders the snapshot as an aligned human-readable block.
+  std::string ToText() const;
+};
+
+/// Configuration of the serving layer.
+struct PccServerOptions {
+  /// Worker threads scoring requests (0 = hardware concurrency).
+  unsigned num_threads = 2;
+  /// Bound on requests waiting to be scored; Submit blocks (backpressure)
+  /// while the queue is at capacity.
+  size_t queue_capacity = 1024;
+  /// Most requests a worker pulls per batch. Batched NN requests share one
+  /// forward pass (Tasq::PredictPccBatch).
+  size_t max_batch = 16;
+  /// LRU entries of finished reports, keyed by job-graph fingerprint; 0
+  /// disables caching.
+  size_t cache_capacity = 4096;
+};
+
+/// The compile-time scoring service of paper §2.2: accepts what-if scoring
+/// requests for submitted jobs, answers recurring jobs from a fingerprint
+/// cache, and batches the rest through the trained pipeline on a
+/// persistent worker pool.
+///
+/// The server borrows the pipeline: `tasq` must stay alive and untouched
+/// (no Train/Save/move) for the server's lifetime. Scoring a trained Tasq
+/// is const and thread-safe (see tasq.h), which is what lets every worker
+/// share one pipeline without locks.
+///
+/// Results are deterministic: a request scores to the same report whether
+/// it is served sequentially, batched with others, or replayed from the
+/// cache (serve_test.cc pins all three down byte-for-byte).
+class PccServer {
+ public:
+  explicit PccServer(const Tasq& tasq, PccServerOptions options = {});
+  ~PccServer();
+
+  PccServer(const PccServer&) = delete;
+  PccServer& operator=(const PccServer&) = delete;
+
+  /// Enqueues one request and returns the future report. Blocks while the
+  /// request queue is at capacity. Cache hits resolve immediately without
+  /// entering the queue. After Shutdown the future resolves to
+  /// FailedPrecondition.
+  std::future<Result<WhatIfReport>> Submit(ScoreRequest request);
+
+  /// Blocking convenience: Submit + wait.
+  Result<WhatIfReport> Score(ScoreRequest request);
+
+  /// Submits every request, then waits for all of them. Entry i of the
+  /// result corresponds to requests[i].
+  std::vector<Result<WhatIfReport>> ScoreBatch(
+      std::vector<ScoreRequest> requests);
+
+  /// Graceful shutdown: stops accepting requests, scores everything
+  /// already enqueued, fulfills every outstanding future, joins the
+  /// workers. Idempotent; also runs from the destructor.
+  void Shutdown();
+
+  /// Consistent snapshot of counters and latency accumulators.
+  ServerStats Stats() const;
+
+ private:
+  struct Pending {
+    ScoreRequest request;
+    ReportCacheKey key;
+    std::promise<Result<WhatIfReport>> promise;
+    std::chrono::steady_clock::time_point submitted_at;
+  };
+
+  /// Worker-side loop: repeatedly pulls up to max_batch pending requests
+  /// and scores them; exits when the queue is empty.
+  void DrainQueue();
+  void ProcessBatch(std::vector<Pending> batch);
+  void ScoreOne(Pending& pending);
+  void FulfillOk(Pending& pending, WhatIfReport report, bool from_cache);
+  void FulfillError(Pending& pending, Status status);
+
+  const Tasq& tasq_;
+  PccServerOptions options_;
+  ReportCache cache_;
+  ThreadPool pool_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable space_free_cv_;
+  std::deque<Pending> queue_;        // Guarded by mutex_.
+  size_t active_drainers_ = 0;       // Guarded by mutex_.
+  bool shutting_down_ = false;       // Guarded by mutex_.
+  size_t max_queue_depth_ = 0;       // Guarded by mutex_.
+
+  mutable std::mutex stats_mutex_;
+  uint64_t received_ = 0;            // Guarded by stats_mutex_.
+  uint64_t completed_ = 0;           // Guarded by stats_mutex_.
+  uint64_t failed_ = 0;              // Guarded by stats_mutex_.
+  uint64_t batches_ = 0;             // Guarded by stats_mutex_.
+  uint64_t batched_requests_ = 0;    // Guarded by stats_mutex_.
+  StageLatency queue_wait_;          // Guarded by stats_mutex_.
+  StageLatency inference_;           // Guarded by stats_mutex_.
+  StageLatency end_to_end_;          // Guarded by stats_mutex_.
+};
+
+}  // namespace tasq
+
+#endif  // TASQ_SERVE_SERVER_H_

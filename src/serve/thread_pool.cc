@@ -1,0 +1,92 @@
+#include "serve/thread_pool.h"
+
+#include <utility>
+
+namespace tasq {
+
+namespace {
+// Which pool (if any) owns the current thread. Set once at worker startup;
+// lets Submit detect reentrant worker-thread submissions without sharing a
+// mutable id list with the constructor.
+thread_local const ThreadPool* t_owning_pool = nullptr;
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned num_threads, size_t queue_capacity) {
+  if (num_threads == 0) {
+    unsigned hardware = std::thread::hardware_concurrency();
+    num_threads = hardware > 0 ? hardware : 1;
+  }
+  num_threads_ = num_threads;
+  queue_capacity_ =
+      queue_capacity > 0 ? queue_capacity : static_cast<size_t>(num_threads) * 4;
+  workers_.reserve(num_threads_);
+  for (unsigned t = 0; t < num_threads_; ++t) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+bool ThreadPool::OnWorkerThread() const { return t_owning_pool == this; }
+
+bool ThreadPool::Submit(std::function<void()> task) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (shutting_down_) return false;
+  if (queue_.size() >= queue_capacity_) {
+    if (OnWorkerThread()) return false;  // Blocking here could deadlock.
+    space_free_cv_.wait(lock, [this] {
+      return shutting_down_ || queue_.size() < queue_capacity_;
+    });
+    if (shutting_down_) return false;
+  }
+  queue_.push_back(std::move(task));
+  task_ready_cv_.notify_one();
+  return true;
+}
+
+void ThreadPool::Shutdown() {
+  // Swapping the threads out under the lock makes Shutdown idempotent and
+  // safe against concurrent callers: exactly one of them joins.
+  std::vector<std::thread> to_join;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+    to_join.swap(workers_);
+  }
+  task_ready_cv_.notify_all();
+  space_free_cv_.notify_all();
+  // Workers drain the queue before exiting, so joining them is the
+  // "graceful" part: every accepted task runs to completion.
+  for (std::thread& worker : to_join) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+size_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+bool ThreadPool::shutting_down() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shutting_down_;
+}
+
+void ThreadPool::WorkerLoop() {
+  t_owning_pool = this;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_ready_cv_.wait(
+          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // Shutting down and fully drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    space_free_cv_.notify_one();
+    task();
+  }
+}
+
+}  // namespace tasq

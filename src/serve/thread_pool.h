@@ -1,0 +1,81 @@
+#ifndef TASQ_SERVE_THREAD_POOL_H_
+#define TASQ_SERVE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.h"
+
+namespace tasq {
+
+/// A persistent worker pool with a bounded task queue and graceful
+/// shutdown — the long-lived counterpart of the thread-per-call
+/// `ParallelFor` in common/parallel.h. Services (serve/server.h) keep one
+/// pool alive for their whole lifetime instead of paying thread
+/// creation/teardown per request.
+///
+/// Contract:
+///  * `Submit` enqueues a task, blocking while the queue is at capacity
+///    (backpressure) — except when called from one of the pool's own
+///    worker threads, where blocking could deadlock the pool; there a full
+///    queue makes `Submit` return false immediately and the caller runs
+///    the task itself (`ParallelFor(Executor&, ...)` already does).
+///  * `Shutdown` is graceful: it stops admissions, lets the workers drain
+///    every task already accepted, then joins them. It is idempotent and
+///    also runs from the destructor.
+///  * Tasks must not throw: the pool runs them under the repo-wide
+///    no-exceptions contract (common/status.h); a throwing task would
+///    terminate the process.
+class ThreadPool : public Executor {
+ public:
+  /// Spawns `num_threads` workers (0 = hardware concurrency, minimum 1).
+  /// `queue_capacity` bounds the number of tasks waiting to run; 0 picks
+  /// a default proportional to the thread count.
+  explicit ThreadPool(unsigned num_threads = 0, size_t queue_capacity = 0);
+  ~ThreadPool() override;
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Schedules `task`; see the class contract for blocking semantics.
+  /// Returns false (dropping `task`) once shutdown has begun or when a
+  /// worker-thread submission meets a full queue.
+  bool Submit(std::function<void()> task) override;
+
+  /// Stops accepting tasks, drains the queue, joins all workers. Blocks
+  /// until every accepted task has finished.
+  void Shutdown();
+
+  /// Worker threads in the pool.
+  unsigned concurrency() const override { return num_threads_; }
+
+  /// Tasks accepted but not yet started (approximate; racy by nature).
+  size_t queue_depth() const;
+
+  /// True once Shutdown has begun; new submissions are rejected.
+  bool shutting_down() const;
+
+ private:
+  void WorkerLoop();
+  bool OnWorkerThread() const;
+
+  unsigned num_threads_ = 0;
+  size_t queue_capacity_ = 0;
+
+  mutable std::mutex mutex_;
+  std::condition_variable task_ready_cv_;   // Signals workers: task or stop.
+  std::condition_variable space_free_cv_;   // Signals producers: queue space.
+  std::deque<std::function<void()>> queue_;  // Guarded by mutex_.
+  bool shutting_down_ = false;               // Guarded by mutex_.
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace tasq
+
+#endif  // TASQ_SERVE_THREAD_POOL_H_

@@ -350,22 +350,78 @@ Result<TokenRecommendation> Tasq::RecommendTokens(
   }
   Result<PowerLawPcc> pcc = PredictPcc(graph, kind, reference_tokens);
   if (!pcc.ok()) return pcc.status();
+  return RecommendFromPowerLaw(pcc.value(), reference_tokens,
+                               min_improvement_percent, max_slowdown_fraction);
+}
+
+TokenRecommendation RecommendFromPowerLaw(const PowerLawPcc& pcc,
+                                          double reference_tokens,
+                                          double min_improvement_percent,
+                                          double max_slowdown_fraction) {
   TokenRecommendation recommendation;
-  double optimal =
-      pcc.value().OptimalTokens(min_improvement_percent, reference_tokens);
+  double optimal = pcc.OptimalTokens(min_improvement_percent, reference_tokens);
   if (max_slowdown_fraction >= 0.0) {
-    optimal = std::max(optimal, pcc.value().MinTokensForSlowdown(
+    optimal = std::max(optimal, pcc.MinTokensForSlowdown(
                                     reference_tokens, max_slowdown_fraction));
   }
   recommendation.tokens = std::round(optimal);
   recommendation.predicted_runtime_seconds =
-      pcc.value().EvalRunTime(recommendation.tokens);
-  double reference_runtime = pcc.value().EvalRunTime(reference_tokens);
+      pcc.EvalRunTime(recommendation.tokens);
+  double reference_runtime = pcc.EvalRunTime(reference_tokens);
   recommendation.predicted_slowdown =
       reference_runtime > 0.0
           ? recommendation.predicted_runtime_seconds / reference_runtime - 1.0
           : 0.0;
   return recommendation;
+}
+
+Result<std::vector<PowerLawPcc>> Tasq::PredictPccBatch(
+    const std::vector<const JobGraph*>& graphs, ModelKind kind,
+    const std::vector<double>& reference_tokens) const {
+  if (!impl_->trained) {
+    return Status::FailedPrecondition("pipeline has not been trained");
+  }
+  if (graphs.size() != reference_tokens.size()) {
+    return Status::InvalidArgument(
+        "graphs and reference_tokens must align element-wise");
+  }
+  if (kind == ModelKind::kXgboostSs) {
+    return Status::InvalidArgument(
+        "XGBoost SS has no parametric PCC; use PredictCurve");
+  }
+  std::vector<PowerLawPcc> out;
+  out.reserve(graphs.size());
+  if (kind == ModelKind::kNn) {
+    if (impl_->nn == nullptr) {
+      return Status::FailedPrecondition("NN model was not trained");
+    }
+    if (graphs.empty()) return out;
+    // One forward pass over the stacked feature rows. Row i of a batched
+    // matrix product accumulates in exactly the per-row order, so results
+    // are bit-identical to per-graph prediction.
+    std::vector<double> rows;
+    rows.reserve(graphs.size() * Featurizer::kJobFeatureDim);
+    for (const JobGraph* graph : graphs) {
+      if (graph == nullptr) {
+        return Status::InvalidArgument("null graph in batch");
+      }
+      Result<JobFeatures> features = impl_->Featurize(*graph);
+      if (!features.ok()) return features.status();
+      rows.insert(rows.end(), features.value().job_vector.begin(),
+                  features.value().job_vector.end());
+    }
+    return impl_->nn->PredictBatch(rows, graphs.size());
+  }
+  for (size_t i = 0; i < graphs.size(); ++i) {
+    if (graphs[i] == nullptr) {
+      return Status::InvalidArgument("null graph in batch");
+    }
+    Result<PowerLawPcc> pcc =
+        PredictPcc(*graphs[i], kind, reference_tokens[i]);
+    if (!pcc.ok()) return pcc.status();
+    out.push_back(pcc.value());
+  }
+  return out;
 }
 
 }  // namespace tasq

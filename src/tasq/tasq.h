@@ -54,6 +54,15 @@ struct TokenRecommendation {
 /// jobs, augments them with AREPAS, fits power-law targets, and trains the
 /// configured models; scoring featurizes an unseen job's compile-time graph
 /// and predicts its PCC / optimal token count.
+///
+/// Thread-safety contract: once trained (or loaded), a Tasq is immutable —
+/// every const scoring method (PredictPcc / PredictPccBatch / PredictCurve
+/// / PredictRuntime / RecommendTokens, and BuildWhatIfReport on top of
+/// them) touches no mutable or lazily-initialized state and is safe to
+/// call from any number of threads concurrently on the same instance. The
+/// serving layer (serve/server.h) relies on this to share one pipeline
+/// across its worker pool. Train / Save / Load and moves are NOT safe to
+/// run concurrently with scoring.
 class Tasq {
  public:
   explicit Tasq(TasqOptions options = {});
@@ -71,6 +80,16 @@ class Tasq {
   /// offered for it (see PredictCurve).
   Result<PowerLawPcc> PredictPcc(const JobGraph& graph, ModelKind kind,
                                  double reference_tokens) const;
+
+  /// Batch PCC prediction for the parametric model kinds: entry i of the
+  /// result corresponds to graphs[i] / reference_tokens[i]. Predictions
+  /// are bit-identical to calling PredictPcc per graph; the NN additionally
+  /// runs the whole batch through a single forward pass, which is what the
+  /// serving layer batches for. Fails for XGBoost-SS (no parametric form)
+  /// and on the first graph that fails to featurize.
+  Result<std::vector<PowerLawPcc>> PredictPccBatch(
+      const std::vector<const JobGraph*>& graphs, ModelKind kind,
+      const std::vector<double>& reference_tokens) const;
 
   /// Samples the predicted PCC at the given token counts (works for all
   /// four model kinds, including XGBoost-SS).
@@ -118,6 +137,16 @@ class Tasq {
   struct Impl;
   std::unique_ptr<Impl> impl_;
 };
+
+/// Derives the token recommendation implied by an already-predicted
+/// power-law PCC — the pure-math tail of RecommendTokens for parametric
+/// models, exposed so callers holding a predicted (or cached) PCC can
+/// recompute recommendations without another model inference. Identical to
+/// RecommendTokens given the same PCC.
+TokenRecommendation RecommendFromPowerLaw(const PowerLawPcc& pcc,
+                                          double reference_tokens,
+                                          double min_improvement_percent,
+                                          double max_slowdown_fraction);
 
 }  // namespace tasq
 

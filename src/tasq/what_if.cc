@@ -21,6 +21,19 @@ WhatIfPoint MakePoint(double tokens, double runtime, double reference_tokens,
   return point;
 }
 
+/// The sampling grid every report uses: `points` counts evenly spaced from
+/// 20% of the reference (floored at 1 token) up to the reference itself.
+std::vector<double> ReportGrid(double reference_tokens, size_t points) {
+  double lo = std::max(1.0, reference_tokens * 0.2);
+  std::vector<double> grid;
+  grid.reserve(points);
+  for (size_t i = 0; i < points; ++i) {
+    grid.push_back(lo + (reference_tokens - lo) * static_cast<double>(i) /
+                            static_cast<double>(points - 1));
+  }
+  return grid;
+}
+
 }  // namespace
 
 Result<WhatIfReport> BuildWhatIfReport(const Tasq& tasq, const JobGraph& graph,
@@ -31,23 +44,22 @@ Result<WhatIfReport> BuildWhatIfReport(const Tasq& tasq, const JobGraph& graph,
     return Status::InvalidArgument("reference tokens must be at least 1");
   }
   grid_points = std::max<size_t>(3, grid_points);
+
+  if (model != ModelKind::kXgboostSs) {
+    // Parametric models: one inference, then pure math. This is also the
+    // path the serving layer replays from its cache and batches.
+    Result<PowerLawPcc> pcc = tasq.PredictPcc(graph, model, reference_tokens);
+    if (!pcc.ok()) return pcc.status();
+    return BuildWhatIfReportFromPcc(pcc.value(), model, reference_tokens,
+                                    grid_points);
+  }
+
+  // XGBoost-SS: no parametric form, so the curve and both recommendations
+  // each come from the smoothed point-prediction path.
   WhatIfReport report;
   report.model = model;
   report.reference_tokens = reference_tokens;
-
-  if (model != ModelKind::kXgboostSs) {
-    Result<PowerLawPcc> pcc = tasq.PredictPcc(graph, model, reference_tokens);
-    if (!pcc.ok()) return pcc.status();
-    report.pcc = pcc.value();
-    report.has_pcc = true;
-  }
-
-  double lo = std::max(1.0, reference_tokens * 0.2);
-  std::vector<double> grid;
-  for (size_t i = 0; i < grid_points; ++i) {
-    grid.push_back(lo + (reference_tokens - lo) * static_cast<double>(i) /
-                            static_cast<double>(grid_points - 1));
-  }
+  std::vector<double> grid = ReportGrid(reference_tokens, grid_points);
   Result<std::vector<PccSample>> curve =
       tasq.PredictCurve(graph, model, reference_tokens, grid);
   if (!curve.ok()) return curve.status();
@@ -74,6 +86,49 @@ Result<WhatIfReport> BuildWhatIfReport(const Tasq& tasq, const JobGraph& graph,
   if (!aggressive.ok()) return aggressive;
   Status bounded = fill_recommendation(0.10, report.bounded);
   if (!bounded.ok()) return bounded;
+  return report;
+}
+
+Result<WhatIfReport> BuildWhatIfReportFromPcc(const PowerLawPcc& pcc,
+                                              ModelKind model,
+                                              double reference_tokens,
+                                              size_t grid_points) {
+  if (model == ModelKind::kXgboostSs) {
+    return Status::InvalidArgument(
+        "XGBoost SS has no parametric PCC; use BuildWhatIfReport");
+  }
+  if (reference_tokens < 1.0) {
+    return Status::InvalidArgument("reference tokens must be at least 1");
+  }
+  grid_points = std::max<size_t>(3, grid_points);
+  WhatIfReport report;
+  report.model = model;
+  report.reference_tokens = reference_tokens;
+  report.pcc = pcc;
+  report.has_pcc = true;
+
+  std::vector<PccSample> curve;
+  for (double tokens : ReportGrid(reference_tokens, grid_points)) {
+    curve.push_back({tokens, pcc.EvalRunTime(tokens)});
+  }
+  double reference_runtime = curve.back().runtime_seconds;
+  for (const PccSample& sample : curve) {
+    report.curve.push_back(MakePoint(sample.tokens, sample.runtime_seconds,
+                                     reference_tokens, reference_runtime));
+  }
+  Result<double> elbow = FindElbowTokens(curve);
+  if (elbow.ok()) report.elbow_tokens = elbow.value();
+
+  auto fill_recommendation = [&](double slo, WhatIfPoint& out) {
+    TokenRecommendation recommendation =
+        RecommendFromPowerLaw(pcc, reference_tokens, 1.0, slo);
+    out = MakePoint(recommendation.tokens,
+                    recommendation.predicted_runtime_seconds,
+                    reference_tokens, reference_runtime);
+    out.predicted_slowdown = recommendation.predicted_slowdown;
+  };
+  fill_recommendation(-1.0, report.aggressive);
+  fill_recommendation(0.10, report.bounded);
   return report;
 }
 

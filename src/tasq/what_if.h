@@ -44,11 +44,24 @@ struct WhatIfReport {
 };
 
 /// Builds a what-if report for an unseen job from a trained pipeline.
-/// `grid_points` controls curve resolution (>= 3).
+/// `grid_points` controls curve resolution (>= 3). For parametric models
+/// the job is featurized and scored exactly once; the curve, elbow, and
+/// both recommendations all derive from that single predicted PCC.
 Result<WhatIfReport> BuildWhatIfReport(const Tasq& tasq, const JobGraph& graph,
                                        ModelKind model,
                                        double reference_tokens,
                                        size_t grid_points = 9);
+
+/// Derives the full report from an already-predicted parametric PCC
+/// without touching the pipeline — the pure-math tail of
+/// BuildWhatIfReport, exposed for callers that batch or cache model
+/// inference (serve/server.h). Byte-identical to BuildWhatIfReport given
+/// the PCC it would predict. Fails for XGBoost-SS, which has no
+/// parametric form.
+Result<WhatIfReport> BuildWhatIfReportFromPcc(const PowerLawPcc& pcc,
+                                              ModelKind model,
+                                              double reference_tokens,
+                                              size_t grid_points = 9);
 
 }  // namespace tasq
 

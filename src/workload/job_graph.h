@@ -55,6 +55,14 @@ struct JobGraph {
   /// Number of distinct stages referenced by the operators.
   int NumStages() const;
 
+  /// Deterministic 64-bit content hash over every operator, edge, and
+  /// feature of the graph. Two graphs hash equal iff their structure and
+  /// features are identical, so the hash identifies recurring jobs at the
+  /// serving layer (src/serve) without comparing whole graphs. The value
+  /// depends only on graph content — never on addresses or iteration
+  /// order — and is stable across runs, threads, and processes.
+  uint64_t Fingerprint() const;
+
   /// Checks ids are dense/ordered and inputs reference earlier operators.
   Status Validate() const;
 };

@@ -1,0 +1,126 @@
+// Golden-file regression test: pins the full rendered what-if report for a
+// fixed workload + training configuration against checked-in expectations
+// under tests/golden/. Any change to featurization, training, inference,
+// report math, or formatting shows up as a readable text diff.
+//
+// To refresh the expectations after an intentional change:
+//
+//   ./tests/golden_test --update_golden
+//
+// then review and commit the rewritten files under tests/golden/.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "tasq/what_if.h"
+#include "workload/generator.h"
+
+// Set from main() before the tests run.
+static bool g_update_golden = false;
+
+namespace tasq {
+namespace {
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(TASQ_GOLDEN_DIR) + "/" + name;
+}
+
+const char* ModelSlug(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kXgboostSs: return "xgb_ss";
+    case ModelKind::kXgboostPl: return "xgb_pl";
+    case ModelKind::kNn: return "nn";
+    case ModelKind::kGnn: return "gnn";
+  }
+  return "unknown";
+}
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return "";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+class GoldenReportTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    WorkloadConfig config;
+    config.seed = 17;
+    generator_ = new WorkloadGenerator(config);
+    NoiseModel noise;
+    noise.enabled = true;
+    auto observed =
+        ObserveWorkload(generator_->Generate(0, 120), noise, 1).value();
+    TasqOptions options;
+    options.nn.epochs = 20;
+    options.gnn.epochs = 2;
+    options.gnn.gcn_hidden = {8};
+    options.gnn.head_hidden = {8};
+    options.xgb.gbdt.num_trees = 30;
+    pipeline_ = new Tasq(options);
+    ASSERT_TRUE(pipeline_->Train(observed).ok());
+  }
+  static void TearDownTestSuite() {
+    delete pipeline_;
+    delete generator_;
+    pipeline_ = nullptr;
+    generator_ = nullptr;
+  }
+
+  // Compares `actual` against the named golden file, or rewrites the file
+  // when the binary ran with --update_golden.
+  static void CheckGolden(const std::string& name,
+                          const std::string& actual) {
+    const std::string path = GoldenPath(name);
+    if (g_update_golden) {
+      std::ofstream out(path);
+      ASSERT_TRUE(out.good()) << "cannot write " << path;
+      out << actual;
+      return;
+    }
+    std::string expected = ReadFileOrEmpty(path);
+    ASSERT_FALSE(expected.empty())
+        << path << " is missing; run golden_test --update_golden";
+    EXPECT_EQ(actual, expected)
+        << "report drifted from " << path
+        << " (rerun with --update_golden if the change is intentional)";
+  }
+
+  static Tasq* pipeline_;
+  static WorkloadGenerator* generator_;
+};
+
+Tasq* GoldenReportTest::pipeline_ = nullptr;
+WorkloadGenerator* GoldenReportTest::generator_ = nullptr;
+
+TEST_F(GoldenReportTest, WhatIfReportsMatchGoldenFiles) {
+  for (int64_t job_id : {900, 901}) {
+    Job job = generator_->GenerateJob(job_id);
+    for (ModelKind model : {ModelKind::kXgboostSs, ModelKind::kXgboostPl,
+                            ModelKind::kNn, ModelKind::kGnn}) {
+      auto report = BuildWhatIfReport(*pipeline_, job.graph, model,
+                                      job.default_tokens, 9);
+      ASSERT_TRUE(report.ok())
+          << ModelKindName(model) << " job " << job_id;
+      std::string name = std::string("what_if_") + ModelSlug(model) +
+                         "_job" + std::to_string(job_id) + ".txt";
+      CheckGolden(name, report.value().ToText());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tasq
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--update_golden") g_update_golden = true;
+  }
+  return RUN_ALL_TESTS();
+}

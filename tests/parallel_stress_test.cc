@@ -9,10 +9,16 @@
 #include <mutex>
 #include <numeric>
 #include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "serve/server.h"
+#include "serve/thread_pool.h"
+#include "tasq/what_if.h"
+#include "workload/generator.h"
 
 namespace tasq {
 namespace {
@@ -170,6 +176,182 @@ TEST(ParallelStressTest, RepeatedLaunchesStayConsistent) {
     ParallelFor(out.size(), [&](size_t i) { out[i] = round; }, 3);
     for (int v : out) ASSERT_EQ(v, round);
   }
+}
+
+// ---- Scoring one trained pipeline from many threads ----------------------
+//
+// The serving layer shares a single const Tasq across every worker without
+// locks, relying on the thread-safety contract documented in tasq.h. These
+// tests hammer that contract under TSan: any hidden mutable state in a
+// scoring path (lazy caches, shared scratch buffers) shows up as a data
+// race here before it can corrupt production scores.
+
+class ParallelStressPipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    WorkloadConfig config;
+    config.seed = 17;
+    generator_ = new WorkloadGenerator(config);
+    NoiseModel noise;
+    noise.enabled = true;
+    auto observed =
+        ObserveWorkload(generator_->Generate(0, 80), noise, 1).value();
+    // Smallest configuration that trains all four models: the tests below
+    // probe concurrency, not accuracy, and this binary also runs under
+    // TSan's ~20x slowdown.
+    TasqOptions options;
+    options.nn.epochs = 6;
+    options.gnn.epochs = 1;
+    options.gnn.gcn_hidden = {8};
+    options.gnn.head_hidden = {8};
+    options.xgb.gbdt.num_trees = 10;
+    pipeline_ = new Tasq(options);
+    ASSERT_TRUE(pipeline_->Train(observed).ok());
+  }
+  static void TearDownTestSuite() {
+    delete pipeline_;
+    delete generator_;
+    pipeline_ = nullptr;
+    generator_ = nullptr;
+  }
+
+  static constexpr ModelKind kAllKinds[4] = {
+      ModelKind::kXgboostSs, ModelKind::kXgboostPl, ModelKind::kNn,
+      ModelKind::kGnn};
+
+  static Tasq* pipeline_;
+  static WorkloadGenerator* generator_;
+};
+
+Tasq* ParallelStressPipelineTest::pipeline_ = nullptr;
+WorkloadGenerator* ParallelStressPipelineTest::generator_ = nullptr;
+constexpr ModelKind ParallelStressPipelineTest::kAllKinds[4];
+
+TEST_F(ParallelStressPipelineTest, EightThreadsScoreOnePipelineRaceFree) {
+  std::vector<Job> jobs = generator_->Generate(200, 8);
+
+  // Sequential ground truth, computed before any concurrency starts.
+  std::vector<std::string> expected;
+  for (const Job& job : jobs) {
+    for (ModelKind kind : kAllKinds) {
+      auto report = BuildWhatIfReport(*pipeline_, job.graph, kind,
+                                      job.default_tokens, 9);
+      ASSERT_TRUE(report.ok());
+      expected.push_back(report.value().ToText());
+    }
+  }
+
+  // 8 threads hammer every scoring entry point on the same pipeline.
+  // Results must be bit-identical to the sequential pass — concurrency may
+  // not perturb a single byte of any report.
+  std::atomic<int> mismatches{0};
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&]() {
+      for (int round = 0; round < 3; ++round) {
+        size_t slot = 0;
+        for (const Job& job : jobs) {
+          for (ModelKind kind : kAllKinds) {
+            auto report = BuildWhatIfReport(*pipeline_, job.graph, kind,
+                                            job.default_tokens, 9);
+            if (!report.ok()) {
+              errors.fetch_add(1);
+            } else if (report.value().ToText() != expected[slot]) {
+              mismatches.fetch_add(1);
+            }
+            ++slot;
+            // Exercise the lower-level entry points too; their results are
+            // covered by the report comparison, so only failures count.
+            if (!pipeline_->PredictRuntime(job.graph, kind,
+                                           job.default_tokens,
+                                           job.default_tokens).ok()) {
+              errors.fetch_add(1);
+            }
+            if (kind != ModelKind::kXgboostSs &&
+                !pipeline_->PredictPcc(job.graph, kind,
+                                       job.default_tokens).ok()) {
+              errors.fetch_add(1);
+            }
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST_F(ParallelStressPipelineTest, ServerStressFromEightProducers) {
+  // A shared PccServer under producer contention: 8 threads submit a
+  // recurring-heavy stream (cache hits and misses interleave with queue
+  // backpressure) and every future must resolve to the sequential answer.
+  std::vector<Job> jobs = generator_->Generate(300, 6);
+  std::vector<std::string> expected;
+  for (const Job& job : jobs) {
+    auto report = BuildWhatIfReport(*pipeline_, job.graph, ModelKind::kNn,
+                                    job.default_tokens, 9);
+    ASSERT_TRUE(report.ok());
+    expected.push_back(report.value().ToText());
+  }
+
+  PccServerOptions options;
+  options.num_threads = 4;
+  options.queue_capacity = 8;
+  options.max_batch = 4;
+  options.cache_capacity = 4;  // Smaller than the job set: forces evictions.
+  PccServer server(*pipeline_, options);
+
+  std::atomic<int> mismatches{0};
+  std::atomic<int> errors{0};
+  std::vector<std::thread> producers;
+  for (int t = 0; t < 8; ++t) {
+    producers.emplace_back([&, t]() {
+      Rng rng(static_cast<uint64_t>(t) + 1);
+      for (int round = 0; round < 20; ++round) {
+        size_t pick = static_cast<size_t>(
+            rng.Uniform(0.0, static_cast<double>(jobs.size()) - 0.001));
+        ScoreRequest request;
+        request.graph = jobs[pick].graph;
+        request.model = ModelKind::kNn;
+        request.reference_tokens = jobs[pick].default_tokens;
+        auto result = server.Score(std::move(request));
+        if (!result.ok()) {
+          errors.fetch_add(1);
+        } else if (result.value().ToText() != expected[pick]) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& producer : producers) producer.join();
+  server.Shutdown();
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+  ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.completed, 160u);
+  EXPECT_LE(stats.max_queue_depth, options.queue_capacity);
+}
+
+// ThreadPool under producer/consumer contention: tasks submitted from many
+// threads against a tiny bounded queue, with one graceful shutdown racing
+// the tail of the stream.
+TEST(ParallelStressTest, ThreadPoolContendedSubmitAndShutdown) {
+  ThreadPool pool(4, 2);
+  std::atomic<int> ran{0};
+  std::vector<std::thread> producers;
+  for (int t = 0; t < 8; ++t) {
+    producers.emplace_back([&]() {
+      for (int i = 0; i < 50; ++i) {
+        if (!pool.Submit([&ran]() { ran.fetch_add(1); })) break;
+      }
+    });
+  }
+  for (std::thread& producer : producers) producer.join();
+  pool.Shutdown();
+  EXPECT_EQ(ran.load(), 8 * 50);
+  EXPECT_FALSE(pool.Submit([]() {}));
 }
 
 }  // namespace

@@ -5,10 +5,17 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "feat/featurizer.h"
 #include "simcluster/cluster_simulator.h"
+#include "tasq/repository.h"
 #include "workload/generator.h"
 
 namespace tasq {
@@ -126,6 +133,170 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<ConfigCase>& info) {
       return info.param.name;
     });
+
+// ---- JobGraph::Fingerprint properties ------------------------------------
+//
+// The serving layer (src/serve) keys its report cache on the fingerprint,
+// so these properties are load-bearing: equal graphs MUST collide (or
+// recurring jobs never hit the cache) and modified graphs MUST NOT (or a
+// changed job is served a stale report).
+
+TEST(FingerprintPropertyTest, EqualGraphsHashEqual) {
+  WorkloadConfig config;
+  config.seed = 91;
+  // Two independently constructed generators: same config, same job id →
+  // structurally equal graphs → equal fingerprints, with no shared state
+  // that could mask address-dependent hashing.
+  WorkloadGenerator a(config);
+  WorkloadGenerator b(config);
+  for (int64_t id = 0; id < 50; ++id) {
+    JobGraph graph_a = a.GenerateJob(id).graph;
+    JobGraph graph_b = b.GenerateJob(id).graph;
+    EXPECT_EQ(graph_a.Fingerprint(), graph_b.Fingerprint()) << "job " << id;
+    JobGraph copy = graph_a;  // A copy must trivially collide too.
+    EXPECT_EQ(copy.Fingerprint(), graph_a.Fingerprint()) << "job " << id;
+  }
+}
+
+TEST(FingerprintPropertyTest, DistinctJobsRarelyCollide) {
+  WorkloadConfig config;
+  config.seed = 92;
+  config.recurring_fraction = 0.0;  // Every job is unique by construction.
+  WorkloadGenerator generator(config);
+  std::set<uint64_t> prints;
+  const int64_t n = 300;
+  for (const Job& job : generator.Generate(0, n)) {
+    prints.insert(job.graph.Fingerprint());
+  }
+  EXPECT_EQ(prints.size(), static_cast<size_t>(n));
+}
+
+TEST(FingerprintPropertyTest, EverySingleMutationChangesTheHash) {
+  WorkloadConfig config;
+  config.seed = 93;
+  WorkloadGenerator generator(config);
+  JobGraph base = generator.GenerateJob(7).graph;
+  ASSERT_GE(base.operators.size(), 3u);
+  const uint64_t base_print = base.Fingerprint();
+
+  using Mutation = std::pair<std::string, std::function<void(JobGraph&)>>;
+  std::vector<Mutation> mutations;
+  for (size_t i = 0; i < base.operators.size(); ++i) {
+    auto name = [i](const char* field) {
+      return "op" + std::to_string(i) + "." + field;
+    };
+    mutations.emplace_back(name("op"), [i](JobGraph& g) {
+      auto& op = g.operators[i].op;
+      op = op == PhysicalOperator::kFilter ? PhysicalOperator::kProject
+                                           : PhysicalOperator::kFilter;
+    });
+    mutations.emplace_back(name("partitioning"), [i](JobGraph& g) {
+      auto& p = g.operators[i].partitioning;
+      p = p == PartitioningMethod::kHash ? PartitioningMethod::kRange
+                                         : PartitioningMethod::kHash;
+    });
+    mutations.emplace_back(name("stage"), [i](JobGraph& g) {
+      g.operators[i].stage += 1;
+    });
+    mutations.emplace_back(name("output_cardinality"), [i](JobGraph& g) {
+      g.operators[i].features.output_cardinality += 1.0;
+    });
+    mutations.emplace_back(name("leaf_input_cardinality"), [i](JobGraph& g) {
+      g.operators[i].features.leaf_input_cardinality += 1.0;
+    });
+    mutations.emplace_back(
+        name("children_input_cardinality"), [i](JobGraph& g) {
+          g.operators[i].features.children_input_cardinality += 1.0;
+        });
+    mutations.emplace_back(name("average_row_length"), [i](JobGraph& g) {
+      g.operators[i].features.average_row_length += 1.0;
+    });
+    mutations.emplace_back(name("cost_subtree"), [i](JobGraph& g) {
+      g.operators[i].features.cost_subtree += 1.0;
+    });
+    mutations.emplace_back(name("cost_exclusive"), [i](JobGraph& g) {
+      g.operators[i].features.cost_exclusive += 1.0;
+    });
+    mutations.emplace_back(name("cost_total"), [i](JobGraph& g) {
+      g.operators[i].features.cost_total += 1.0;
+    });
+    mutations.emplace_back(name("num_partitions"), [i](JobGraph& g) {
+      g.operators[i].features.num_partitions += 1;
+    });
+    mutations.emplace_back(
+        name("num_partitioning_columns"), [i](JobGraph& g) {
+          g.operators[i].features.num_partitioning_columns += 1;
+        });
+    mutations.emplace_back(name("num_sort_columns"), [i](JobGraph& g) {
+      g.operators[i].features.num_sort_columns += 1;
+    });
+  }
+  // Structural mutations: edges and node count.
+  mutations.emplace_back("add_edge", [](JobGraph& g) {
+    g.operators.back().inputs.push_back(0);
+  });
+  mutations.emplace_back("drop_edge", [&base](JobGraph& g) {
+    for (auto& node : g.operators) {
+      if (!node.inputs.empty()) {
+        node.inputs.pop_back();
+        return;
+      }
+    }
+    (void)base;
+  });
+  mutations.emplace_back("append_operator", [](JobGraph& g) {
+    OperatorNode node;
+    node.id = static_cast<int>(g.operators.size());
+    node.inputs.push_back(node.id - 1);
+    g.operators.push_back(node);
+  });
+  mutations.emplace_back("drop_operator", [](JobGraph& g) {
+    g.operators.pop_back();
+  });
+
+  for (const Mutation& mutation : mutations) {
+    JobGraph mutated = base;
+    mutation.second(mutated);
+    EXPECT_NE(mutated.Fingerprint(), base_print)
+        << "mutation " << mutation.first << " did not change the hash";
+  }
+}
+
+TEST(FingerprintPropertyTest, NegativeZeroHashesLikePositiveZero) {
+  WorkloadConfig config;
+  config.seed = 94;
+  WorkloadGenerator generator(config);
+  JobGraph graph = generator.GenerateJob(3).graph;
+  graph.operators[0].features.output_cardinality = 0.0;
+  uint64_t positive = graph.Fingerprint();
+  graph.operators[0].features.output_cardinality = -0.0;
+  // -0.0 == 0.0, so graphs that compare equal must hash equal even though
+  // the two values have different bit patterns.
+  EXPECT_EQ(graph.Fingerprint(), positive);
+}
+
+TEST(FingerprintPropertyTest, StableAcrossSerializationRoundTrip) {
+  WorkloadConfig config;
+  config.seed = 95;
+  WorkloadGenerator generator(config);
+  NoiseModel noise;
+  noise.enabled = true;
+  auto observed =
+      ObserveWorkload(generator.Generate(0, 30), noise, 1).value();
+  std::vector<uint64_t> before;
+  for (const ObservedJob& job : observed) {
+    before.push_back(job.job.graph.Fingerprint());
+  }
+  std::stringstream stream;
+  ASSERT_TRUE(SaveWorkload(stream, observed).ok());
+  auto loaded = LoadWorkload(stream);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().size(), observed.size());
+  for (size_t i = 0; i < loaded.value().size(); ++i) {
+    EXPECT_EQ(loaded.value()[i].job.graph.Fingerprint(), before[i])
+        << "job " << i;
+  }
+}
 
 }  // namespace
 }  // namespace tasq

@@ -1,0 +1,383 @@
+// Tests of the concurrent PCC serving layer (src/serve): thread-pool
+// semantics, fingerprint-cache behavior, bounded-queue backpressure,
+// graceful shutdown, and — most importantly — that batched/cached/
+// concurrent serving is byte-identical to scoring sequentially.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.h"
+#include "serve/cache.h"
+#include "serve/server.h"
+#include "serve/thread_pool.h"
+#include "tasq/what_if.h"
+#include "workload/generator.h"
+
+namespace tasq {
+namespace {
+
+// ---- ThreadPool ----------------------------------------------------------
+
+TEST(ServeThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4, 64);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(pool.Submit([&ran]() { ran.fetch_add(1); }));
+  }
+  pool.Shutdown();
+  EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ServeThreadPoolTest, ShutdownDrainsQueuedTasksAndRejectsNewOnes) {
+  ThreadPool pool(1, 64);
+  std::atomic<int> ran{0};
+  // The gate keeps the single worker busy so later tasks pile up queued.
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  ASSERT_TRUE(pool.Submit([opened]() { opened.wait(); }));
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(pool.Submit([&ran]() { ran.fetch_add(1); }));
+  }
+  gate.set_value();
+  pool.Shutdown();  // Graceful: all 10 queued tasks must have run.
+  EXPECT_EQ(ran.load(), 10);
+  EXPECT_FALSE(pool.Submit([]() {}));
+  EXPECT_TRUE(pool.shutting_down());
+}
+
+TEST(ServeThreadPoolTest, BoundedQueueBlocksProducerUntilSpaceFrees) {
+  ThreadPool pool(1, 1);
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  ASSERT_TRUE(pool.Submit([opened]() { opened.wait(); }));  // Occupies worker.
+  ASSERT_TRUE(pool.Submit([]() {}));                        // Fills the queue.
+  std::atomic<bool> third_accepted{false};
+  std::thread producer([&]() {
+    ASSERT_TRUE(pool.Submit([]() {}));  // Must block until the gate opens.
+    third_accepted.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(third_accepted.load()) << "Submit should still be blocked";
+  gate.set_value();
+  producer.join();
+  EXPECT_TRUE(third_accepted.load());
+  pool.Shutdown();
+}
+
+TEST(ServeThreadPoolTest, ParallelForRunsOnThePool) {
+  ThreadPool pool(3, 16);
+  const size_t n = 1000;
+  std::vector<double> out(n, 0.0);
+  ParallelFor(pool, n, [&](size_t i) { out[i] = static_cast<double>(i); });
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_DOUBLE_EQ(out[i], static_cast<double>(i));
+  }
+  pool.Shutdown();
+}
+
+// ---- ReportCache ---------------------------------------------------------
+
+WhatIfReport TinyReport(double reference_tokens) {
+  WhatIfReport report;
+  report.reference_tokens = reference_tokens;
+  return report;
+}
+
+TEST(ServeCacheTest, HitMissAndLruEviction) {
+  ReportCache cache(2);
+  ReportCacheKey a{1, ModelKind::kNn, 10.0, 9};
+  ReportCacheKey b{2, ModelKind::kNn, 10.0, 9};
+  ReportCacheKey c{3, ModelKind::kNn, 10.0, 9};
+
+  EXPECT_FALSE(cache.Get(a).has_value());
+  cache.Put(a, TinyReport(1.0));
+  cache.Put(b, TinyReport(2.0));
+  ASSERT_TRUE(cache.Get(a).has_value());  // Refreshes a's recency.
+  EXPECT_DOUBLE_EQ(cache.Get(a)->reference_tokens, 1.0);
+  cache.Put(c, TinyReport(3.0));  // Evicts b (least recently used), not a.
+  EXPECT_TRUE(cache.Get(a).has_value());
+  EXPECT_FALSE(cache.Get(b).has_value());
+  EXPECT_TRUE(cache.Get(c).has_value());
+
+  ReportCacheCounters counters = cache.counters();
+  EXPECT_EQ(counters.evictions, 1u);
+  EXPECT_EQ(counters.size, 2u);
+  EXPECT_EQ(counters.capacity, 2u);
+  EXPECT_EQ(counters.hits, 4u);
+  EXPECT_EQ(counters.misses, 2u);
+}
+
+TEST(ServeCacheTest, KeyDistinguishesEveryScoringKnob) {
+  ReportCache cache(16);
+  ReportCacheKey base{42, ModelKind::kNn, 10.0, 9};
+  cache.Put(base, TinyReport(1.0));
+  ReportCacheKey other_model = base;
+  other_model.model = ModelKind::kGnn;
+  ReportCacheKey other_tokens = base;
+  other_tokens.reference_tokens = 20.0;
+  ReportCacheKey other_grid = base;
+  other_grid.grid_points = 17;
+  ReportCacheKey other_fingerprint = base;
+  other_fingerprint.fingerprint = 43;
+  EXPECT_TRUE(cache.Get(base).has_value());
+  EXPECT_FALSE(cache.Get(other_model).has_value());
+  EXPECT_FALSE(cache.Get(other_tokens).has_value());
+  EXPECT_FALSE(cache.Get(other_grid).has_value());
+  EXPECT_FALSE(cache.Get(other_fingerprint).has_value());
+}
+
+TEST(ServeCacheTest, ZeroCapacityDisablesCaching) {
+  ReportCache cache(0);
+  ReportCacheKey key{7, ModelKind::kNn, 10.0, 9};
+  cache.Put(key, TinyReport(1.0));
+  EXPECT_FALSE(cache.Get(key).has_value());
+  EXPECT_EQ(cache.counters().insertions, 0u);
+}
+
+// ---- Fingerprint (serving-side determinism) ------------------------------
+
+TEST(ServeFingerprintTest, StableAcrossThreadCounts) {
+  WorkloadConfig config;
+  config.seed = 23;
+  WorkloadGenerator generator(config);
+  std::vector<Job> jobs = generator.Generate(0, 40);
+  auto fingerprint_all = [&jobs](unsigned threads) {
+    std::vector<uint64_t> prints(jobs.size());
+    ParallelFor(
+        jobs.size(),
+        [&](size_t i) { prints[i] = jobs[i].graph.Fingerprint(); }, threads);
+    return prints;
+  };
+  std::vector<uint64_t> one = fingerprint_all(1);
+  std::vector<uint64_t> two = fingerprint_all(2);
+  std::vector<uint64_t> eight = fingerprint_all(8);
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, eight);
+}
+
+// ---- PccServer -----------------------------------------------------------
+
+class ServeServerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    WorkloadConfig config;
+    config.seed = 31;
+    generator_ = new WorkloadGenerator(config);
+    NoiseModel noise;
+    noise.enabled = true;
+    auto observed =
+        ObserveWorkload(generator_->Generate(0, 120), noise, 1).value();
+    TasqOptions options;
+    options.nn.epochs = 20;
+    options.gnn.epochs = 2;
+    options.gnn.gcn_hidden = {8};
+    options.gnn.head_hidden = {8};
+    options.xgb.gbdt.num_trees = 30;
+    pipeline_ = new Tasq(options);
+    ASSERT_TRUE(pipeline_->Train(observed).ok());
+  }
+  static void TearDownTestSuite() {
+    delete pipeline_;
+    delete generator_;
+    pipeline_ = nullptr;
+    generator_ = nullptr;
+  }
+
+  static std::vector<ScoreRequest> MakeRequests(int64_t first_id, int count,
+                                                ModelKind model) {
+    std::vector<ScoreRequest> requests;
+    for (const Job& job : generator_->Generate(first_id, count)) {
+      ScoreRequest request;
+      request.graph = job.graph;
+      request.model = model;
+      request.reference_tokens = job.default_tokens;
+      requests.push_back(std::move(request));
+    }
+    return requests;
+  }
+
+  static Tasq* pipeline_;
+  static WorkloadGenerator* generator_;
+};
+
+Tasq* ServeServerTest::pipeline_ = nullptr;
+WorkloadGenerator* ServeServerTest::generator_ = nullptr;
+
+TEST_F(ServeServerTest, BatchedResultsMatchSequentialByteForByte) {
+  for (ModelKind model : {ModelKind::kNn, ModelKind::kGnn,
+                          ModelKind::kXgboostPl, ModelKind::kXgboostSs}) {
+    std::vector<ScoreRequest> requests = MakeRequests(500, 12, model);
+    // Sequential ground truth straight through the pipeline.
+    std::vector<std::string> expected;
+    for (const ScoreRequest& request : requests) {
+      auto report =
+          BuildWhatIfReport(*pipeline_, request.graph, request.model,
+                            request.reference_tokens, request.grid_points);
+      ASSERT_TRUE(report.ok()) << ModelKindName(model);
+      expected.push_back(report.value().ToText());
+    }
+    PccServerOptions options;
+    options.num_threads = 4;
+    options.max_batch = 5;  // Forces multi-request batches with remainder.
+    PccServer server(*pipeline_, options);
+    std::vector<Result<WhatIfReport>> results = server.ScoreBatch(requests);
+    ASSERT_EQ(results.size(), expected.size());
+    for (size_t i = 0; i < results.size(); ++i) {
+      ASSERT_TRUE(results[i].ok()) << ModelKindName(model) << " request " << i;
+      EXPECT_EQ(results[i].value().ToText(), expected[i])
+          << ModelKindName(model) << " request " << i;
+    }
+  }
+}
+
+TEST_F(ServeServerTest, CacheHitsSkipInferenceAndMatchFreshScores) {
+  std::vector<ScoreRequest> requests = MakeRequests(600, 6, ModelKind::kNn);
+  PccServerOptions options;
+  options.num_threads = 2;
+  PccServer server(*pipeline_, options);
+
+  std::vector<std::string> first;
+  for (const ScoreRequest& request : requests) {
+    auto result = server.Score(request);
+    ASSERT_TRUE(result.ok());
+    first.push_back(result.value().ToText());
+  }
+  ServerStats cold = server.Stats();
+  EXPECT_EQ(cold.cache_hits, 0u);
+  EXPECT_EQ(cold.cache_misses, 6u);
+
+  for (size_t i = 0; i < requests.size(); ++i) {
+    auto result = server.Score(requests[i]);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.value().ToText(), first[i]) << "request " << i;
+  }
+  ServerStats warm = server.Stats();
+  EXPECT_EQ(warm.cache_hits, 6u);
+  EXPECT_EQ(warm.cache_misses, 6u);
+  // The second pass produced no new batches: inference was skipped.
+  EXPECT_EQ(warm.batched_requests, cold.batched_requests);
+  EXPECT_EQ(warm.completed, 12u);
+}
+
+TEST_F(ServeServerTest, CacheEvictionIsBoundedAndCounted) {
+  std::vector<ScoreRequest> requests = MakeRequests(700, 8, ModelKind::kNn);
+  PccServerOptions options;
+  options.num_threads = 1;
+  options.cache_capacity = 3;
+  PccServer server(*pipeline_, options);
+  for (const ScoreRequest& request : requests) {
+    ASSERT_TRUE(server.Score(request).ok());
+  }
+  ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.cache_size, 3u);
+  EXPECT_EQ(stats.cache_evictions, 5u);
+}
+
+TEST_F(ServeServerTest, BoundedQueueAppliesBackpressure) {
+  std::vector<ScoreRequest> requests = MakeRequests(800, 40, ModelKind::kNn);
+  PccServerOptions options;
+  options.num_threads = 2;
+  options.queue_capacity = 4;
+  options.cache_capacity = 0;  // Every request must traverse the queue.
+  PccServer server(*pipeline_, options);
+
+  // Flood from several producers; the bounded queue must never overfill.
+  std::vector<std::thread> producers;
+  std::vector<std::vector<Result<WhatIfReport>>> results(4);
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&, p]() {
+      std::vector<ScoreRequest> slice(
+          requests.begin() + p * 10, requests.begin() + (p + 1) * 10);
+      results[p] = server.ScoreBatch(slice);
+    });
+  }
+  for (std::thread& producer : producers) producer.join();
+  for (const auto& slice : results) {
+    ASSERT_EQ(slice.size(), 10u);
+    for (const auto& result : slice) ASSERT_TRUE(result.ok());
+  }
+  ServerStats stats = server.Stats();
+  EXPECT_LE(stats.max_queue_depth, 4u);
+  EXPECT_EQ(stats.completed, 40u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+}
+
+TEST_F(ServeServerTest, ShutdownFulfillsInflightAndRejectsNewRequests) {
+  std::vector<ScoreRequest> requests = MakeRequests(900, 30, ModelKind::kNn);
+  PccServerOptions options;
+  options.num_threads = 2;
+  options.cache_capacity = 0;
+  PccServer server(*pipeline_, options);
+
+  std::vector<std::future<Result<WhatIfReport>>> futures;
+  for (ScoreRequest& request : requests) {
+    futures.push_back(server.Submit(std::move(request)));
+  }
+  server.Shutdown();  // Graceful: everything accepted must still resolve OK.
+  for (size_t i = 0; i < futures.size(); ++i) {
+    Result<WhatIfReport> result = futures[i].get();
+    ASSERT_TRUE(result.ok()) << "request " << i;
+  }
+  // Post-shutdown submissions resolve immediately with FailedPrecondition.
+  ScoreRequest late;
+  late.graph = generator_->GenerateJob(999).graph;
+  late.reference_tokens = 10.0;
+  Result<WhatIfReport> rejected = server.Score(std::move(late));
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kFailedPrecondition);
+  ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.completed, 30u);
+  EXPECT_EQ(stats.failed, 1u);
+}
+
+TEST_F(ServeServerTest, InvalidGraphFailsThatRequestOnly) {
+  std::vector<ScoreRequest> good = MakeRequests(950, 3, ModelKind::kNn);
+  ScoreRequest bad;
+  bad.graph = JobGraph{};  // No operators: featurization must fail.
+  bad.model = ModelKind::kNn;
+  bad.reference_tokens = 10.0;
+  std::vector<ScoreRequest> requests;
+  requests.push_back(std::move(good[0]));
+  requests.push_back(std::move(bad));
+  requests.push_back(std::move(good[1]));
+  requests.push_back(std::move(good[2]));
+  PccServerOptions options;
+  options.num_threads = 1;
+  options.max_batch = 4;  // One batch holding good and bad requests.
+  PccServer server(*pipeline_, options);
+  std::vector<Result<WhatIfReport>> results = server.ScoreBatch(requests);
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_FALSE(results[1].ok());
+  EXPECT_TRUE(results[2].ok());
+  EXPECT_TRUE(results[3].ok());
+}
+
+TEST_F(ServeServerTest, StatsSnapshotIsCoherentAndPrintable) {
+  std::vector<ScoreRequest> requests = MakeRequests(1000, 5, ModelKind::kNn);
+  PccServer server(*pipeline_, PccServerOptions{});
+  for (const ScoreRequest& request : requests) {
+    ASSERT_TRUE(server.Score(request).ok());
+  }
+  ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.received, 5u);
+  EXPECT_EQ(stats.completed, 5u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_GE(stats.batches, 1u);
+  EXPECT_EQ(stats.batched_requests, 5u);
+  EXPECT_EQ(stats.end_to_end.count, 5u);
+  EXPECT_GT(stats.end_to_end.total_ms, 0.0);
+  std::string text = stats.ToText();
+  EXPECT_NE(text.find("requests:"), std::string::npos);
+  EXPECT_NE(text.find("cache:"), std::string::npos);
+  EXPECT_NE(text.find("latency:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tasq

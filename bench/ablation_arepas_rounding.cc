@@ -21,7 +21,7 @@ int Main() {
   auto flighted =
       harness.FlightJobs(generator.Generate(5000, sizes.flight_jobs));
 
-  PrintBanner("Ablation: AREPAS area-rounding modes vs flighted ground truth");
+  PrintBanner(std::cout, "Ablation: AREPAS area-rounding modes vs flighted ground truth");
   TextTable table({"Rounding", "MedianAPE", "MeanAPE",
                    "mean |area drift| (%)"});
   struct Mode {

@@ -55,7 +55,7 @@ int Main() {
   auto flighted = harness.FlightJobs(test_jobs);
 
   Featurizer featurizer;
-  PrintBanner("Ablation: AREPAS training-data augmentation for XGBoost");
+  PrintBanner(std::cout, "Ablation: AREPAS training-data augmentation for XGBoost");
   TextTable table({"flight", "Median AE with augmentation",
                    "Median AE without augmentation"});
   for (size_t f = 0; f < flight_config.token_fractions.size(); ++f) {

@@ -25,7 +25,7 @@ int Main() {
     int epochs;
     double validation_fraction;
   };
-  PrintBanner("Ablation: NN early stopping (validation hold-out)");
+  PrintBanner(std::cout, "Ablation: NN early stopping (validation hold-out)");
   TextTable table({"Training regime", "Median AE (Run Time)",
                    "MAE (Curve Params)", "train seconds"});
   for (const Setup& setup :

@@ -19,7 +19,7 @@ int Main() {
   Dataset test_dataset =
       bench::Unwrap(DatasetBuilder().Build(test), "test dataset");
 
-  PrintBanner(
+  PrintBanner(std::cout, 
       "Ablation: GNN pooling (attention vs mean) and aggregator (GCN vs "
       "SAGE)");
   TextTable table({"Architecture", "MAE (Curve Params)",

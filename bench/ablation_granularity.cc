@@ -105,7 +105,7 @@ int Main() {
     }
   }
 
-  PrintBanner("Ablation: global model vs fine-grained per-template models");
+  PrintBanner(std::cout, "Ablation: global model vs fine-grained per-template models");
   std::printf("fine-grained models trained: %zu (templates with >= %zu "
               "historical runs)\n\n",
               fine_models.size(), kMinHistory);

@@ -19,7 +19,7 @@ int Main() {
   Dataset test_dataset =
       bench::Unwrap(DatasetBuilder().Build(test), "test dataset");
 
-  PrintBanner("Ablation: LF2 runtime-penalty weight sweep (NN model)");
+  PrintBanner(std::cout, "Ablation: LF2 runtime-penalty weight sweep (NN model)");
   TextTable table({"runtime weight", "MAE (Curve Params)",
                    "Median AE (Run Time)"});
   for (double weight : {0.0, 0.25, 0.75, 1.5, 3.0, 6.0}) {

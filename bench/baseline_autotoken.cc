@@ -82,7 +82,7 @@ int Main() {
     }
   }
 
-  PrintBanner(
+  PrintBanner(std::cout, 
       "Baseline (paper §6.2): AutoToken peak prediction vs TASQ "
       "recommendations");
   TextTable table({"Policy", "Coverage", "Token savings vs request",

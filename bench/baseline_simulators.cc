@@ -78,7 +78,7 @@ int Main() {
     }
   }
 
-  PrintBanner("Baselines (paper §6.3): AREPAS vs Jockey vs Amdahl simulators");
+  PrintBanner(std::cout, "Baselines (paper §6.3): AREPAS vs Jockey vs Amdahl simulators");
   TextTable table({"Simulator", "Input needed", "Coverage of test jobs",
                    "MedianAPE", "MeanAPE"});
   table.AddRow({"AREPAS", "one observed skyline of this job",

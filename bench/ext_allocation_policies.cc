@@ -67,7 +67,7 @@ int Main() {
     }
   }
 
-  PrintBanner(
+  PrintBanner(std::cout, 
       "Extension: workload-level over-allocation by policy (Figure 1 at "
       "scale)");
   TextTable table({"Policy", "Reserved tok-s", "Used tok-s", "Waste",

@@ -59,7 +59,7 @@ int Main() {
               static_cast<long long>(sizes.train_jobs));
   Tasq stale = TrainOn(DayWorkload(1.0, 1.0, 0, sizes.train_jobs, 21));
 
-  PrintBanner(
+  PrintBanner(std::cout, 
       "Extension: stale vs retrained model under workload drift "
       "(input growth + cluster-level slowdown)");
   TextTable table({"day", "input scale", "level scale", "median runtime (s)",

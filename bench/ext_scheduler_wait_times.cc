@@ -58,7 +58,7 @@ int Main() {
   ClusterScheduler adaptive_scheduler(
       SchedulerConfig{cluster_tokens, true, noise, 99});
 
-  PrintBanner(
+  PrintBanner(std::cout, 
       "Extension: cluster wait times under request policies (shared pool)");
   std::printf("pool %.0f tokens, %lld jobs, FIFO gang admission\n\n",
               cluster_tokens, static_cast<long long>(num_jobs));

@@ -60,7 +60,7 @@ int Main() {
     }
   }
 
-  PrintBanner(
+  PrintBanner(std::cout, 
       "Extension: Table-5 (LF2) metrics across three workload seeds "
       "(mean +/- std)");
   TextTable table({"Model", "Pattern", "MAE (Curve Params)",

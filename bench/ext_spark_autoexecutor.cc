@@ -69,7 +69,7 @@ int Main() {
     runtime_recommended += at_recommended.value().runtime_seconds;
   }
 
-  PrintBanner("Extension: AutoExecutor for Spark SQL (paper §2.3)");
+  PrintBanner(std::cout, "Extension: AutoExecutor for Spark SQL (paper §2.3)");
   TextTable accuracy({"executor sweep point", "Median AE (runtime)"});
   for (size_t f = 0; f < fractions.size(); ++f) {
     accuracy.AddRow({Cell(100.0 * fractions[f], 0) + "% of default executors",

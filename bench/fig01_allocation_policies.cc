@@ -47,7 +47,7 @@ int Main() {
     return 1;
   }
 
-  PrintBanner("Figure 1: skyline and allocation policies");
+  PrintBanner(std::cout, "Figure 1: skyline and allocation policies");
   std::printf("job %lld: runtime %.0f s, peak usage %.0f tokens, "
               "default allocation %.0f tokens\n\n",
               static_cast<long long>(example.job.id), example.runtime_seconds,

@@ -36,7 +36,7 @@ int Main() {
   auto generator = bench::MakeGenerator();
   auto observed = bench::ObserveJobs(generator, 0, sizes.survey_jobs, 2);
 
-  PrintBanner("Figure 2: potential token request reduction in SCOPE-like jobs");
+  PrintBanner(std::cout, "Figure 2: potential token request reduction in SCOPE-like jobs");
   struct Scenario {
     const char* name;
     double slowdown;

@@ -34,7 +34,7 @@ int Main() {
     samples.push_back({tokens, run.runtime_seconds});
   }
 
-  PrintBanner("Figure 3: run time vs token allocation (ground truth)");
+  PrintBanner(std::cout, "Figure 3: run time vs token allocation (ground truth)");
   std::printf("job %lld: widest stage %d tasks, default allocation %.0f\n\n",
               static_cast<long long>(job.id), job.plan.MaxStageTasks(),
               job.default_tokens);

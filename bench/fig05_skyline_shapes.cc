@@ -55,7 +55,7 @@ int Main() {
     std::fprintf(stderr, "no suitable jobs found\n");
     return 1;
   }
-  PrintBanner("Figure 5: peaky vs flatter skylines by utilization band");
+  PrintBanner(std::cout, "Figure 5: peaky vs flatter skylines by utilization band");
   Report("Peaky skyline", *peaky);
   Report("Flatter skyline", *flat);
   std::cout << "Expected shape: the peaky job spends most of its time in the "

@@ -39,7 +39,7 @@ Skyline UnwrapSkyline(Result<Skyline> result) {
 }  // namespace
 
 int Main() {
-  PrintBanner("Figures 6/7: AREPAS section handling (toy skylines, Nt = 3)");
+  PrintBanner(std::cout, "Figures 6/7: AREPAS section handling (toy skylines, Nt = 3)");
   Arepas arepas;
 
   // Figure 6: the whole skyline sits at or below the new allocation, so its

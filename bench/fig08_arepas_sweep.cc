@@ -59,7 +59,7 @@ int Main() {
     std::fprintf(stderr, "no suitable jobs found\n");
     return 1;
   }
-  PrintBanner("Figure 8: AREPAS simulation sweep, flatter vs peaky job");
+  PrintBanner(std::cout, "Figure 8: AREPAS simulation sweep, flatter vs peaky job");
   Sweep("Flatter job", *flat);
   Sweep("Peaky job", *peaky);
   std::cout << "Expected shape: the flatter job slows down almost "

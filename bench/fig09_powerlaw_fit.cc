@@ -33,7 +33,7 @@ int Main() {
   auto samples = bench::Unwrap(SamplePcc(example->skyline, grid), "pcc");
   auto fit = bench::Unwrap(FitPowerLaw(samples), "fit");
 
-  PrintBanner("Figure 9: simulated PCC vs fitted power law");
+  PrintBanner(std::cout, "Figure 9: simulated PCC vs fitted power law");
   std::printf("job %lld: fitted runtime = %.1f * A^(%.3f), log-log R^2 = "
               "%.4f\n\n",
               static_cast<long long>(example->job.id), fit.pcc.b, fit.pcc.a,

@@ -45,7 +45,7 @@ int Main() {
                                pool, config),
       "selection");
 
-  PrintBanner("Figure 11: cluster proportions pre/post job selection");
+  PrintBanner(std::cout, "Figure 11: cluster proportions pre/post job selection");
   TextTable table({"cluster", "population", "pre-selection pool",
                    "post-selection subset"});
   for (size_t c = 0; c < outcome.population_proportions.size(); ++c) {

@@ -32,7 +32,7 @@ int Main() {
     per_job_skylines.push_back(std::move(skylines));
   }
 
-  PrintBanner(
+  PrintBanner(std::cout, 
       "Figure 12 (top): execution pairs whose token-seconds match, by "
       "tolerance");
   TextTable cdf({"tolerance", "% matching pairs"});
@@ -45,7 +45,7 @@ int Main() {
   std::printf("(%zu pairs across %zu jobs)\n", deviations.size(),
               flighted.size());
 
-  PrintBanner("Figure 12 (bottom): outlier executions per job, by tolerance");
+  PrintBanner(std::cout, "Figure 12 (bottom): outlier executions per job, by tolerance");
   TextTable outliers({"tolerance", "0 outliers", "<=1 outlier", ">=2 outliers"});
   for (double tolerance : {30.0, 50.0, 80.0}) {
     int zero = 0;

@@ -36,7 +36,7 @@ int Main() {
   auto sizes = bench::BenchSizes::FromEnv();
   auto validation = bench::RunArepasValidation(2000, sizes.flight_jobs, 1313);
 
-  PrintBanner("Figure 13: AREPAS per-job median percent error vs ground truth");
+  PrintBanner(std::cout, "Figure 13: AREPAS per-job median percent error vs ground truth");
   PrintDistribution("Non-anomalous subset",
                     validation.per_job_error_non_anomalous);
   PrintDistribution("Fully-matched subset (zero area outliers at 30%)",

@@ -13,7 +13,7 @@ int Main() {
   auto sizes = bench::BenchSizes::FromEnv();
   auto validation = bench::RunArepasValidation(2000, sizes.flight_jobs, 1313);
 
-  PrintBanner("Table 3: AREPAS error compared to ground truth");
+  PrintBanner(std::cout, "Table 3: AREPAS error compared to ground truth");
   TextTable table({"Job Groups", "N Executions", "MedianAPE", "MeanAPE"});
   table.AddRow({"Non-anomalous subset",
                 Cell(static_cast<int64_t>(

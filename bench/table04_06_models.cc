@@ -15,7 +15,7 @@ namespace {
 
 void PrintTable(const char* title, const Tasq& pipeline,
                 const Dataset& test) {
-  PrintBanner(title);
+  PrintBanner(std::cout, title);
   TextTable table({"Model", "Pattern (Non-Increase)", "MAE (Curve Params)",
                    "Median AE (Run Time)"});
   for (ModelKind kind : {ModelKind::kXgboostSs, ModelKind::kXgboostPl,

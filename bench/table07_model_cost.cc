@@ -73,7 +73,7 @@ int Main() {
   double gnn_per_10k =
       SecondsSince(start) / static_cast<double>(gnn_predictions) * 10000.0;
 
-  PrintBanner("Table 7: parameter counts, training and inference times");
+  PrintBanner(std::cout, "Table 7: parameter counts, training and inference times");
   std::printf("(timed over %zu jobs; times scale with workload size)\n\n",
               dataset.size());
   TextTable table({"Model", "Number of Parameters", "Training (s/epoch)",

@@ -57,7 +57,7 @@ int Main() {
 
   // ---- Table 8: model accuracy on the flighted dataset -------------------
   const PccTargetScaling& scaling = *pipeline.target_scaling();
-  PrintBanner("Table 8: results on the flighted dataset");
+  PrintBanner(std::cout, "Table 8: results on the flighted dataset");
   TextTable table({"Model", "Pattern (Non-Increase)", "MAE (Curve Params)",
                    "Median AE (Run Time)", "per-flight AE (100/80/60/20%)"});
   for (ModelKind kind : {ModelKind::kXgboostSs, ModelKind::kXgboostPl,
@@ -148,7 +148,7 @@ int Main() {
                "monotone.\n";
 
   // ---- Workload-level token savings (W1/W2) ------------------------------
-  PrintBanner("Workload-level token savings vs slowdown (paper §5.4)");
+  PrintBanner(std::cout, "Workload-level token savings vs slowdown (paper §5.4)");
   double w1_tokens = 0.0;
   double b1_tokens = 0.0;
   double w1_runtime = 0.0;

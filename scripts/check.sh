@@ -54,9 +54,10 @@ for leg in "${LEGS[@]}"; do
     asan) run_leg "asan+ubsan" build-check-asan "address;undefined" "" ;;
     # TSan's scheduler interleaving makes the full suite slow; the
     # concurrency-sensitive suites (ParallelFor*, ParallelStress*, the
-    # cluster simulator/scheduler and their property tests) are the ones
-    # a race can hide in.
-    tsan) run_leg "tsan" build-check-tsan "thread" "Parallel|Cluster" ;;
+    # cluster simulator/scheduler + property tests, the serving layer, and
+    # the annotated mutex wrappers) are the ones a race can hide in.
+    tsan) run_leg "tsan" build-check-tsan "thread" \
+                  "Parallel|Cluster|Serve|Mutex|CondVar" ;;
     *) echo "unknown leg '${leg}' (want lint|release|asan|tsan)" >&2; exit 2 ;;
   esac
 done

@@ -22,10 +22,26 @@ Rules (stdlib only, no clang dependency):
                          directly by a file in tests/: the serving layer
                          is the repo's concurrency surface, and transitive
                          reachability is not direct coverage.
+  mutex-unannotated      src/ synchronizes through the annotated wrappers
+                         in common/mutex.h: raw std::mutex /
+                         std::condition_variable are forbidden outside the
+                         wrapper, and every tasq::Mutex must have a stated
+                         contract — a TASQ_GUARDED_BY(mu) field (or a
+                         "Guarded by mu" comment for function-local
+                         mutexes, where the attribute cannot attach).
+  raw-lock-in-src        no bare lock()/unlock() calls and no
+                         std::lock_guard/unique_lock/scoped_lock in src/
+                         outside common/mutex.h: locking goes through
+                         MutexLock/CondVar so Clang's -Wthread-safety
+                         analysis sees every acquisition.
+  nolint-needs-reason    every NOLINT in src/ must name the silenced check
+                         and give a reason: NOLINT(check-name): why.
+                         Anonymous suppressions rot.
 
 Known, accepted findings live in scripts/lint_baseline.txt; the linter
 exits nonzero only on findings not in the baseline, so it can land green
-and still fail on regressions.
+and still fail on regressions. The baseline is empty as of PR 3 and CI
+fails if it regrows (see .github/workflows/ci.yml, job static-analysis).
 
 Usage:
   python3 scripts/tasq_lint.py                  lint the repo
@@ -256,6 +272,100 @@ def check_serve_headers_tested(root):
     return findings
 
 
+# The annotated wrapper layer is the one place raw std synchronization
+# primitives (and their lock()/unlock() calls) are allowed to appear.
+MUTEX_WRAPPER_PATH = "src/common/mutex.h"
+
+RAW_SYNC_RE = re.compile(r"\bstd::(mutex|condition_variable(_any)?|"
+                         r"recursive_mutex|shared_mutex|timed_mutex)\b")
+MUTEX_MEMBER_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:tasq::)?Mutex\s+(\w+)\s*;", re.MULTILINE)
+
+
+def check_mutex_annotated(root):
+    """src/ locks through tasq::Mutex, and every Mutex states its contract:
+    some TASQ_GUARDED_BY(mu) (or, for function-local mutexes where an
+    attribute cannot attach, a `Guarded by mu` comment) must name it."""
+    findings = []
+    for rel in iter_source_files(root, ["src"]):
+        if rel == MUTEX_WRAPPER_PATH:
+            continue
+        raw = read(root, rel)
+        stripped = strip_comments_and_strings(raw)
+        for match in RAW_SYNC_RE.finditer(stripped):
+            line = stripped[:match.start()].count("\n") + 1
+            findings.append(Finding(
+                "mutex-unannotated", rel, line,
+                f"raw std::{match.group(1)}: use tasq::Mutex/CondVar from "
+                "common/mutex.h so -Wthread-safety sees the contract"))
+        for match in MUTEX_MEMBER_RE.finditer(stripped):
+            name = match.group(1)
+            has_attr = re.search(
+                r"TASQ_(?:PT_)?GUARDED_BY\(\s*" + re.escape(name) + r"\s*\)",
+                stripped)
+            # Function-local mutexes document the contract in a comment
+            # (searched in the raw text, since comments are stripped above).
+            has_comment = re.search(
+                r"[Gg]uarded by\s+" + re.escape(name), raw)
+            if not has_attr and not has_comment:
+                line = stripped[:match.start()].count("\n") + 1
+                findings.append(Finding(
+                    "mutex-unannotated", rel, line,
+                    f"Mutex {name} has no stated contract: annotate the "
+                    f"fields it protects with TASQ_GUARDED_BY({name})"))
+    return findings
+
+
+RAW_LOCK_RE = re.compile(
+    r"std::(lock_guard|unique_lock|scoped_lock|shared_lock)\b"
+    r"|[.>]\s*(?:try_)?(?:un)?lock\s*\(")
+
+
+def check_raw_lock_in_src(root):
+    """Locking in src/ goes through MutexLock/CondVar (common/mutex.h):
+    a bare lock()/unlock() or a std::lock_guard on a raw mutex is invisible
+    to the thread-safety analysis."""
+    findings = []
+    for rel in iter_source_files(root, ["src"]):
+        if rel == MUTEX_WRAPPER_PATH:
+            continue
+        stripped = strip_comments_and_strings(read(root, rel))
+        for match in RAW_LOCK_RE.finditer(stripped):
+            line = stripped[:match.start()].count("\n") + 1
+            findings.append(Finding(
+                "raw-lock-in-src", rel, line,
+                "bare lock/unlock call; acquire through MutexLock (or "
+                "CondVar::Wait) so the acquisition is annotated"))
+    return findings
+
+
+# NOLINT, NOLINTNEXTLINE, NOLINTBEGIN require "(check-name): reason";
+# NOLINTEND only needs to repeat the check name it closes.
+NOLINT_TOKEN_RE = re.compile(r"NOLINT(NEXTLINE|BEGIN|END)?")
+NOLINT_OK_RE = re.compile(
+    r"NOLINT(?:NEXTLINE|BEGIN)?\([\w\-.,* ]+\)\s*:\s*\S.*")
+NOLINT_END_OK_RE = re.compile(r"NOLINTEND\([\w\-.,* ]+\)")
+
+
+def check_nolint_reason(root):
+    """Every clang-tidy suppression must say which check it silences and
+    why, e.g. // NOLINT(bugprone-foo): reason. Bare NOLINTs rot."""
+    findings = []
+    for rel in iter_source_files(root, ["src"]):
+        text = read(root, rel)
+        for match in NOLINT_TOKEN_RE.finditer(text):
+            rest = text[match.start():].split("\n", 1)[0]
+            ok = (NOLINT_END_OK_RE.match(rest) if match.group(1) == "END"
+                  else NOLINT_OK_RE.match(rest))
+            if not ok:
+                line = text[:match.start()].count("\n") + 1
+                findings.append(Finding(
+                    "nolint-needs-reason", rel, line,
+                    "NOLINT must name the check and give a reason: "
+                    "`NOLINT(check-name): why`"))
+    return findings
+
+
 ALL_CHECKS = [
     check_include_guards,
     check_using_namespace_in_headers,
@@ -263,6 +373,9 @@ ALL_CHECKS = [
     check_cout_in_src,
     check_header_reachability,
     check_serve_headers_tested,
+    check_mutex_annotated,
+    check_raw_lock_in_src,
+    check_nolint_reason,
 ]
 
 
@@ -311,6 +424,21 @@ def self_test():
                 "using namespace std;\n"
                 "inline void Boom() { throw 1; }\n"
                 "#endif\n")
+        with open(os.path.join(src, "sync.h"), "w", encoding="utf-8") as f:
+            f.write(
+                "#ifndef TASQ_MOD_SYNC_H_\n"
+                "#define TASQ_MOD_SYNC_H_\n"
+                "#include <mutex>\n"
+                "struct Racy {\n"
+                "  std::mutex raw_mu_;\n"            # mutex-unannotated (raw)
+                "  Mutex contractless_;\n"           # mutex-unannotated (no
+                "  int x_ = 0;\n"                    #   GUARDED_BY contract)
+                "  int Read() {\n"
+                "    std::lock_guard<std::mutex> l(raw_mu_);\n"  # raw-lock
+                "    return x_;  // NOLINT\n"        # nolint-needs-reason
+                "  }\n"
+                "};\n"
+                "#endif\n")
         with open(os.path.join(src, "noisy.cc"), "w", encoding="utf-8") as f:
             f.write(
                 "#include <iostream>\n"
@@ -334,7 +462,8 @@ def self_test():
         fired = {f.rule for f in findings}
         expected = {"include-guard", "using-namespace-header", "throw-in-src",
                     "cout-in-src", "header-unreachable",
-                    "serve-header-untested"}
+                    "serve-header-untested", "mutex-unannotated",
+                    "raw-lock-in-src", "nolint-needs-reason"}
         missing = expected - fired
         if missing:
             print(f"self-test FAILED: rules did not fire: {sorted(missing)}")
@@ -347,6 +476,15 @@ def self_test():
         if comment_string_hits:
             print("self-test FAILED: throw matched inside comment/string")
             return 1
+        mutex_msgs = [f.message for f in findings
+                      if f.rule == "mutex-unannotated"]
+        if (not any("raw std::mutex" in m for m in mutex_msgs) or
+                not any("contractless_" in m for m in mutex_msgs)):
+            print("self-test FAILED: mutex-unannotated must fire on both a "
+                  "raw std::mutex and a contract-less tasq::Mutex")
+            for m in mutex_msgs:
+                print(f"  saw: {m}")
+            return 1
 
         # A conforming tree must produce zero findings.
         with open(os.path.join(src, "bad.h"), "w", encoding="utf-8") as f:
@@ -355,11 +493,29 @@ def self_test():
                 "#define TASQ_MOD_BAD_H_\n"
                 "inline int Fine() { return 1; }\n"
                 "#endif\n")
+        with open(os.path.join(src, "sync.h"), "w", encoding="utf-8") as f:
+            f.write(
+                "#ifndef TASQ_MOD_SYNC_H_\n"
+                "#define TASQ_MOD_SYNC_H_\n"
+                "struct Tidy {\n"
+                "  Mutex mu_;\n"
+                "  int x_ TASQ_GUARDED_BY(mu_) = 0;\n"
+                "  int Read() {\n"
+                "    MutexLock lock(mu_);\n"
+                "    return x_;  // NOLINT(bugprone-example): documented\n"
+                "  }\n"
+                "};\n"
+                "inline void Local() {\n"
+                "  Mutex local_mu;\n"
+                "  // Guarded by local_mu: nothing yet, contract documented.\n"
+                "}\n"
+                "#endif\n")
         with open(os.path.join(src, "noisy.cc"), "w", encoding="utf-8") as f:
             f.write("#include \"mod/bad.h\"\nint User() { return Fine(); }\n")
         with open(os.path.join(tests, "mod_test.cc"), "w",
                   encoding="utf-8") as f:
             f.write("#include \"mod/bad.h\"\n"
+                    "#include \"mod/sync.h\"\n"
                     "#include \"serve/orphan.h\"\n"
                     "int main() { return Fine() + Serve(); }\n")
         leftover = run_checks(tmp)

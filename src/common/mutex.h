@@ -1,0 +1,82 @@
+#ifndef TASQ_COMMON_MUTEX_H_
+#define TASQ_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace tasq {
+
+/// The repo's mutex: std::mutex declared as a Clang thread-safety
+/// capability, so TASQ_GUARDED_BY(mu) on a field makes un-locked access a
+/// compile error under -Wthread-safety (see common/thread_annotations.h).
+///
+/// std::mutex itself carries no capability attributes (libstdc++ is not
+/// annotated), which is why all of src/ locks through this wrapper — the
+/// `raw-lock-in-src` lint rule keeps it that way.
+class TASQ_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() TASQ_ACQUIRE() { mu_.lock(); }
+  void Unlock() TASQ_RELEASE() { mu_.unlock(); }
+
+ private:
+  friend class CondVar;  // CondVar::Wait atomically unlocks/relocks mu_.
+  std::mutex mu_;
+};
+
+/// RAII lock for Mutex, annotated as a scoped capability: the analysis
+/// treats the mutex as held from construction to the end of the enclosing
+/// scope. The only way src/ code takes a lock:
+///
+///   MutexLock lock(mutex_);
+///   ++guarded_field_;   // OK: mutex_ held
+class TASQ_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) TASQ_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() TASQ_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable paired with Mutex. Wait atomically releases the mutex
+/// while sleeping and reacquires it before returning; the capability is held
+/// across the call from the analysis' point of view, which matches what the
+/// caller observes. Spurious wakeups happen — always wait in a loop:
+///
+///   MutexLock lock(mutex_);
+///   while (!condition_) cv_.Wait(mutex_);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until notified (or spuriously); `mu` must be held.
+  void Wait(Mutex& mu) TASQ_REQUIRES(mu) {
+    // Adopt the already-held std::mutex for the duration of the wait, then
+    // release the std::unique_lock's ownership claim so the caller's
+    // MutexLock remains the one true owner.
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace tasq
+
+#endif  // TASQ_COMMON_MUTEX_H_

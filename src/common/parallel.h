@@ -2,14 +2,15 @@
 #define TASQ_COMMON_PARALLEL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace tasq {
 
@@ -58,7 +59,7 @@ inline void ParallelFor(size_t count, const std::function<void(size_t)>& body,
   }
   std::atomic<size_t> next{0};
   std::atomic<bool> cancelled{false};
-  std::mutex exception_mutex;
+  Mutex exception_mutex;
   std::exception_ptr first_exception;  // Guarded by exception_mutex.
   auto worker = [&]() {
     while (!cancelled.load(std::memory_order_relaxed)) {
@@ -68,7 +69,7 @@ inline void ParallelFor(size_t count, const std::function<void(size_t)>& body,
         body(i);
       } catch (...) {
         {
-          std::lock_guard<std::mutex> lock(exception_mutex);
+          MutexLock lock(exception_mutex);
           if (!first_exception) first_exception = std::current_exception();
         }
         cancelled.store(true, std::memory_order_relaxed);
@@ -107,10 +108,10 @@ inline void ParallelFor(Executor& executor, size_t count,
   struct SharedState {
     std::atomic<size_t> next{0};
     std::atomic<bool> cancelled{false};
-    std::mutex mutex;
-    std::condition_variable done_cv;
-    size_t active_helpers = 0;  // Guarded by mutex.
-    std::exception_ptr first_exception;  // Guarded by mutex.
+    Mutex mutex;
+    CondVar done_cv;
+    size_t active_helpers TASQ_GUARDED_BY(mutex) = 0;
+    std::exception_ptr first_exception TASQ_GUARDED_BY(mutex);
   };
   auto state = std::make_shared<SharedState>();
   auto drain = [state, count, &body]() {
@@ -121,7 +122,7 @@ inline void ParallelFor(Executor& executor, size_t count,
         body(i);
       } catch (...) {
         {
-          std::lock_guard<std::mutex> lock(state->mutex);
+          MutexLock lock(state->mutex);
           if (!state->first_exception) {
             state->first_exception = std::current_exception();
           }
@@ -133,25 +134,25 @@ inline void ParallelFor(Executor& executor, size_t count,
   };
   for (unsigned t = 0; t < helpers; ++t) {
     {
-      std::lock_guard<std::mutex> lock(state->mutex);
+      MutexLock lock(state->mutex);
       ++state->active_helpers;
     }
     bool accepted = executor.Submit([state, drain]() {
       drain();
-      std::lock_guard<std::mutex> lock(state->mutex);
+      MutexLock lock(state->mutex);
       --state->active_helpers;
-      state->done_cv.notify_all();
+      state->done_cv.NotifyAll();
     });
     if (!accepted) {
-      std::lock_guard<std::mutex> lock(state->mutex);
+      MutexLock lock(state->mutex);
       --state->active_helpers;
       break;  // Executor is shutting down; the caller drains alone.
     }
   }
   drain();  // The calling thread participates.
   {
-    std::unique_lock<std::mutex> lock(state->mutex);
-    state->done_cv.wait(lock, [&] { return state->active_helpers == 0; });
+    MutexLock lock(state->mutex);
+    while (state->active_helpers != 0) state->done_cv.Wait(state->mutex);
     if (state->first_exception) {
       std::rethrow_exception(state->first_exception);
     }

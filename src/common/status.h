@@ -78,11 +78,15 @@ class Status {
 template <typename T>
 class Result {
  public:
-  /// Constructs a successful result holding `value`.
-  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  /// Constructs a successful result holding `value`. Implicit so callers
+  /// can `return value;` from a Result-returning function.
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design
+  Result(T value) : value_(std::move(value)) {}
 
-  /// Constructs a failed result. `status` must not be OK.
-  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+  /// Constructs a failed result. `status` must not be OK. Implicit so
+  /// callers can `return Status::Invalid(...);`.
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design
+  Result(Status status) : status_(std::move(status)) {}
 
   bool ok() const { return status_.ok() && value_.has_value(); }
   const Status& status() const { return status_; }

@@ -2,7 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <iostream>
+#include <ostream>
 
 namespace tasq {
 
@@ -56,8 +56,8 @@ std::string Cell(int64_t value) {
   return buf;
 }
 
-void PrintBanner(const std::string& title) {
-  std::cout << "\n== " << title << " ==\n\n";
+void PrintBanner(std::ostream& os, const std::string& title) {
+  os << "\n== " << title << " ==\n\n";
 }
 
 double ScaleFromEnv() {

@@ -1,6 +1,7 @@
 #ifndef TASQ_COMMON_TABLE_H_
 #define TASQ_COMMON_TABLE_H_
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -36,8 +37,10 @@ std::string Cell(double value, int decimals);
 /// Formats an integer cell.
 std::string Cell(int64_t value);
 
-/// Prints a section banner ("== title ==") followed by a newline to stdout.
-void PrintBanner(const std::string& title);
+/// Writes a section banner ("== title ==") followed by a newline to `os`.
+/// Library code never owns stdout; the bench/example binaries pass
+/// std::cout explicitly.
+void PrintBanner(std::ostream& os, const std::string& title);
 
 /// Reads the TASQ_SCALE environment variable as a positive multiplier for
 /// experiment sizes (number of jobs, epochs, ...). Returns 1.0 when unset or

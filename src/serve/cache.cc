@@ -15,9 +15,15 @@ uint64_t Mix(uint64_t z) {
 }  // namespace
 
 size_t ReportCacheKeyHash::operator()(const ReportCacheKey& key) const {
+  // operator== compares reference_tokens with double ==, under which
+  // -0.0 == +0.0 — but their bit patterns differ. Hash the canonical zero,
+  // or equal keys would land in different buckets (the unordered_map
+  // hash/equality contract requires equal keys to hash equal).
+  double tokens =
+      key.reference_tokens == 0.0 ? 0.0 : key.reference_tokens;
   uint64_t h = Mix(key.fingerprint);
   h = Mix(h ^ (static_cast<uint64_t>(key.model) + 0x9E3779B97F4A7C15ULL));
-  h = Mix(h ^ std::bit_cast<uint64_t>(key.reference_tokens));
+  h = Mix(h ^ std::bit_cast<uint64_t>(tokens));
   h = Mix(h ^ key.grid_points);
   return static_cast<size_t>(h);
 }
@@ -25,7 +31,7 @@ size_t ReportCacheKeyHash::operator()(const ReportCacheKey& key) const {
 ReportCache::ReportCache(size_t capacity) : capacity_(capacity) {}
 
 std::optional<WhatIfReport> ReportCache::Get(const ReportCacheKey& key) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = index_.find(key);
   if (it == index_.end()) {
     ++misses_;
@@ -38,7 +44,7 @@ std::optional<WhatIfReport> ReportCache::Get(const ReportCacheKey& key) {
 
 void ReportCache::Put(const ReportCacheKey& key, WhatIfReport report) {
   if (capacity_ == 0) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = index_.find(key);
   if (it != index_.end()) {
     it->second->second = std::move(report);
@@ -56,7 +62,7 @@ void ReportCache::Put(const ReportCacheKey& key, WhatIfReport report) {
 }
 
 ReportCacheCounters ReportCache::counters() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ReportCacheCounters counters;
   counters.hits = hits_;
   counters.misses = misses_;

@@ -3,11 +3,12 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <utility>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "tasq/what_if.h"
 
 namespace tasq {
@@ -68,17 +69,17 @@ class ReportCache {
  private:
   using Entry = std::pair<ReportCacheKey, WhatIfReport>;
 
-  size_t capacity_;
-  mutable std::mutex mutex_;
-  // Most recently used at the front. Guarded by mutex_.
-  std::list<Entry> lru_;
+  const size_t capacity_;  // Immutable after construction.
+  mutable Mutex mutex_;
+  // Most recently used at the front.
+  std::list<Entry> lru_ TASQ_GUARDED_BY(mutex_);
   std::unordered_map<ReportCacheKey, std::list<Entry>::iterator,
                      ReportCacheKeyHash>
-      index_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t evictions_ = 0;
-  uint64_t insertions_ = 0;
+      index_ TASQ_GUARDED_BY(mutex_);
+  uint64_t hits_ TASQ_GUARDED_BY(mutex_) = 0;
+  uint64_t misses_ TASQ_GUARDED_BY(mutex_) = 0;
+  uint64_t evictions_ TASQ_GUARDED_BY(mutex_) = 0;
+  uint64_t insertions_ TASQ_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace tasq

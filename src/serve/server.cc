@@ -101,7 +101,7 @@ std::future<Result<WhatIfReport>> PccServer::Submit(ScoreRequest request) {
   std::future<Result<WhatIfReport>> future = pending.promise.get_future();
 
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     ++received_;
   }
 
@@ -114,23 +114,26 @@ std::future<Result<WhatIfReport>> PccServer::Submit(ScoreRequest request) {
   }
 
   bool schedule_drainer = false;
+  bool rejected = false;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    space_free_cv_.wait(lock, [this] {
-      return shutting_down_ || queue_.size() < options_.queue_capacity;
-    });
+    MutexLock lock(mutex_);
+    while (!shutting_down_ && queue_.size() >= options_.queue_capacity) {
+      space_free_cv_.Wait(mutex_);
+    }
     if (shutting_down_) {
-      lock.unlock();
-      FulfillError(pending,
-                   Status::FailedPrecondition("server is shut down"));
-      return future;
+      rejected = true;
+    } else {
+      queue_.push_back(std::move(pending));
+      max_queue_depth_ = std::max(max_queue_depth_, queue_.size());
+      if (active_drainers_ < options_.num_threads) {
+        ++active_drainers_;
+        schedule_drainer = true;
+      }
     }
-    queue_.push_back(std::move(pending));
-    max_queue_depth_ = std::max(max_queue_depth_, queue_.size());
-    if (active_drainers_ < options_.num_threads) {
-      ++active_drainers_;
-      schedule_drainer = true;
-    }
+  }
+  if (rejected) {
+    FulfillError(pending, Status::FailedPrecondition("server is shut down"));
+    return future;
   }
   if (schedule_drainer && !pool_.Submit([this]() { DrainQueue(); })) {
     // The pool only rejects during shutdown; drain on the caller so the
@@ -161,12 +164,12 @@ std::vector<Result<WhatIfReport>> PccServer::ScoreBatch(
 
 void PccServer::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutting_down_ = true;
   }
   // Wake producers blocked on backpressure; they observe the flag and
   // reject their requests.
-  space_free_cv_.notify_all();
+  space_free_cv_.NotifyAll();
   // Drainers exit only once the queue is empty, and the pool's graceful
   // shutdown waits for them — so every request accepted before the flag
   // flipped is scored and its future fulfilled.
@@ -177,7 +180,7 @@ void PccServer::DrainQueue() {
   for (;;) {
     std::vector<Pending> batch;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (queue_.empty()) {
         --active_drainers_;
         return;
@@ -189,10 +192,10 @@ void PccServer::DrainQueue() {
         queue_.pop_front();
       }
     }
-    space_free_cv_.notify_all();
+    space_free_cv_.NotifyAll();
     auto picked_at = std::chrono::steady_clock::now();
     {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      MutexLock lock(stats_mutex_);
       for (const Pending& pending : batch) {
         Record(queue_wait_, std::chrono::duration<double, std::milli>(
                                 picked_at - pending.submitted_at)
@@ -211,7 +214,7 @@ void PccServer::ProcessBatch(std::vector<Pending> batch) {
   // Group the parametric requests per model kind so the batch shares
   // inference (one NN forward pass per group); XGBoost-SS has no
   // parametric form and scores per request.
-  std::vector<size_t> parametric[4];
+  std::vector<size_t> parametric[kModelKindCount];
   for (size_t i = 0; i < batch.size(); ++i) {
     if (batch[i].request.model != ModelKind::kXgboostSs) {
       parametric[static_cast<size_t>(batch[i].request.model)].push_back(i);
@@ -256,7 +259,7 @@ void PccServer::ProcessBatch(std::vector<Pending> batch) {
   }
 
   double inference_ms = MsSince(inference_start);
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  MutexLock lock(stats_mutex_);
   Record(inference_, inference_ms);
 }
 
@@ -280,7 +283,7 @@ void PccServer::FulfillOk(Pending& pending, WhatIfReport report,
   // Count before resolving the future so a caller that observed the result
   // never reads a Stats() snapshot that has not seen it yet.
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     ++completed_;
     Record(end_to_end_, total_ms);
   }
@@ -290,7 +293,7 @@ void PccServer::FulfillOk(Pending& pending, WhatIfReport report,
 void PccServer::FulfillError(Pending& pending, Status status) {
   double total_ms = MsSince(pending.submitted_at);
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     ++failed_;
     Record(end_to_end_, total_ms);
   }
@@ -300,7 +303,7 @@ void PccServer::FulfillError(Pending& pending, Status status) {
 ServerStats PccServer::Stats() const {
   ServerStats stats;
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     stats.received = received_;
     stats.completed = completed_;
     stats.failed = failed_;
@@ -311,7 +314,7 @@ ServerStats PccServer::Stats() const {
     stats.end_to_end = end_to_end_;
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stats.queue_depth = queue_.size();
     stats.max_queue_depth = max_queue_depth_;
     stats.queue_capacity = options_.queue_capacity;

@@ -2,14 +2,14 @@
 #define TASQ_SERVE_SERVER_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "serve/cache.h"
 #include "serve/thread_pool.h"
 #include "tasq/tasq.h"
@@ -111,7 +111,8 @@ class PccServer {
   /// request queue is at capacity. Cache hits resolve immediately without
   /// entering the queue. After Shutdown the future resolves to
   /// FailedPrecondition.
-  std::future<Result<WhatIfReport>> Submit(ScoreRequest request);
+  std::future<Result<WhatIfReport>> Submit(ScoreRequest request)
+      TASQ_EXCLUDES(mutex_, stats_mutex_);
 
   /// Blocking convenience: Submit + wait.
   Result<WhatIfReport> Score(ScoreRequest request);
@@ -124,10 +125,10 @@ class PccServer {
   /// Graceful shutdown: stops accepting requests, scores everything
   /// already enqueued, fulfills every outstanding future, joins the
   /// workers. Idempotent; also runs from the destructor.
-  void Shutdown();
+  void Shutdown() TASQ_EXCLUDES(mutex_, stats_mutex_);
 
   /// Consistent snapshot of counters and latency accumulators.
-  ServerStats Stats() const;
+  ServerStats Stats() const TASQ_EXCLUDES(mutex_, stats_mutex_);
 
  private:
   struct Pending {
@@ -139,33 +140,39 @@ class PccServer {
 
   /// Worker-side loop: repeatedly pulls up to max_batch pending requests
   /// and scores them; exits when the queue is empty.
-  void DrainQueue();
-  void ProcessBatch(std::vector<Pending> batch);
-  void ScoreOne(Pending& pending);
-  void FulfillOk(Pending& pending, WhatIfReport report, bool from_cache);
-  void FulfillError(Pending& pending, Status status);
+  void DrainQueue() TASQ_EXCLUDES(mutex_, stats_mutex_);
+  void ProcessBatch(std::vector<Pending> batch)
+      TASQ_EXCLUDES(stats_mutex_);
+  void ScoreOne(Pending& pending) TASQ_EXCLUDES(stats_mutex_);
+  void FulfillOk(Pending& pending, WhatIfReport report, bool from_cache)
+      TASQ_EXCLUDES(stats_mutex_);
+  void FulfillError(Pending& pending, Status status)
+      TASQ_EXCLUDES(stats_mutex_);
 
   const Tasq& tasq_;
-  PccServerOptions options_;
+  PccServerOptions options_;  // Normalized in the ctor, immutable after.
   ReportCache cache_;
   ThreadPool pool_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable space_free_cv_;
-  std::deque<Pending> queue_;        // Guarded by mutex_.
-  size_t active_drainers_ = 0;       // Guarded by mutex_.
-  bool shutting_down_ = false;       // Guarded by mutex_.
-  size_t max_queue_depth_ = 0;       // Guarded by mutex_.
+  // Request-path state: the bounded pending queue and its backpressure.
+  // Lock ordering: never hold mutex_ and stats_mutex_ at the same time.
+  mutable Mutex mutex_;
+  CondVar space_free_cv_;
+  std::deque<Pending> queue_ TASQ_GUARDED_BY(mutex_);
+  size_t active_drainers_ TASQ_GUARDED_BY(mutex_) = 0;
+  bool shutting_down_ TASQ_GUARDED_BY(mutex_) = false;
+  size_t max_queue_depth_ TASQ_GUARDED_BY(mutex_) = 0;
 
-  mutable std::mutex stats_mutex_;
-  uint64_t received_ = 0;            // Guarded by stats_mutex_.
-  uint64_t completed_ = 0;           // Guarded by stats_mutex_.
-  uint64_t failed_ = 0;              // Guarded by stats_mutex_.
-  uint64_t batches_ = 0;             // Guarded by stats_mutex_.
-  uint64_t batched_requests_ = 0;    // Guarded by stats_mutex_.
-  StageLatency queue_wait_;          // Guarded by stats_mutex_.
-  StageLatency inference_;           // Guarded by stats_mutex_.
-  StageLatency end_to_end_;          // Guarded by stats_mutex_.
+  // Observability counters, off the request path's critical lock.
+  mutable Mutex stats_mutex_;
+  uint64_t received_ TASQ_GUARDED_BY(stats_mutex_) = 0;
+  uint64_t completed_ TASQ_GUARDED_BY(stats_mutex_) = 0;
+  uint64_t failed_ TASQ_GUARDED_BY(stats_mutex_) = 0;
+  uint64_t batches_ TASQ_GUARDED_BY(stats_mutex_) = 0;
+  uint64_t batched_requests_ TASQ_GUARDED_BY(stats_mutex_) = 0;
+  StageLatency queue_wait_ TASQ_GUARDED_BY(stats_mutex_);
+  StageLatency inference_ TASQ_GUARDED_BY(stats_mutex_);
+  StageLatency end_to_end_ TASQ_GUARDED_BY(stats_mutex_);
 };
 
 }  // namespace tasq

@@ -30,17 +30,17 @@ ThreadPool::~ThreadPool() { Shutdown(); }
 bool ThreadPool::OnWorkerThread() const { return t_owning_pool == this; }
 
 bool ThreadPool::Submit(std::function<void()> task) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (shutting_down_) return false;
   if (queue_.size() >= queue_capacity_) {
     if (OnWorkerThread()) return false;  // Blocking here could deadlock.
-    space_free_cv_.wait(lock, [this] {
-      return shutting_down_ || queue_.size() < queue_capacity_;
-    });
+    while (!shutting_down_ && queue_.size() >= queue_capacity_) {
+      space_free_cv_.Wait(mutex_);
+    }
     if (shutting_down_) return false;
   }
   queue_.push_back(std::move(task));
-  task_ready_cv_.notify_one();
+  task_ready_cv_.NotifyOne();
   return true;
 }
 
@@ -49,12 +49,12 @@ void ThreadPool::Shutdown() {
   // safe against concurrent callers: exactly one of them joins.
   std::vector<std::thread> to_join;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutting_down_ = true;
     to_join.swap(workers_);
   }
-  task_ready_cv_.notify_all();
-  space_free_cv_.notify_all();
+  task_ready_cv_.NotifyAll();
+  space_free_cv_.NotifyAll();
   // Workers drain the queue before exiting, so joining them is the
   // "graceful" part: every accepted task runs to completion.
   for (std::thread& worker : to_join) {
@@ -63,12 +63,12 @@ void ThreadPool::Shutdown() {
 }
 
 size_t ThreadPool::queue_depth() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return queue_.size();
 }
 
 bool ThreadPool::shutting_down() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return shutting_down_;
 }
 
@@ -77,14 +77,15 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      task_ready_cv_.wait(
-          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!shutting_down_ && queue_.empty()) {
+        task_ready_cv_.Wait(mutex_);
+      }
       if (queue_.empty()) return;  // Shutting down and fully drained.
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    space_free_cv_.notify_one();
+    space_free_cv_.NotifyOne();
     task();
   }
 }

@@ -1,15 +1,15 @@
 #ifndef TASQ_SERVE_THREAD_POOL_H_
 #define TASQ_SERVE_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/parallel.h"
+#include "common/thread_annotations.h"
 
 namespace tasq {
 
@@ -45,35 +45,38 @@ class ThreadPool : public Executor {
   /// Schedules `task`; see the class contract for blocking semantics.
   /// Returns false (dropping `task`) once shutdown has begun or when a
   /// worker-thread submission meets a full queue.
-  bool Submit(std::function<void()> task) override;
+  bool Submit(std::function<void()> task) override TASQ_EXCLUDES(mutex_);
 
   /// Stops accepting tasks, drains the queue, joins all workers. Blocks
   /// until every accepted task has finished.
-  void Shutdown();
+  void Shutdown() TASQ_EXCLUDES(mutex_);
 
   /// Worker threads in the pool.
   unsigned concurrency() const override { return num_threads_; }
 
   /// Tasks accepted but not yet started (approximate; racy by nature).
-  size_t queue_depth() const;
+  size_t queue_depth() const TASQ_EXCLUDES(mutex_);
 
   /// True once Shutdown has begun; new submissions are rejected.
-  bool shutting_down() const;
+  bool shutting_down() const TASQ_EXCLUDES(mutex_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() TASQ_EXCLUDES(mutex_);
   bool OnWorkerThread() const;
 
+  // Both set in the constructor, immutable afterwards.
   unsigned num_threads_ = 0;
   size_t queue_capacity_ = 0;
 
-  mutable std::mutex mutex_;
-  std::condition_variable task_ready_cv_;   // Signals workers: task or stop.
-  std::condition_variable space_free_cv_;   // Signals producers: queue space.
-  std::deque<std::function<void()>> queue_;  // Guarded by mutex_.
-  bool shutting_down_ = false;               // Guarded by mutex_.
+  mutable Mutex mutex_;
+  CondVar task_ready_cv_;   // Signals workers: task or stop.
+  CondVar space_free_cv_;   // Signals producers: queue space.
+  std::deque<std::function<void()>> queue_ TASQ_GUARDED_BY(mutex_);
+  bool shutting_down_ TASQ_GUARDED_BY(mutex_) = false;
 
-  std::vector<std::thread> workers_;
+  // Populated in the constructor (before any worker can call Shutdown),
+  // swapped out once under mutex_ by the first Shutdown.
+  std::vector<std::thread> workers_ TASQ_GUARDED_BY(mutex_);
 };
 
 }  // namespace tasq

@@ -1,6 +1,7 @@
 #ifndef TASQ_TASQ_TASQ_H_
 #define TASQ_TASQ_TASQ_H_
 
+#include <cstddef>
 #include <iosfwd>
 #include <memory>
 #include <optional>
@@ -26,6 +27,12 @@ enum class ModelKind {
   /// Graph network predicting the PCC parameters.
   kGnn,
 };
+
+/// Number of ModelKind values; bounds per-kind arrays (serve/server.cc
+/// groups batch requests by kind). Keep in sync with the enum above.
+inline constexpr size_t kModelKindCount = 4;
+static_assert(static_cast<size_t>(ModelKind::kGnn) + 1 == kModelKindCount,
+              "kModelKindCount must cover every ModelKind");
 
 /// Short display name ("XGBoost SS", "NN", ...).
 const char* ModelKindName(ModelKind kind);

@@ -132,6 +132,21 @@ TEST(ServeCacheTest, KeyDistinguishesEveryScoringKnob) {
   EXPECT_FALSE(cache.Get(other_fingerprint).has_value());
 }
 
+TEST(ServeCacheTest, SignedZeroTokensHashToTheSameBucket) {
+  // operator== compares doubles, under which -0.0 == +0.0; the hash must
+  // agree or equal keys land in different unordered_map buckets and a
+  // recurring job stops hitting its own cache entry (regression: the hash
+  // used the raw bit pattern, which differs between the two zeros).
+  ReportCache cache(16);
+  ReportCacheKey positive{42, ModelKind::kNn, +0.0, 9};
+  ReportCacheKey negative{42, ModelKind::kNn, -0.0, 9};
+  ASSERT_TRUE(positive == negative);
+  EXPECT_EQ(ReportCacheKeyHash()(positive), ReportCacheKeyHash()(negative));
+  cache.Put(negative, TinyReport(1.0));
+  EXPECT_TRUE(cache.Get(positive).has_value());
+  EXPECT_EQ(cache.counters().size, 1u);
+}
+
 TEST(ServeCacheTest, ZeroCapacityDisablesCaching) {
   ReportCache cache(0);
   ReportCacheKey key{7, ModelKind::kNn, 10.0, 9};

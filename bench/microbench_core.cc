@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "arepas/arepas.h"
+#include "common/check.h"
 #include "feat/featurizer.h"
 #include "gnn/gnn_model.h"
 #include "nn/nn_model.h"
@@ -85,7 +86,8 @@ void BM_NnPredict(benchmark::State& state) {
     NnOptions options;
     options.epochs = 2;
     NnPccModel model(dataset.job_feature_dim, options);
-    model.Train(dataset.job_features, supervision);
+    // A failed fit would silently benchmark an untrained model.
+    TASQ_CHECK(model.Train(dataset.job_features, supervision).ok());
     return model;
   }());
   std::vector<double> row(Featurizer::kJobFeatureDim, 0.1);
@@ -106,7 +108,8 @@ void BM_GnnPredict(benchmark::State& state) {
     GnnOptions options;
     options.epochs = 1;
     GnnPccModel model(dataset.op_feature_dim, options);
-    model.Train(dataset.graphs, supervision);
+    // A failed fit would silently benchmark an untrained model.
+    TASQ_CHECK(model.Train(dataset.graphs, supervision).ok());
     return std::pair<GnnPccModel, GraphExample>(std::move(model),
                                                 dataset.graphs[0]);
   }());

@@ -48,7 +48,11 @@ int main(int argc, char** argv) {
     auto at_default =
         RunOnExecutors(job.plan, default_executors, options.platform);
     if (!at_recommended.ok() || !at_default.ok()) return 1;
-    table.AddRow({"q" + std::to_string(id),
+    // Built with += rather than "q" + std::to_string(id): the operator+
+    // overload trips GCC 12's -Wrestrict false positive (GCC PR105651).
+    std::string label = "q";
+    label += std::to_string(id);
+    table.AddRow({label,
                   Cell(static_cast<int64_t>(default_executors)),
                   Cell(static_cast<int64_t>(recommended.value())),
                   Cell(pcc.value().EvalRunTime(recommended.value()), 0),

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Runs the full correctness matrix locally:
 #
-#   1. repo lint          (scripts/tasq_lint.py, plus a self-check)
+#   1. repo lint          (scripts/tasq_lint.py + scripts/tasq_arch.py,
+#                          each with its self-test)
 #   2. Release            build + full ctest
 #   3. ASan + UBSan       build + full ctest
 #   4. TSan               build + the concurrency-sensitive tests
@@ -42,6 +43,10 @@ lint_leg() {
   python3 scripts/tasq_lint.py
   echo "== lint: self-check (a seeded violation must fail) =="
   python3 scripts/tasq_lint.py --self-test
+  echo "== lint: tasq_arch.py (layering, include hygiene, nodiscard) =="
+  python3 scripts/tasq_arch.py
+  echo "== lint: arch self-check (every rule must fire on its fixture) =="
+  python3 scripts/tasq_arch.py --self-test
 }
 
 LEGS=("$@")

@@ -1,0 +1,1075 @@
+#!/usr/bin/env python3
+"""TASQ architecture-conformance analyzer.
+
+Checks the physical architecture of src/ against the layer DAG declared
+in scripts/arch_layers.toml (stdlib only, no clang dependency):
+
+  module-unlisted        every directory under src/ must be declared in
+                         arch_layers.toml — an undeclared module would be
+                         silently exempt from every layering rule.
+  module-stale           arch_layers.toml must not declare modules (or
+                         deps, or internal headers) that no longer exist;
+                         stale entries hide typos that disable checking.
+  layering               a file in module A may #include module B only
+                         when the DAG declares A -> B (deps are direct,
+                         not transitive: if A needs B, A declares B).
+  private-header         headers listed as `internal` in arch_layers.toml
+                         are implementation details: only their own module
+                         (and tests/bench/examples) may include them.
+  include-cycle          the #include graph of src/ headers must be
+                         acyclic; a header cycle is a build-order landmine
+                         that include guards merely paper over.
+  unused-include         IWYU-lite: a quoted project #include none of
+                         whose declared symbols appear in the including
+                         file is dead weight (or hides a missing direct
+                         include elsewhere). `// arch: keep` on the
+                         include line documents a deliberate exception
+                         (e.g. includes that exist to re-export).
+  nodiscard-missing      every function returning Status / Result<T> by
+                         value must be marked TASQ_NODISCARD (macro in
+                         common/status.h) so dropping an error is a
+                         compiler warning, -Werror in CI.
+  discarded-status       a statement that calls a Status/Result-returning
+                         function and ignores the result loses the only
+                         error signal the callee emits. Use the value or
+                         discard explicitly: `(void)Call();  // why`.
+  discard-needs-reason   `(void)Call()` on a Status/Result-returning
+                         function is an explicit waiver and must carry a
+                         same-line (or preceding-line) comment saying why
+                         ignoring the error is safe.
+
+Known, accepted findings live in scripts/arch_baseline.txt; the analyzer
+exits nonzero only on findings not in the baseline. The baseline is empty
+as of PR 4 and CI fails if it regrows (job static-analysis).
+
+Usage:
+  python3 scripts/tasq_arch.py                    analyze the repo
+  python3 scripts/tasq_arch.py --update-baseline  accept current findings
+  python3 scripts/tasq_arch.py --self-test        per-rule fixture check
+  python3 scripts/tasq_arch.py --dot out.dot      emit the module DAG
+"""
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BASELINE_PATH = os.path.join("scripts", "arch_baseline.txt")
+LAYERS_PATH = os.path.join("scripts", "arch_layers.toml")
+SOURCE_SUFFIXES = (".h", ".cc", ".cpp")
+SKIP_DIR_PREFIXES = ("build",)
+# Roots whose call sites are scanned for discarded Status/Result returns.
+# Layering / include hygiene apply to src/ only; error discipline applies
+# everywhere code calls into the library.
+DISCARD_SCAN_ROOTS = ("src", "tests", "bench", "examples")
+
+
+class Finding:
+    def __init__(self, rule, path, line, message):
+        self.rule = rule
+        self.path = path  # Repo-relative, forward slashes.
+        self.line = line  # 1-based, or 0 for whole-file findings.
+        self.message = message
+
+    def key(self):
+        # Line numbers shift too easily to key the baseline on them.
+        return f"{self.rule}\t{self.path}"
+
+    def __str__(self):
+        where = f"{self.path}:{self.line}" if self.line else self.path
+        return f"{where}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text):
+    """Blanks out comments and string/char literals, preserving newlines.
+
+    Good enough for token scans: an identifier in a comment or a log
+    string must not count as a use."""
+    out = []
+    i = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif c == "/" and nxt == "*":
+            i += 2
+            while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
+                if text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i += 2
+        elif c == '"' or c == "'":
+            quote = c
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    i += 1
+                elif text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+# ---------------------------------------------------------------------------
+# Layer declaration (scripts/arch_layers.toml)
+# ---------------------------------------------------------------------------
+
+class LayersError(Exception):
+    pass
+
+
+def parse_layers(text):
+    """Parses the restricted TOML subset arch_layers.toml uses.
+
+    Hand-rolled so the analyzer runs on any Python 3 (tomllib is 3.11+).
+    Supported: `[modules.<name>]` tables with `key = ["a", "b"]` string
+    arrays and full-line / trailing comments. Anything else is an error —
+    a silently misparsed layer file would disable the architecture check.
+    """
+    modules = {}
+    current = None
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        table = re.fullmatch(r"\[modules\.([A-Za-z0-9_]+)\]", line)
+        if table:
+            name = table.group(1)
+            if name in modules:
+                raise LayersError(f"line {lineno}: duplicate [modules.{name}]")
+            current = {"deps": [], "internal": []}
+            modules[name] = current
+            continue
+        assign = re.fullmatch(
+            r"(deps|internal)\s*=\s*\[([^\]]*)\]\s*(?:#.*)?", line)
+        if assign:
+            if current is None:
+                raise LayersError(
+                    f"line {lineno}: assignment outside a [modules.*] table")
+            key, body = assign.group(1), assign.group(2).strip()
+            values = []
+            if body:
+                for item in body.split(","):
+                    item = item.strip()
+                    if not item:
+                        continue
+                    quoted = re.fullmatch(r'"([^"]*)"', item)
+                    if not quoted:
+                        raise LayersError(
+                            f"line {lineno}: expected quoted string, "
+                            f"got {item!r}")
+                    values.append(quoted.group(1))
+            current[key] = values
+            continue
+        raise LayersError(f"line {lineno}: cannot parse {raw!r}")
+    return modules
+
+
+def load_layers(root, layers_path):
+    path = os.path.join(root, layers_path)
+    if not os.path.exists(path):
+        raise LayersError(f"{layers_path} not found under {root}")
+    with open(path, encoding="utf-8") as f:
+        return parse_layers(f.read())
+
+
+# ---------------------------------------------------------------------------
+# Repository model: files, modules, includes
+# ---------------------------------------------------------------------------
+
+INCLUDE_RE = re.compile(r'^[ \t]*#[ \t]*include[ \t]+"([^"]+)"',
+                        re.MULTILINE)
+
+
+class Repo:
+    """Scanned view of the tree: files, module map, and include edges."""
+
+    def __init__(self, root):
+        self.root = root
+        self.src_files = []        # All .h/.cc under src/.
+        self.other_files = []      # tests/ bench/ examples/ sources.
+        self.modules = set()       # Directory names under src/.
+        self._text_cache = {}
+        self._stripped_cache = {}
+        self._scan()
+
+    def _scan(self):
+        src = os.path.join(self.root, "src")
+        if os.path.isdir(src):
+            for name in sorted(os.listdir(src)):
+                if os.path.isdir(os.path.join(src, name)):
+                    self.modules.add(name)
+        for subdir in DISCARD_SCAN_ROOTS:
+            base = os.path.join(self.root, subdir)
+            if not os.path.isdir(base):
+                continue
+            for dirpath, dirnames, filenames in os.walk(base):
+                dirnames[:] = sorted(
+                    d for d in dirnames
+                    if not d.startswith(SKIP_DIR_PREFIXES) and d != ".git")
+                for name in sorted(filenames):
+                    if not name.endswith(SOURCE_SUFFIXES):
+                        continue
+                    rel = os.path.relpath(
+                        os.path.join(dirpath, name),
+                        self.root).replace(os.sep, "/")
+                    if subdir == "src":
+                        self.src_files.append(rel)
+                    else:
+                        self.other_files.append(rel)
+
+    def text(self, rel):
+        if rel not in self._text_cache:
+            with open(os.path.join(self.root, rel), encoding="utf-8",
+                      errors="replace") as f:
+                self._text_cache[rel] = f.read()
+        return self._text_cache[rel]
+
+    def stripped(self, rel):
+        if rel not in self._stripped_cache:
+            self._stripped_cache[rel] = strip_comments_and_strings(
+                self.text(rel))
+        return self._stripped_cache[rel]
+
+    def module_of(self, rel):
+        """src/pcc/pcc.h -> pcc; None for files outside src/."""
+        parts = rel.split("/")
+        if len(parts) >= 3 and parts[0] == "src":
+            return parts[1]
+        return None
+
+    def includes(self, rel):
+        """Project includes of `rel` resolved to existing src/ paths.
+
+        Returns (line, src_rel_path, include_spelling) tuples; system and
+        unresolvable includes are skipped."""
+        out = []
+        src_set = set(self.src_files)
+        for match in INCLUDE_RE.finditer(self.text(rel)):
+            spelling = match.group(1)
+            candidate = "src/" + spelling
+            if candidate in src_set:
+                line = self.text(rel)[:match.start()].count("\n") + 1
+                out.append((line, candidate, spelling))
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Layer DAG checks
+# ---------------------------------------------------------------------------
+
+def check_layers_coverage(repo, layers):
+    """Both directions: every src/ module declared, no stale declarations."""
+    findings = []
+    for module in sorted(repo.modules - set(layers)):
+        findings.append(Finding(
+            "module-unlisted", f"src/{module}", 0,
+            f"module '{module}' is missing from {LAYERS_PATH}; an "
+            "undeclared module is exempt from every layering rule"))
+    headers = {rel for rel in repo.src_files if rel.endswith(".h")}
+    for module in sorted(layers):
+        decl = layers[module]
+        if module not in repo.modules:
+            findings.append(Finding(
+                "module-stale", LAYERS_PATH, 0,
+                f"declared module '{module}' does not exist under src/"))
+            continue
+        for dep in decl["deps"]:
+            if dep not in repo.modules:
+                findings.append(Finding(
+                    "module-stale", LAYERS_PATH, 0,
+                    f"module '{module}' declares dep on nonexistent "
+                    f"module '{dep}'"))
+        for header in decl["internal"]:
+            if f"src/{module}/{header}" not in headers:
+                findings.append(Finding(
+                    "module-stale", LAYERS_PATH, 0,
+                    f"module '{module}' declares nonexistent internal "
+                    f"header '{header}'"))
+    return findings
+
+
+def check_layering(repo, layers):
+    """A file in module A may include module B only if the DAG says A -> B."""
+    findings = []
+    for rel in repo.src_files:
+        module = repo.module_of(rel)
+        if module is None or module not in layers:
+            continue  # module-unlisted reports the missing declaration.
+        allowed = set(layers[module]["deps"]) | {module}
+        for line, target, spelling in repo.includes(rel):
+            target_module = repo.module_of(target)
+            if target_module in allowed or target_module not in layers:
+                continue
+            findings.append(Finding(
+                "layering", rel, line,
+                f"module '{module}' may not depend on '{target_module}' "
+                f"(#include \"{spelling}\"); allowed deps: "
+                f"{sorted(layers[module]['deps'])}"))
+    return findings
+
+
+def check_private_headers(repo, layers):
+    """Internal headers are reachable only from their own module (src/)."""
+    internal = {}
+    for module, decl in layers.items():
+        for header in decl["internal"]:
+            internal[f"src/{module}/{header}"] = module
+    if not internal:
+        return []
+    findings = []
+    for rel in repo.src_files:
+        module = repo.module_of(rel)
+        for line, target, spelling in repo.includes(rel):
+            owner = internal.get(target)
+            if owner is not None and owner != module:
+                findings.append(Finding(
+                    "private-header", rel, line,
+                    f"\"{spelling}\" is internal to module '{owner}'; "
+                    "include the module's public header instead"))
+    return findings
+
+
+def check_include_cycles(repo):
+    """src/ headers must form a DAG. Tarjan SCC over the header graph."""
+    headers = [rel for rel in repo.src_files if rel.endswith(".h")]
+    header_set = set(headers)
+    graph = {h: [t for _, t, _ in repo.includes(h) if t in header_set]
+             for h in headers}
+
+    index = {}
+    lowlink = {}
+    on_stack = set()
+    stack = []
+    sccs = []
+    counter = [0]
+
+    def strongconnect(v):
+        # Iterative Tarjan: recursion depth equals include-chain depth,
+        # which a pathological tree could overflow.
+        work = [(v, 0)]
+        while work:
+            node, edge_idx = work[-1]
+            if edge_idx == 0:
+                index[node] = lowlink[node] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack.add(node)
+            recurse = False
+            neighbors = graph[node]
+            while edge_idx < len(neighbors):
+                succ = neighbors[edge_idx]
+                edge_idx += 1
+                if succ not in index:
+                    work[-1] = (node, edge_idx)
+                    work.append((succ, 0))
+                    recurse = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if recurse:
+                continue
+            work.pop()
+            if lowlink[node] == index[node]:
+                scc = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    scc.append(member)
+                    if member == node:
+                        break
+                sccs.append(scc)
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+
+    for header in headers:
+        if header not in index:
+            strongconnect(header)
+
+    findings = []
+    for scc in sccs:
+        cyclic = len(scc) > 1 or scc[0] in graph[scc[0]]
+        if cyclic:
+            members = sorted(scc)
+            findings.append(Finding(
+                "include-cycle", members[0], 0,
+                "header include cycle: " + " -> ".join(
+                    members + [members[0]])))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Include hygiene: unused includes (IWYU-lite)
+# ---------------------------------------------------------------------------
+
+# Identifiers that look like calls but are language constructs.
+CALL_KEYWORDS = frozenset((
+    "if", "for", "while", "switch", "return", "sizeof", "alignof",
+    "decltype", "static_assert", "catch", "defined", "assert", "co_return",
+    "co_await", "co_yield", "new", "delete", "throw", "noexcept",
+    "alignas", "typeid", "requires", "operator",
+))
+
+TYPE_DECL_RE = re.compile(
+    r"\b(?:class|struct|union|enum(?:\s+(?:class|struct))?)\s+"
+    r"(?:TASQ_\w+\s+)*([A-Za-z_]\w*)")
+USING_ALIAS_RE = re.compile(r"\busing\s+([A-Za-z_]\w*)\s*=")
+TYPEDEF_RE = re.compile(r"\btypedef\b[^;]*?\b([A-Za-z_]\w*)\s*;")
+DEFINE_RE = re.compile(r"^[ \t]*#[ \t]*define[ \t]+([A-Za-z_]\w*)",
+                       re.MULTILINE)
+CALLABLE_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\(")
+# Google-style constants (kCamelCase): enumerator and constexpr names.
+CONSTANT_RE = re.compile(r"\b(k[A-Z]\w*)\b")
+IDENT_RE = re.compile(r"\b([A-Za-z_]\w*)\b")
+KEEP_RE = re.compile(r"//.*\b(?:arch:\s*keep|IWYU pragma:\s*keep)")
+
+
+def declared_symbols(repo, header):
+    """Heuristic set of names `header` provides to its includers.
+
+    Over-approximation is safe (an include looks used and we stay quiet);
+    under-approximation produces a false unused-include finding, so the
+    net is cast wide: types, aliases, macros, kConstants, and every
+    identifier that syntactically could be a function (callable position).
+    """
+    stripped = repo.stripped(header)
+    symbols = set()
+    for regex in (TYPE_DECL_RE, USING_ALIAS_RE, TYPEDEF_RE, DEFINE_RE,
+                  CONSTANT_RE):
+        symbols.update(regex.findall(stripped))
+    for name in CALLABLE_RE.findall(stripped):
+        if name not in CALL_KEYWORDS:
+            symbols.add(name)
+    return symbols
+
+
+def file_tokens(repo, rel):
+    """All identifiers used in `rel`, excluding its #include lines."""
+    stripped = repo.stripped(rel)
+    without_includes = re.sub(r"^[ \t]*#[ \t]*include[^\n]*", "",
+                              stripped, flags=re.MULTILINE)
+    return set(IDENT_RE.findall(without_includes))
+
+
+def include_closure(repo, start, include_map):
+    """Transitive project-include closure of `start` (excluding start)."""
+    seen = set()
+    frontier = [t for _, t, _ in include_map[start]] \
+        if start in include_map else []
+    while frontier:
+        current = frontier.pop()
+        if current in seen:
+            continue
+        seen.add(current)
+        for _, target, _ in include_map.get(current, ()):
+            if target not in seen:
+                frontier.append(target)
+    seen.discard(start)
+    return seen
+
+
+def check_unused_includes(repo):
+    """Flags quoted src/ includes that contribute no used symbol.
+
+    An include is kept silently when it is the companion header
+    (src/x/y.cc -> x/y.h), is marked `// arch: keep`, directly provides a
+    used symbol, or is the only path to transitively-used symbols. It is
+    flagged only when dropping it provably leaves every used symbol
+    reachable through the file's other includes."""
+    include_map = {rel: repo.includes(rel) for rel in repo.src_files}
+    symbol_cache = {}
+
+    def symbols_of(header):
+        if header not in symbol_cache:
+            symbol_cache[header] = declared_symbols(repo, header)
+        return symbol_cache[header]
+
+    findings = []
+    for rel in repo.src_files:
+        entries = include_map[rel]
+        if not entries:
+            continue
+        tokens = file_tokens(repo, rel)
+        raw_lines = repo.text(rel).split("\n")
+        companion = None
+        if rel.endswith((".cc", ".cpp")):
+            companion = re.sub(r"\.(cc|cpp)$", ".h", rel)
+        for line, target, spelling in entries:
+            if target == companion:
+                continue
+            if line - 1 < len(raw_lines) and KEEP_RE.search(
+                    raw_lines[line - 1]):
+                continue
+            if symbols_of(target) & tokens:
+                continue
+            # Nothing declared directly in the header is used. The include
+            # may still be load-bearing as the sole provider of transitive
+            # symbols; only flag when the other includes cover them.
+            closure_syms = set()
+            for dep in include_closure(repo, target, include_map):
+                closure_syms |= symbols_of(dep)
+            needed = closure_syms & tokens
+            covered = set()
+            for other_line, other_target, _ in entries:
+                if other_target == target and other_line == line:
+                    continue
+                covered |= symbols_of(other_target)
+                for dep in include_closure(repo, other_target, include_map):
+                    covered |= symbols_of(dep)
+            if needed - covered:
+                continue
+            findings.append(Finding(
+                "unused-include", rel, line,
+                f"#include \"{spelling}\" provides no symbol used here; "
+                "remove it (or mark `// arch: keep` with a reason)"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Error discipline: TASQ_NODISCARD and discarded returns
+# ---------------------------------------------------------------------------
+
+# A declaration line: optional specifiers, a by-value Status / Result<...>
+# return type, then the function name and parameter list. `Result<...>`
+# never contains parens in this codebase, which keeps the regex honest.
+FUNC_DECL_RE = re.compile(
+    r"^[ \t]*(?P<prefix>(?:(?:TASQ_NODISCARD|static|inline|constexpr|"
+    r"virtual|explicit|friend)\s+)*)"
+    r"(?:tasq::)?(?P<ret>Status|Result<[^;{}()=]*>)\s+"
+    r"(?P<name>[A-Za-z_]\w*)\s*\(",
+    re.MULTILINE)
+
+
+def scan_status_functions(repo, files):
+    """Yields (rel, line, name, annotated) for by-value Status/Result
+    returning function declarations/definitions in `files`."""
+    for rel in files:
+        stripped = repo.stripped(rel)
+        for match in FUNC_DECL_RE.finditer(stripped):
+            line = stripped[:match.start()].count("\n") + 1
+            annotated = "TASQ_NODISCARD" in match.group("prefix")
+            yield rel, line, match.group("name"), annotated
+
+
+def check_nodiscard(repo):
+    """Every Status/Result-returning function is TASQ_NODISCARD.
+
+    Headers carry the contract; an out-of-line .cc definition of a
+    header-declared (and annotated) function needs no repeat. File-local
+    .cc helpers have their only declaration in the .cc, so they are
+    checked there."""
+    headers = [rel for rel in repo.src_files if rel.endswith(".h")]
+    impls = [rel for rel in repo.src_files if not rel.endswith(".h")]
+    findings = []
+    header_names = set()
+    for rel, line, name, annotated in scan_status_functions(repo, headers):
+        header_names.add(name)
+        if not annotated:
+            findings.append(Finding(
+                "nodiscard-missing", rel, line,
+                f"'{name}' returns Status/Result but is not "
+                "TASQ_NODISCARD; a dropped error would be silent"))
+    for rel, line, name, annotated in scan_status_functions(repo, impls):
+        if annotated or name in header_names:
+            continue
+        findings.append(Finding(
+            "nodiscard-missing", rel, line,
+            f"file-local '{name}' returns Status/Result but is not "
+            "TASQ_NODISCARD; a dropped error would be silent"))
+    return findings
+
+
+# Any function-declaration-shaped line; used to find names that ALSO have
+# a non-Status return type somewhere, which makes them ambiguous for the
+# name-based discard scan (the compiler's [[nodiscard]] still covers them).
+ANY_DECL_RE = re.compile(
+    r"^[ \t]*(?:(?:TASQ_NODISCARD|static|inline|constexpr|virtual|"
+    r"explicit|friend)\s+)*"
+    r"(?P<ret>[A-Za-z_][\w:]*(?:\s*<[^;{}()=]*>)?)\s*[&*]?\s+"
+    r"(?P<name>[A-Za-z_]\w*)\s*\(",
+    re.MULTILINE)
+DECL_RET_KEYWORDS = frozenset((
+    "return", "else", "case", "goto", "new", "delete", "throw", "do",
+    "while", "if", "for", "switch", "using", "namespace", "public",
+    "private", "protected", "template", "typedef", "typename", "class",
+    "struct", "enum", "union", "operator", "co_return", "co_await",
+    "co_yield",
+))
+
+
+def non_status_decl_names(repo, files):
+    """Names declared in `files` with a non-Status/Result return type."""
+    names = set()
+    for rel in files:
+        stripped = repo.stripped(rel)
+        for match in ANY_DECL_RE.finditer(stripped):
+            ret = match.group("ret")
+            base = ret.split("<", 1)[0].removeprefix("tasq::")
+            if base in ("Status", "Result") or ret in DECL_RET_KEYWORDS:
+                continue
+            names.add(match.group("name"))
+    return names
+
+
+def must_use_functions(repo):
+    """Names of Status/Result-by-value returning functions in src/ that are
+    unambiguous: a name that elsewhere returns void (an overload or an
+    unrelated helper) cannot be judged by a token scan and is left to the
+    compiler's [[nodiscard]] enforcement."""
+    names = set()
+    for _, _, name, _ in scan_status_functions(repo, repo.src_files):
+        names.add(name)
+    return names - non_status_decl_names(repo, repo.src_files)
+
+
+# A call in statement position: anchored at the start of the text or right
+# after `;`, `{`, `}` or `)` (the latter catches `if (...) Call();`),
+# optionally reached through a `a.b->c::` chain. `return Call()`,
+# `x = Call()` and argument positions never match the anchor.
+STMT_CALL_RE = re.compile(
+    r"(?:(?<=;)|(?<=\{)|(?<=\})|(?<=\))|\A)"
+    r"[ \t\n]*(?P<chain>(?:[A-Za-z_]\w*(?:::|\.|->))*)"
+    r"(?P<name>[A-Za-z_]\w*)[ \t\n]*\(")
+
+VOID_CAST_RE = re.compile(
+    r"\(\s*void\s*\)\s*"
+    r"(?P<chain>(?:[A-Za-z_]\w*(?:::|\.|->))*)"
+    r"(?P<name>[A-Za-z_]\w*)\s*\(")
+
+# The `)` anchor of STMT_CALL_RE also matches the closing paren of a
+# `(void)` cast; such calls are explicit discards handled by the
+# discard-needs-reason rule instead.
+VOID_CAST_TAIL_RE = re.compile(r"\(\s*void\s*\)\s*$")
+
+
+def _matching_paren_end(text, open_idx):
+    """Index just past the `)` matching text[open_idx] == `(`, or -1."""
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return -1
+
+
+def check_discards(repo):
+    """Statement-position calls to must-use functions need their result.
+
+    The compiler enforces the same through [[nodiscard]] (-Werror in CI);
+    this check works without a toolchain and additionally requires the
+    `(void)` waiver to carry a reason."""
+    must_use = must_use_functions(repo)
+    if not must_use:
+        return []
+    findings = []
+    for rel in repo.src_files + repo.other_files:
+        stripped = repo.stripped(rel)
+        raw_lines = repo.text(rel).split("\n")
+        # A local helper sharing a must-use name (common in tests) shadows
+        # it for this file; the compiler still checks the real overload.
+        local_must_use = must_use - non_status_decl_names(repo, [rel])
+        for match in STMT_CALL_RE.finditer(stripped):
+            name = match.group("name")
+            if name not in local_must_use:
+                continue
+            if VOID_CAST_TAIL_RE.search(stripped, 0, match.start("chain")):
+                continue  # Explicit (void) discard; see discard-needs-reason.
+            open_idx = stripped.index("(", match.end("name"))
+            end = _matching_paren_end(stripped, open_idx)
+            if end < 0:
+                continue
+            tail = stripped[end:end + 2].lstrip()
+            if not tail.startswith(";"):
+                continue  # Result is consumed (member access, chained...).
+            line = stripped[:match.start("name")].count("\n") + 1
+            findings.append(Finding(
+                "discarded-status", rel, line,
+                f"result of '{name}' is discarded; handle the error or "
+                f"write `(void){name}(...);  // reason`"))
+        for match in VOID_CAST_RE.finditer(stripped):
+            name = match.group("name")
+            if name not in must_use:
+                continue
+            line = stripped[:match.start("name")].count("\n") + 1
+            here = raw_lines[line - 1] if line - 1 < len(raw_lines) else ""
+            above = raw_lines[line - 2] if line - 2 >= 0 else ""
+            if "//" in here or above.lstrip().startswith("//"):
+                continue
+            findings.append(Finding(
+                "discard-needs-reason", rel, line,
+                f"(void)-discard of '{name}' must say why the error is "
+                "safe to ignore: `(void)Call();  // reason`"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# DAG export
+# ---------------------------------------------------------------------------
+
+def module_dag_dot(repo, layers):
+    """Graphviz source for the declared module DAG, annotated with which
+    declared edges the include graph actually exercises."""
+    used = set()
+    for rel in repo.src_files:
+        module = repo.module_of(rel)
+        for _, target, _ in repo.includes(rel):
+            target_module = repo.module_of(target)
+            if target_module and target_module != module:
+                used.add((module, target_module))
+    lines = [
+        "// Generated by scripts/tasq_arch.py --dot; do not edit.",
+        "digraph tasq_modules {",
+        "  rankdir=BT;",
+        "  node [shape=box, fontname=\"Helvetica\"];",
+    ]
+    for module in sorted(layers):
+        lines.append(f"  \"{module}\";")
+    for module in sorted(layers):
+        for dep in sorted(layers[module]["deps"]):
+            style = "" if (module, dep) in used \
+                else " [style=dashed, color=gray, label=\"declared only\"]"
+            lines.append(f"  \"{module}\" -> \"{dep}\"{style};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+RULE_IDS = (
+    "module-unlisted", "module-stale", "layering", "private-header",
+    "include-cycle", "unused-include", "nodiscard-missing",
+    "discarded-status", "discard-needs-reason",
+)
+
+
+def run_checks(root, layers_path=LAYERS_PATH):
+    layers = load_layers(root, layers_path)
+    repo = Repo(root)
+    findings = []
+    findings.extend(check_layers_coverage(repo, layers))
+    findings.extend(check_layering(repo, layers))
+    findings.extend(check_private_headers(repo, layers))
+    findings.extend(check_include_cycles(repo))
+    findings.extend(check_unused_includes(repo))
+    findings.extend(check_nodiscard(repo))
+    findings.extend(check_discards(repo))
+    findings.sort(key=lambda f: (f.path, f.rule, f.line))
+    return findings
+
+
+def load_baseline(root):
+    path = os.path.join(root, BASELINE_PATH)
+    entries = set()
+    if os.path.exists(path):
+        with open(path, encoding="utf-8") as f:
+            for line in f:
+                line = line.rstrip("\n")
+                if line and not line.startswith("#"):
+                    entries.add(line)
+    return entries
+
+
+def write_baseline(root, findings):
+    path = os.path.join(root, BASELINE_PATH)
+    with open(path, "w", encoding="utf-8") as f:
+        f.write("# Accepted tasq_arch.py findings (rule<TAB>path).\n")
+        f.write("# Regenerate with: python3 scripts/tasq_arch.py "
+                "--update-baseline\n")
+        for key in sorted({finding.key() for finding in findings}):
+            f.write(key + "\n")
+
+
+# ---------------------------------------------------------------------------
+# Self-test: one positive and one negative fixture tree per rule
+# ---------------------------------------------------------------------------
+
+# Base tree shared by the fixtures: two modules, clean layering, annotated
+# Status APIs, every include used. Individual cases override files.
+GOOD_LAYERS = """\
+[modules.common]
+deps = []
+
+[modules.app]
+deps = ["common"]
+internal = ["secret.h"]
+"""
+
+GOOD_TREE = {
+    "src/common/status.h": (
+        "#ifndef TASQ_COMMON_STATUS_H_\n"
+        "#define TASQ_COMMON_STATUS_H_\n"
+        "#define TASQ_NODISCARD [[nodiscard]]\n"
+        "class Status { public: bool ok() const; };\n"
+        "TASQ_NODISCARD Status DoWork();\n"
+        "#endif\n"),
+    "src/app/secret.h": (
+        "#ifndef TASQ_APP_SECRET_H_\n"
+        "#define TASQ_APP_SECRET_H_\n"
+        "inline int SecretImpl() { return 42; }\n"
+        "#endif\n"),
+    "src/app/app.h": (
+        "#ifndef TASQ_APP_APP_H_\n"
+        "#define TASQ_APP_APP_H_\n"
+        "#include \"common/status.h\"\n"
+        "TASQ_NODISCARD Status RunApp();\n"
+        "#endif\n"),
+    "src/app/app.cc": (
+        "#include \"app/app.h\"\n"
+        "#include \"app/secret.h\"\n"
+        "Status RunApp() {\n"
+        "  Status s = DoWork();\n"
+        "  if (!s.ok()) return s;\n"
+        "  (void)DoWork();  // best-effort warmup; failure is benign\n"
+        "  return s.ok() && SecretImpl() > 0 ? s : s;\n"
+        "}\n"),
+}
+
+
+def _with(base, **overrides):
+    tree = dict(base)
+    for path, content in overrides.items():
+        if content is None:
+            tree.pop(path, None)
+        else:
+            tree[path] = content
+    return tree
+
+
+# rule -> (positive tree, positive layers, negative tree, negative layers).
+# The positive fixture must make exactly that rule fire; the negative must
+# be completely quiet (proving the rule has no false positive on the
+# nearest conforming tree).
+def self_test_cases():
+    cases = {}
+    cases["module-unlisted"] = (
+        _with(GOOD_TREE, **{
+            "src/rogue/rogue.h": "#ifndef R_H_\n#define R_H_\n#endif\n"}),
+        GOOD_LAYERS, GOOD_TREE, GOOD_LAYERS)
+    cases["module-stale"] = (
+        GOOD_TREE,
+        GOOD_LAYERS + "\n[modules.ghost]\ndeps = []\n",
+        GOOD_TREE, GOOD_LAYERS)
+    cases["layering"] = (
+        _with(GOOD_TREE, **{
+            # common reaching up into app inverts the declared DAG.
+            "src/app/plain.h": ("#ifndef P_H_\n#define P_H_\n"
+                                "inline int AppPlain() { return 1; }\n"
+                                "#endif\n"),
+            "src/common/status.h": GOOD_TREE["src/common/status.h"].replace(
+                "#define TASQ_NODISCARD [[nodiscard]]\n",
+                "#define TASQ_NODISCARD [[nodiscard]]\n"
+                "#include \"app/plain.h\"  // arch: keep\n")}),
+        GOOD_LAYERS, GOOD_TREE, GOOD_LAYERS)
+    cases["private-header"] = (
+        _with(GOOD_TREE, **{
+            "src/common/status.h": GOOD_TREE["src/common/status.h"].replace(
+                "class Status",
+                "#include \"app/secret.h\"  // arch: keep\nclass Status"),
+        }),
+        # Let common depend on app so only private-header fires.
+        GOOD_LAYERS.replace('[modules.common]\ndeps = []',
+                            '[modules.common]\ndeps = ["app"]'),
+        GOOD_TREE, GOOD_LAYERS)
+    cases["include-cycle"] = (
+        _with(GOOD_TREE, **{
+            "src/app/a.h": ("#ifndef A_H_\n#define A_H_\n"
+                            "#include \"app/b.h\"\n"
+                            "inline int UseB() { return FromB(); }\n"
+                            "#endif\n"),
+            "src/app/b.h": ("#ifndef B_H_\n#define B_H_\n"
+                            "#include \"app/a.h\"\n"
+                            "inline int FromB() { return 1; }\n"
+                            "inline int UseA() { return UseB(); }\n"
+                            "#endif\n"),
+            "src/app/app.cc": GOOD_TREE["src/app/app.cc"].replace(
+                "#include \"app/secret.h\"\n",
+                "#include \"app/secret.h\"\n#include \"app/a.h\"\n").replace(
+                "SecretImpl() > 0", "SecretImpl() + UseB() > 0")}),
+        GOOD_LAYERS, GOOD_TREE, GOOD_LAYERS)
+    cases["unused-include"] = (
+        _with(GOOD_TREE, **{
+            "src/app/dead.h": ("#ifndef D_H_\n#define D_H_\n"
+                               "inline int DeadSymbol() { return 0; }\n"
+                               "#endif\n"),
+            "src/app/app.cc": GOOD_TREE["src/app/app.cc"].replace(
+                "#include \"app/secret.h\"\n",
+                "#include \"app/secret.h\"\n#include \"app/dead.h\"\n")}),
+        GOOD_LAYERS,
+        # Negative: same dead header but the include carries `arch: keep`.
+        _with(GOOD_TREE, **{
+            "src/app/dead.h": ("#ifndef D_H_\n#define D_H_\n"
+                               "inline int DeadSymbol() { return 0; }\n"
+                               "#endif\n"),
+            "src/app/app.cc": GOOD_TREE["src/app/app.cc"].replace(
+                "#include \"app/secret.h\"\n",
+                "#include \"app/secret.h\"\n"
+                "#include \"app/dead.h\"  // arch: keep — re-exported\n")}),
+        GOOD_LAYERS)
+    cases["nodiscard-missing"] = (
+        _with(GOOD_TREE, **{
+            "src/app/app.h": GOOD_TREE["src/app/app.h"].replace(
+                "TASQ_NODISCARD Status RunApp();",
+                "Status RunApp();")}),
+        GOOD_LAYERS, GOOD_TREE, GOOD_LAYERS)
+    cases["discarded-status"] = (
+        _with(GOOD_TREE, **{
+            "src/app/app.cc": GOOD_TREE["src/app/app.cc"].replace(
+                "  Status s = DoWork();\n",
+                "  DoWork();\n  Status s = DoWork();\n")}),
+        GOOD_LAYERS, GOOD_TREE, GOOD_LAYERS)
+    cases["discard-needs-reason"] = (
+        _with(GOOD_TREE, **{
+            "src/app/app.cc": GOOD_TREE["src/app/app.cc"].replace(
+                "  (void)DoWork();  // best-effort warmup; failure is "
+                "benign\n",
+                "  (void)DoWork();\n")}),
+        GOOD_LAYERS, GOOD_TREE, GOOD_LAYERS)
+    return cases
+
+
+def _materialize(tmp, tree, layers_text):
+    for rel, content in tree.items():
+        path = os.path.join(tmp, rel)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(content)
+    layers_file = os.path.join(tmp, LAYERS_PATH)
+    os.makedirs(os.path.dirname(layers_file), exist_ok=True)
+    with open(layers_file, "w", encoding="utf-8") as f:
+        f.write(layers_text)
+
+
+def self_test():
+    """Every rule id has a positive fixture (rule fires, and only on the
+    seeded defect) and a negative fixture (conforming tree is quiet)."""
+    cases = self_test_cases()
+    uncovered = set(RULE_IDS) - set(cases)
+    if uncovered:
+        print(f"self-test FAILED: rules without fixtures: "
+              f"{sorted(uncovered)}")
+        return 1
+    failures = 0
+    for rule, (pos_tree, pos_layers, neg_tree, neg_layers) in \
+            sorted(cases.items()):
+        with tempfile.TemporaryDirectory(
+                prefix="tasq_arch_selftest_") as tmp:
+            _materialize(tmp, pos_tree, pos_layers)
+            findings = run_checks(tmp)
+            fired = {f.rule for f in findings}
+            if rule not in fired:
+                print(f"self-test FAILED: [{rule}] positive fixture did "
+                      f"not fire (saw {sorted(fired)})")
+                for f in findings:
+                    print(f"  saw: {f}")
+                failures += 1
+            elif fired != {rule}:
+                print(f"self-test FAILED: [{rule}] positive fixture also "
+                      f"fired {sorted(fired - {rule})}")
+                for f in findings:
+                    print(f"  saw: {f}")
+                failures += 1
+        with tempfile.TemporaryDirectory(
+                prefix="tasq_arch_selftest_") as tmp:
+            _materialize(tmp, neg_tree, neg_layers)
+            leftover = run_checks(tmp)
+            if leftover:
+                print(f"self-test FAILED: [{rule}] negative fixture is "
+                      "not quiet:")
+                for f in leftover:
+                    print(f"  {f}")
+                failures += 1
+    if failures:
+        return 1
+    print(f"self-test passed: {len(cases)} rules, each with a firing "
+          "positive and a quiet negative fixture")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--root", default=REPO_ROOT,
+                        help="repository root to analyze")
+    parser.add_argument("--layers", default=LAYERS_PATH,
+                        help="layer declaration file, relative to --root")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="accept all current findings into the baseline")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run per-rule positive/negative fixtures")
+    parser.add_argument("--dot", metavar="PATH",
+                        help="write the module DAG as Graphviz to PATH "
+                        "('-' for stdout)")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    try:
+        layers = load_layers(args.root, args.layers)
+    except LayersError as err:
+        print(f"error: {args.layers}: {err}")
+        return 2
+
+    if args.dot:
+        repo = Repo(args.root)
+        dot = module_dag_dot(repo, layers)
+        if args.dot == "-":
+            sys.stdout.write(dot)
+        else:
+            with open(args.dot, "w", encoding="utf-8") as f:
+                f.write(dot)
+            print(f"module DAG written to {args.dot}")
+        return 0
+
+    try:
+        findings = run_checks(args.root, args.layers)
+    except LayersError as err:
+        print(f"error: {args.layers}: {err}")
+        return 2
+
+    if args.update_baseline:
+        write_baseline(args.root, findings)
+        print(f"baseline updated with {len(findings)} finding(s)")
+        return 0
+
+    baseline = load_baseline(args.root)
+    new = [f for f in findings if f.key() not in baseline]
+    found_keys = {f.key() for f in findings}
+    stale = sorted(baseline - found_keys)
+
+    for finding in new:
+        print(finding)
+    if stale:
+        print(f"note: {len(stale)} stale baseline entr"
+              f"{'y' if len(stale) == 1 else 'ies'} (fixed findings — "
+              "run --update-baseline to prune):")
+        for key in stale:
+            print(f"  {key}")
+    if new:
+        print(f"\n{len(new)} new architecture finding(s). Fix them or, if "
+              "accepted, run: python3 scripts/tasq_arch.py "
+              "--update-baseline")
+        return 1
+    print(f"arch ok ({len(findings)} baselined finding(s), "
+          f"{len(stale)} stale)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -366,17 +366,24 @@ def check_nolint_reason(root):
     return findings
 
 
-ALL_CHECKS = [
-    check_include_guards,
-    check_using_namespace_in_headers,
-    check_throw_in_src,
-    check_cout_in_src,
-    check_header_reachability,
-    check_serve_headers_tested,
-    check_mutex_annotated,
-    check_raw_lock_in_src,
-    check_nolint_reason,
-]
+# Rule ids emitted by each check. self_test() enforces that every id listed
+# here has a dedicated positive (rule fires) and negative (rule stays quiet)
+# fixture, so a new check cannot land without self-test coverage: adding it
+# to this table without a fixture fails the coverage gate, and adding a
+# check function without a table entry never runs at all.
+CHECK_RULES = {
+    check_include_guards: ["include-guard"],
+    check_using_namespace_in_headers: ["using-namespace-header"],
+    check_throw_in_src: ["throw-in-src"],
+    check_cout_in_src: ["cout-in-src"],
+    check_header_reachability: ["header-unreachable"],
+    check_serve_headers_tested: ["serve-header-untested"],
+    check_mutex_annotated: ["mutex-unannotated"],
+    check_raw_lock_in_src: ["raw-lock-in-src"],
+    check_nolint_reason: ["nolint-needs-reason"],
+}
+
+ALL_CHECKS = list(CHECK_RULES)
 
 
 def run_checks(root):
@@ -409,122 +416,220 @@ def write_baseline(root, findings):
             f.write(key + "\n")
 
 
-def self_test():
-    """Seeds a synthetic tree with one violation per rule and asserts every
-    rule fires, then asserts a clean tree is quiet."""
-    with tempfile.TemporaryDirectory(prefix="tasq_lint_selftest_") as tmp:
-        src = os.path.join(tmp, "src", "mod")
-        tests = os.path.join(tmp, "tests")
-        os.makedirs(src)
-        os.makedirs(tests)
-        with open(os.path.join(src, "bad.h"), "w", encoding="utf-8") as f:
-            f.write(
-                "#ifndef WRONG_GUARD_H\n"
-                "#define WRONG_GUARD_H\n"
-                "using namespace std;\n"
-                "inline void Boom() { throw 1; }\n"
-                "#endif\n")
-        with open(os.path.join(src, "sync.h"), "w", encoding="utf-8") as f:
-            f.write(
-                "#ifndef TASQ_MOD_SYNC_H_\n"
-                "#define TASQ_MOD_SYNC_H_\n"
-                "#include <mutex>\n"
-                "struct Racy {\n"
-                "  std::mutex raw_mu_;\n"            # mutex-unannotated (raw)
-                "  Mutex contractless_;\n"           # mutex-unannotated (no
-                "  int x_ = 0;\n"                    #   GUARDED_BY contract)
-                "  int Read() {\n"
-                "    std::lock_guard<std::mutex> l(raw_mu_);\n"  # raw-lock
-                "    return x_;  // NOLINT\n"        # nolint-needs-reason
-                "  }\n"
-                "};\n"
-                "#endif\n")
-        with open(os.path.join(src, "noisy.cc"), "w", encoding="utf-8") as f:
-            f.write(
-                "#include <iostream>\n"
-                "void Print() { std::cout << \"hi\"; }\n"
-                "// a throw in a comment must NOT fire\n"
-                "const char* s = \"throw inside a string\";\n")
-        serve = os.path.join(tmp, "src", "serve")
-        os.makedirs(serve)
-        # Correctly guarded, so only the coverage rules fire on it.
-        with open(os.path.join(serve, "orphan.h"), "w",
-                  encoding="utf-8") as f:
-            f.write(
-                "#ifndef TASQ_SERVE_ORPHAN_H_\n"
-                "#define TASQ_SERVE_ORPHAN_H_\n"
-                "inline int Serve() { return 1; }\n"
-                "#endif\n")
-        with open(os.path.join(tests, "mod_test.cc"), "w",
-                  encoding="utf-8") as f:
-            f.write("int main() { return 0; }\n")  # Includes nothing.
-        findings = run_checks(tmp)
-        fired = {f.rule for f in findings}
-        expected = {"include-guard", "using-namespace-header", "throw-in-src",
-                    "cout-in-src", "header-unreachable",
-                    "serve-header-untested", "mutex-unannotated",
-                    "raw-lock-in-src", "nolint-needs-reason"}
-        missing = expected - fired
-        if missing:
-            print(f"self-test FAILED: rules did not fire: {sorted(missing)}")
-            for f in findings:
-                print(f"  saw: {f}")
-            return 1
-        comment_string_hits = [
-            f for f in findings
-            if f.rule == "throw-in-src" and f.path.endswith("noisy.cc")]
-        if comment_string_hits:
-            print("self-test FAILED: throw matched inside comment/string")
-            return 1
-        mutex_msgs = [f.message for f in findings
-                      if f.rule == "mutex-unannotated"]
-        if (not any("raw std::mutex" in m for m in mutex_msgs) or
-                not any("contractless_" in m for m in mutex_msgs)):
-            print("self-test FAILED: mutex-unannotated must fire on both a "
-                  "raw std::mutex and a contract-less tasq::Mutex")
-            for m in mutex_msgs:
-                print(f"  saw: {m}")
-            return 1
+# A minimal tree with zero findings; per-rule fixtures are derived from it
+# via _with() so each positive seeds exactly one class of violation.
+GOOD_TREE = {
+    "src/mod/good.h": (
+        "#ifndef TASQ_MOD_GOOD_H_\n"
+        "#define TASQ_MOD_GOOD_H_\n"
+        "inline int Fine() { return 1; }\n"
+        "#endif\n"),
+    "src/serve/orphan.h": (
+        "#ifndef TASQ_SERVE_ORPHAN_H_\n"
+        "#define TASQ_SERVE_ORPHAN_H_\n"
+        "inline int Serve() { return 1; }\n"
+        "#endif\n"),
+    "tests/mod_test.cc": (
+        '#include "mod/good.h"\n'
+        '#include "serve/orphan.h"\n'
+        "int main() { return Fine() + Serve(); }\n"),
+}
 
-        # A conforming tree must produce zero findings.
-        with open(os.path.join(src, "bad.h"), "w", encoding="utf-8") as f:
-            f.write(
-                "#ifndef TASQ_MOD_BAD_H_\n"
-                "#define TASQ_MOD_BAD_H_\n"
-                "inline int Fine() { return 1; }\n"
-                "#endif\n")
-        with open(os.path.join(src, "sync.h"), "w", encoding="utf-8") as f:
-            f.write(
-                "#ifndef TASQ_MOD_SYNC_H_\n"
-                "#define TASQ_MOD_SYNC_H_\n"
-                "struct Tidy {\n"
-                "  Mutex mu_;\n"
-                "  int x_ TASQ_GUARDED_BY(mu_) = 0;\n"
-                "  int Read() {\n"
-                "    MutexLock lock(mu_);\n"
-                "    return x_;  // NOLINT(bugprone-example): documented\n"
-                "  }\n"
-                "};\n"
-                "inline void Local() {\n"
-                "  Mutex local_mu;\n"
-                "  // Guarded by local_mu: nothing yet, contract documented.\n"
-                "}\n"
-                "#endif\n")
-        with open(os.path.join(src, "noisy.cc"), "w", encoding="utf-8") as f:
-            f.write("#include \"mod/bad.h\"\nint User() { return Fine(); }\n")
-        with open(os.path.join(tests, "mod_test.cc"), "w",
-                  encoding="utf-8") as f:
-            f.write("#include \"mod/bad.h\"\n"
-                    "#include \"mod/sync.h\"\n"
-                    "#include \"serve/orphan.h\"\n"
-                    "int main() { return Fine() + Serve(); }\n")
-        leftover = run_checks(tmp)
-        if leftover:
-            print("self-test FAILED: clean tree still has findings:")
-            for f in leftover:
-                print(f"  {f}")
-            return 1
-    print("self-test passed: all rules fire and a clean tree is quiet")
+SYNC_TEST_CC = (
+    '#include "mod/good.h"\n'
+    '#include "mod/sync.h"\n'
+    '#include "serve/orphan.h"\n'
+    "int main() { return Fine() + Serve(); }\n")
+
+
+def _with(overrides):
+    tree = dict(GOOD_TREE)
+    tree.update(overrides)
+    return tree
+
+
+def _write_tree(root, files):
+    for rel, content in files.items():
+        path = os.path.join(root, rel)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(content)
+
+
+def self_test_cases():
+    """rule id -> (positive tree, negative tree). The positive must draw the
+    rule; the negative is a near-miss that must stay completely quiet."""
+    return {
+        "include-guard": (
+            _with({"src/mod/good.h":
+                   "#ifndef WRONG_GUARD_H\n"
+                   "#define WRONG_GUARD_H\n"
+                   "inline int Fine() { return 1; }\n"
+                   "#endif\n"}),
+            GOOD_TREE),
+        "using-namespace-header": (
+            _with({"src/mod/good.h":
+                   "#ifndef TASQ_MOD_GOOD_H_\n"
+                   "#define TASQ_MOD_GOOD_H_\n"
+                   "using namespace std;\n"
+                   "inline int Fine() { return 1; }\n"
+                   "#endif\n"}),
+            # Single-name using declarations and commented-out directives
+            # are fine; only the directive form leaks.
+            _with({"src/mod/good.h":
+                   "#ifndef TASQ_MOD_GOOD_H_\n"
+                   "#define TASQ_MOD_GOOD_H_\n"
+                   "// using namespace std; would leak, so we name names:\n"
+                   "using std::size_t;\n"
+                   "inline int Fine() { return 1; }\n"
+                   "#endif\n"}),
+        ),
+        "throw-in-src": (
+            _with({"src/mod/impl.cc":
+                   "int Use(int v) { if (v < 0) throw 1; return v; }\n"}),
+            _with({"src/mod/impl.cc":
+                   "// a throw in a comment must NOT fire\n"
+                   'const char* kS = "throw inside a string";\n'
+                   "int Use() { return kS != nullptr; }\n"}),
+        ),
+        "cout-in-src": (
+            _with({"src/mod/impl.cc":
+                   "#include <iostream>\n"
+                   'void Print() { std::cout << "hi"; }\n'}),
+            _with({"src/mod/impl.cc":
+                   "#include <ostream>\n"
+                   'void Print(std::ostream& out) { out << "hi"; }\n'}),
+        ),
+        "header-unreachable": (
+            _with({"src/mod/orphan2.h":
+                   "#ifndef TASQ_MOD_ORPHAN2_H_\n"
+                   "#define TASQ_MOD_ORPHAN2_H_\n"
+                   "inline int Lost() { return 1; }\n"
+                   "#endif\n"}),
+            # The same header reached transitively: good.h pulls it in.
+            _with({"src/mod/orphan2.h":
+                   "#ifndef TASQ_MOD_ORPHAN2_H_\n"
+                   "#define TASQ_MOD_ORPHAN2_H_\n"
+                   "inline int Found() { return 1; }\n"
+                   "#endif\n",
+                   "src/mod/good.h":
+                   "#ifndef TASQ_MOD_GOOD_H_\n"
+                   "#define TASQ_MOD_GOOD_H_\n"
+                   '#include "mod/orphan2.h"\n'
+                   "inline int Fine() { return Found(); }\n"
+                   "#endif\n"}),
+        ),
+        "serve-header-untested": (
+            # Reachable only transitively through good.h: passes the general
+            # reachability rule but fails the stricter serve bar.
+            _with({"src/mod/good.h":
+                   "#ifndef TASQ_MOD_GOOD_H_\n"
+                   "#define TASQ_MOD_GOOD_H_\n"
+                   '#include "serve/orphan.h"\n'
+                   "inline int Fine() { return Serve(); }\n"
+                   "#endif\n",
+                   "tests/mod_test.cc":
+                   '#include "mod/good.h"\n'
+                   "int main() { return Fine(); }\n"}),
+            GOOD_TREE),
+        "mutex-unannotated": (
+            _with({"src/mod/sync.h":
+                   "#ifndef TASQ_MOD_SYNC_H_\n"
+                   "#define TASQ_MOD_SYNC_H_\n"
+                   "#include <mutex>\n"
+                   "struct Racy {\n"
+                   "  std::mutex raw_mu_;\n"
+                   "  Mutex contractless_;\n"
+                   "  int x_ = 0;\n"
+                   "};\n"
+                   "#endif\n",
+                   "tests/mod_test.cc": SYNC_TEST_CC}),
+            _with({"src/mod/sync.h":
+                   "#ifndef TASQ_MOD_SYNC_H_\n"
+                   "#define TASQ_MOD_SYNC_H_\n"
+                   "struct Tidy {\n"
+                   "  Mutex mu_;\n"
+                   "  int x_ TASQ_GUARDED_BY(mu_) = 0;\n"
+                   "};\n"
+                   "inline void Local() {\n"
+                   "  Mutex local_mu;\n"
+                   "  // Guarded by local_mu: scratch state only.\n"
+                   "}\n"
+                   "#endif\n",
+                   "tests/mod_test.cc": SYNC_TEST_CC}),
+        ),
+        "raw-lock-in-src": (
+            _with({"src/mod/lock.cc":
+                   "struct Lockable { void Go(); };\n"
+                   "void Use(Lockable& l, Lockable& m) {\n"
+                   "  l.lock();\n"
+                   "  m.unlock();\n"
+                   "}\n"}),
+            _with({"src/mod/lock.cc":
+                   "void Use(Mutex& mu) {\n"
+                   "  MutexLock lock(mu);\n"
+                   "}\n"}),
+        ),
+        "nolint-needs-reason": (
+            _with({"src/mod/impl.cc":
+                   "int x = 0;  // NOLINT\n"}),
+            _with({"src/mod/impl.cc":
+                   "// NOLINTNEXTLINE(bugprone-example): overflow intended\n"
+                   "int x = 1 << 30;\n"
+                   "int y = 0;  // NOLINT(bugprone-example): documented\n"
+                   "// NOLINTBEGIN(bugprone-example): span justified\n"
+                   "int z = 0;\n"
+                   "// NOLINTEND(bugprone-example)\n"}),
+        ),
+    }
+
+
+def self_test():
+    """Per-rule fixtures: every rule id in CHECK_RULES must have a positive
+    tree where it fires and a near-miss negative tree that is completely
+    quiet (not merely quiet for that rule)."""
+    rule_ids = {r for rules in CHECK_RULES.values() for r in rules}
+    cases = self_test_cases()
+    uncovered = rule_ids - set(cases)
+    unknown = set(cases) - rule_ids
+    if uncovered or unknown:
+        print("self-test FAILED: fixture coverage out of sync with "
+              f"CHECK_RULES (uncovered: {sorted(uncovered)}, "
+              f"unknown: {sorted(unknown)})")
+        return 1
+
+    failures = []
+    for rule in sorted(cases):
+        pos, neg = cases[rule]
+        with tempfile.TemporaryDirectory(prefix="tasq_lint_pos_") as tmp:
+            _write_tree(tmp, pos)
+            pos_findings = run_checks(tmp)
+            if not any(f.rule == rule for f in pos_findings):
+                failures.append(
+                    f"[{rule}] positive fixture did not fire; saw: "
+                    f"{sorted({f.rule for f in pos_findings}) or 'nothing'}")
+            if rule == "mutex-unannotated":
+                msgs = [f.message for f in pos_findings if f.rule == rule]
+                if (not any("raw std::mutex" in m for m in msgs) or
+                        not any("contractless_" in m for m in msgs)):
+                    failures.append(
+                        "[mutex-unannotated] must fire on both a raw "
+                        "std::mutex and a contract-less tasq::Mutex; saw: "
+                        f"{msgs}")
+        with tempfile.TemporaryDirectory(prefix="tasq_lint_neg_") as tmp:
+            _write_tree(tmp, neg)
+            neg_findings = run_checks(tmp)
+            if neg_findings:
+                failures.append(
+                    f"[{rule}] negative fixture is not quiet: " +
+                    "; ".join(str(f) for f in neg_findings))
+    if failures:
+        print("self-test FAILED:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"self-test passed: {len(cases)} rules, each with a firing "
+          "positive and a quiet negative fixture")
     return 0
 
 

@@ -56,12 +56,12 @@ class Arepas {
 
   /// Simulates `original` under `new_allocation` tokens. Fails if the
   /// allocation is not strictly positive or the skyline is empty.
-  Result<Skyline> SimulateSkyline(const Skyline& original,
+  TASQ_NODISCARD Result<Skyline> SimulateSkyline(const Skyline& original,
                                   double new_allocation) const;
 
   /// Run time (seconds) of the simulated skyline — the value used as an
   /// augmented training label.
-  Result<double> SimulateRunTimeSeconds(const Skyline& original,
+  TASQ_NODISCARD Result<double> SimulateRunTimeSeconds(const Skyline& original,
                                         double new_allocation) const;
 
   const ArepasOptions& options() const { return options_; }
@@ -74,7 +74,7 @@ class Arepas {
 /// AREPAS. Grid values above the skyline peak yield the original run time
 /// (extra tokens beyond the peak cannot speed the job up under the AREPAS
 /// model). Fails on an empty skyline or non-positive grid entries.
-Result<std::vector<PccSample>> SamplePcc(const Skyline& original,
+TASQ_NODISCARD Result<std::vector<PccSample>> SamplePcc(const Skyline& original,
                                          const std::vector<double>& token_grid,
                                          const ArepasOptions& options = {});
 

@@ -27,12 +27,12 @@ class AutoToken {
   explicit AutoToken(Options options) : options_(options) {}
 
   /// Trains the per-group models from observed historical runs.
-  Status Train(const std::vector<ObservedJob>& observed);
+  TASQ_NODISCARD Status Train(const std::vector<ObservedJob>& observed);
 
   /// Predicts the peak-token allocation for a job. NotFound for ad-hoc
   /// jobs or groups with insufficient history (the baseline's documented
   /// coverage gap).
-  Result<double> PredictPeakTokens(const Job& job) const;
+  TASQ_NODISCARD Result<double> PredictPeakTokens(const Job& job) const;
 
   size_t num_groups() const { return models_.size(); }
   bool trained() const { return trained_; }

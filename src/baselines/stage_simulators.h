@@ -39,10 +39,10 @@ class StageHistory {
   /// stage structure). Keyed by the job's template id; ad-hoc jobs
   /// (template -1) are not recordable, mirroring the baselines' inability
   /// to cover fresh jobs.
-  Status Record(const Job& job);
+  TASQ_NODISCARD Status Record(const Job& job);
 
   /// Statistics for a job's template; NotFound for ad-hoc/unseen jobs.
-  Result<JobHistoryStats> Lookup(const Job& job) const;
+  TASQ_NODISCARD Result<JobHistoryStats> Lookup(const Job& job) const;
 
   size_t num_templates() const { return stats_.size(); }
 
@@ -54,7 +54,7 @@ class StageHistory {
 /// serial part S (the critical path of one task) and a parallel part P;
 /// the run time at N tokens is T(N) = sum_s (S_s + P_s / N).
 /// Requires prior-run statistics; cannot score fresh jobs.
-Result<double> AmdahlSimulateRunTime(const JobHistoryStats& stats,
+TASQ_NODISCARD Result<double> AmdahlSimulateRunTime(const JobHistoryStats& stats,
                                      double tokens);
 
 /// The Jockey simulator of paper §6.3: stage-by-stage simulation using
@@ -62,7 +62,7 @@ Result<double> AmdahlSimulateRunTime(const JobHistoryStats& stats,
 /// its mean task duration, with stages serialized by the barrier DAG
 /// (simplified to a chain over the recorded stage order, as Jockey's
 /// C(progress, allocation) table is over completed work).
-Result<double> JockeySimulateRunTime(const JobHistoryStats& stats,
+TASQ_NODISCARD Result<double> JockeySimulateRunTime(const JobHistoryStats& stats,
                                      double tokens);
 
 }  // namespace tasq

@@ -5,6 +5,17 @@
 #include <string>
 #include <utility>
 
+/// Marks a function whose return value carries an error signal the caller
+/// must consume. Every function returning Status or Result<T> by value is
+/// annotated (enforced by scripts/tasq_arch.py, rule nodiscard-missing),
+/// so silently dropping an error is a compiler warning — and an error in
+/// CI, which builds with -Werror. To ignore a result deliberately, write
+///
+///   (void)DoThing();  // reason the error is safe to ignore
+///
+/// The reason comment is mandatory (rule discard-needs-reason).
+#define TASQ_NODISCARD [[nodiscard]]
+
 namespace tasq {
 
 /// Error categories used across the library. Kept deliberately small: most
@@ -31,7 +42,7 @@ const char* StatusCodeName(StatusCode code);
 ///
 ///   Status s = DoThing();
 ///   if (!s.ok()) { log(s.ToString()); return s; }
-class Status {
+class TASQ_NODISCARD Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -40,20 +51,20 @@ class Status {
   Status(StatusCode code, std::string message)
       : code_(code), message_(std::move(message)) {}
 
-  static Status Ok() { return Status(); }
-  static Status InvalidArgument(std::string message) {
+  TASQ_NODISCARD static Status Ok() { return Status(); }
+  TASQ_NODISCARD static Status InvalidArgument(std::string message) {
     return Status(StatusCode::kInvalidArgument, std::move(message));
   }
-  static Status FailedPrecondition(std::string message) {
+  TASQ_NODISCARD static Status FailedPrecondition(std::string message) {
     return Status(StatusCode::kFailedPrecondition, std::move(message));
   }
-  static Status NotFound(std::string message) {
+  TASQ_NODISCARD static Status NotFound(std::string message) {
     return Status(StatusCode::kNotFound, std::move(message));
   }
-  static Status OutOfRange(std::string message) {
+  TASQ_NODISCARD static Status OutOfRange(std::string message) {
     return Status(StatusCode::kOutOfRange, std::move(message));
   }
-  static Status Internal(std::string message) {
+  TASQ_NODISCARD static Status Internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));
   }
 
@@ -76,7 +87,7 @@ class Status {
 ///   if (!fit.ok()) return fit.status();
 ///   Use(fit.value());
 template <typename T>
-class Result {
+class TASQ_NODISCARD Result {
  public:
   /// Constructs a successful result holding `value`. Implicit so callers
   /// can `return value;` from a Result-returning function.

@@ -128,13 +128,13 @@ Result<FeatureScaler> FeatureScaler::Fit(const std::vector<double>& data,
   return FeatureScaler(std::move(mean), std::move(std));
 }
 
-void FeatureScaler::Save(TextArchiveWriter& writer,
+void FeatureScaler::Serialize(TextArchiveWriter& writer,
                          const std::string& tag) const {
   writer.Vector(tag + ".mean", mean_);
   writer.Vector(tag + ".std", std_);
 }
 
-FeatureScaler FeatureScaler::Load(TextArchiveReader& reader,
+FeatureScaler FeatureScaler::Deserialize(TextArchiveReader& reader,
                                   const std::string& tag) {
   std::vector<double> mean;
   std::vector<double> std;

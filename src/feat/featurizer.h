@@ -45,10 +45,10 @@ class Featurizer {
       7 + 3 + kPhysicalOperatorCount + kPartitioningMethodCount + 2;
 
   /// Featurizes all views of `graph`. Fails on an invalid graph.
-  Result<JobFeatures> Featurize(const JobGraph& graph) const;
+  TASQ_NODISCARD Result<JobFeatures> Featurize(const JobGraph& graph) const;
 
   /// Only the aggregated job-level vector (cheaper; used by XGBoost/NN).
-  Result<std::vector<double>> JobLevel(const JobGraph& graph) const;
+  TASQ_NODISCARD Result<std::vector<double>> JobLevel(const JobGraph& graph) const;
 
   /// Fills `out` (size kOperatorFeatureDim) with one operator's features.
   static void OperatorRow(const OperatorNode& node, double* out);
@@ -67,7 +67,7 @@ class FeatureScaler {
  public:
   /// Fits mean/std per column over `rows` vectors of dimension `dim` stored
   /// row-major in `data`. Requires a non-empty matrix.
-  static Result<FeatureScaler> Fit(const std::vector<double>& data,
+  TASQ_NODISCARD static Result<FeatureScaler> Fit(const std::vector<double>& data,
                                    size_t rows, size_t dim);
 
   /// Standardizes `vec` in place. `vec.size()` must equal `dim()`.
@@ -81,11 +81,11 @@ class FeatureScaler {
   const std::vector<double>& std() const { return std_; }
 
   /// Writes the scaler into an archive under `tag`.
-  void Save(TextArchiveWriter& writer, const std::string& tag) const;
+  void Serialize(TextArchiveWriter& writer, const std::string& tag) const;
 
   /// Reads a scaler written by Save; on malformed input the reader's
   /// status latches and an empty scaler is returned.
-  static FeatureScaler Load(TextArchiveReader& reader, const std::string& tag);
+  static FeatureScaler Deserialize(TextArchiveReader& reader, const std::string& tag);
 
  private:
   FeatureScaler(std::vector<double> mean, std::vector<double> std)

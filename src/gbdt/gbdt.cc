@@ -254,7 +254,7 @@ std::vector<double> GbdtRegressor::FeatureImportance() const {
   return importance;
 }
 
-void GbdtRegressor::Save(TextArchiveWriter& writer) const {
+void GbdtRegressor::Serialize(TextArchiveWriter& writer) const {
   writer.String("gbdt.format", "tasq-gbdt-v1");
   writer.Scalar("gbdt.objective",
                 static_cast<int64_t>(options_.objective ==
@@ -289,7 +289,7 @@ void GbdtRegressor::Save(TextArchiveWriter& writer) const {
   }
 }
 
-GbdtRegressor GbdtRegressor::Load(TextArchiveReader& reader) {
+GbdtRegressor GbdtRegressor::Deserialize(TextArchiveReader& reader) {
   std::string format;
   reader.String("gbdt.format", format);
   if (reader.status().ok() && format != "tasq-gbdt-v1") {

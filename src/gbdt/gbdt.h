@@ -43,7 +43,7 @@ class GbdtRegressor {
 
   /// Trains on a row-major `rows` x `dim` feature matrix. For the Gamma
   /// objective every target must be positive.
-  Status Train(const std::vector<double>& features, size_t rows, size_t dim,
+  TASQ_NODISCARD Status Train(const std::vector<double>& features, size_t rows, size_t dim,
                const std::vector<double>& targets);
 
   /// Predicts the target for one feature row of length `dim`.
@@ -67,11 +67,11 @@ class GbdtRegressor {
   /// Serializes the trained model (objective, learning rate, trees) into an
   /// archive. Training-only hyper-parameters are included so a reloaded
   /// model reports the options it was trained with.
-  void Save(TextArchiveWriter& writer) const;
+  void Serialize(TextArchiveWriter& writer) const;
 
   /// Reconstructs a model written by Save; on malformed input the reader's
   /// status latches and the returned model is untrained.
-  static GbdtRegressor Load(TextArchiveReader& reader);
+  static GbdtRegressor Deserialize(TextArchiveReader& reader);
 
  private:
   struct TreeNode {

@@ -28,16 +28,16 @@ Status XgbRuntimeModel::Train(const std::vector<double>& job_features,
   return model_.Train(augmented, rows, dim, runtimes);
 }
 
-void XgbRuntimeModel::Save(TextArchiveWriter& writer) const {
+void XgbRuntimeModel::Serialize(TextArchiveWriter& writer) const {
   writer.String("xgb.format", "tasq-xgb-v1");
   writer.Scalar("xgb.window_fraction", options_.window_fraction);
   writer.Scalar("xgb.grid_points", static_cast<int64_t>(options_.grid_points));
   writer.Scalar("xgb.spline_lambda", options_.spline_lambda);
   writer.Scalar("xgb.feature_dim", static_cast<int64_t>(feature_dim_));
-  model_.Save(writer);
+  model_.Serialize(writer);
 }
 
-XgbRuntimeModel XgbRuntimeModel::Load(TextArchiveReader& reader) {
+XgbRuntimeModel XgbRuntimeModel::Deserialize(TextArchiveReader& reader) {
   std::string format;
   reader.String("xgb.format", format);
   if (reader.status().ok() && format != "tasq-xgb-v1") {
@@ -52,7 +52,7 @@ XgbRuntimeModel XgbRuntimeModel::Load(TextArchiveReader& reader) {
   reader.Scalar("xgb.feature_dim", feature_dim);
   options.grid_points = static_cast<size_t>(std::max<int64_t>(0, grid_points));
   XgbRuntimeModel model(options);
-  model.model_ = GbdtRegressor::Load(reader);
+  model.model_ = GbdtRegressor::Deserialize(reader);
   model.options_.gbdt = model.model_.options();
   if (reader.status().ok() && feature_dim >= 0) {
     model.feature_dim_ = static_cast<size_t>(feature_dim);

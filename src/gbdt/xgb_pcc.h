@@ -33,24 +33,24 @@ class XgbRuntimeModel {
   /// Trains on N examples: `job_features` is row-major N x feature_dim,
   /// `tokens` and `runtimes` have length N. The caller supplies AREPAS-
   /// augmented examples at alternate token counts (paper §4.4).
-  Status Train(const std::vector<double>& job_features, size_t rows,
+  TASQ_NODISCARD Status Train(const std::vector<double>& job_features, size_t rows,
                size_t feature_dim, const std::vector<double>& tokens,
                const std::vector<double>& runtimes);
 
   /// Predicts run time (seconds) for one job at `tokens`.
-  Result<double> PredictRuntime(const std::vector<double>& job_features,
+  TASQ_NODISCARD Result<double> PredictRuntime(const std::vector<double>& job_features,
                                 double tokens) const;
 
   /// Raw point predictions across the window around `reference_tokens`.
-  Result<std::vector<PccSample>> PredictCurve(
+  TASQ_NODISCARD Result<std::vector<PccSample>> PredictCurve(
       const std::vector<double>& job_features, double reference_tokens) const;
 
   /// XGBoost SS: point predictions passed through a cubic smoothing spline.
-  Result<std::vector<PccSample>> PredictSmoothedCurve(
+  TASQ_NODISCARD Result<std::vector<PccSample>> PredictSmoothedCurve(
       const std::vector<double>& job_features, double reference_tokens) const;
 
   /// XGBoost PL: a power law refit to the point predictions.
-  Result<PowerLawPcc> PredictPowerLawPcc(
+  TASQ_NODISCARD Result<PowerLawPcc> PredictPowerLawPcc(
       const std::vector<double>& job_features, double reference_tokens) const;
 
   bool trained() const { return model_.trained(); }
@@ -62,10 +62,10 @@ class XgbRuntimeModel {
 
   /// Serializes the trained runtime model and its curve-construction
   /// options into an archive.
-  void Save(TextArchiveWriter& writer) const;
+  void Serialize(TextArchiveWriter& writer) const;
 
   /// Reconstructs a model written by Save; errors latch on the reader.
-  static XgbRuntimeModel Load(TextArchiveReader& reader);
+  static XgbRuntimeModel Deserialize(TextArchiveReader& reader);
 
  private:
   XgbPccOptions options_;

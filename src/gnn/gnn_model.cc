@@ -213,7 +213,7 @@ Result<double> GnnPccModel::Train(const std::vector<GraphExample>& graphs,
   return last_epoch_loss;
 }
 
-void GnnPccModel::Save(TextArchiveWriter& writer) const {
+void GnnPccModel::Serialize(TextArchiveWriter& writer) const {
   writer.String("gnn.format", "tasq-gnn-v1");
   writer.Scalar("gnn.node_feature_dim",
                 static_cast<int64_t>(node_feature_dim_));
@@ -255,7 +255,7 @@ void GnnPccModel::Save(TextArchiveWriter& writer) const {
   SaveMatrix(writer, "gnn.head2_b", head2_bias_->value);
 }
 
-GnnPccModel GnnPccModel::Load(TextArchiveReader& reader) {
+GnnPccModel GnnPccModel::Deserialize(TextArchiveReader& reader) {
   std::string format;
   reader.String("gnn.format", format);
   if (reader.status().ok() && format != "tasq-gnn-v1") {

@@ -72,11 +72,11 @@ class GnnPccModel {
 
   /// Trains on one graph per supervision example. Returns the final
   /// epoch's mean training loss.
-  Result<double> Train(const std::vector<GraphExample>& graphs,
+  TASQ_NODISCARD Result<double> Train(const std::vector<GraphExample>& graphs,
                        const PccSupervision& supervision);
 
   /// Predicts the (guaranteed monotone non-increasing) PCC for one graph.
-  Result<PowerLawPcc> Predict(const GraphExample& graph) const;
+  TASQ_NODISCARD Result<PowerLawPcc> Predict(const GraphExample& graph) const;
 
   /// Total trainable scalar parameters (Table 7).
   int64_t NumParameters() const;
@@ -87,11 +87,11 @@ class GnnPccModel {
 
   /// Serializes the trained network (architecture, weights, target
   /// scaling) into an archive.
-  void Save(TextArchiveWriter& writer) const;
+  void Serialize(TextArchiveWriter& writer) const;
 
   /// Reconstructs a model written by Save; errors latch on the reader and
   /// the returned model is untrained.
-  static GnnPccModel Load(TextArchiveReader& reader);
+  static GnnPccModel Deserialize(TextArchiveReader& reader);
 
  private:
   /// Per-graph forward pass to the scaled (p1, p2) pair (each 1 x 1).

@@ -183,7 +183,7 @@ Result<double> NnPccModel::Train(const std::vector<double>& features,
   return last_epoch_loss;
 }
 
-void NnPccModel::Save(TextArchiveWriter& writer) const {
+void NnPccModel::Serialize(TextArchiveWriter& writer) const {
   writer.String("nn.format", "tasq-nn-v1");
   writer.Scalar("nn.input_dim", static_cast<int64_t>(input_dim_));
   std::vector<double> hidden;
@@ -206,7 +206,7 @@ void NnPccModel::Save(TextArchiveWriter& writer) const {
   SaveMatrix(writer, "nn.head2_b", head2_bias_->value);
 }
 
-NnPccModel NnPccModel::Load(TextArchiveReader& reader) {
+NnPccModel NnPccModel::Deserialize(TextArchiveReader& reader) {
   std::string format;
   reader.String("nn.format", format);
   if (reader.status().ok() && format != "tasq-nn-v1") {

@@ -25,7 +25,7 @@ struct PccSupervision {
 
   size_t size() const { return targets.size(); }
   /// Checks all populated vectors share the same length.
-  Status Validate(bool needs_xgb) const;
+  TASQ_NODISCARD Status Validate(bool needs_xgb) const;
 };
 
 /// Training hyper-parameters for the feed-forward model.
@@ -61,15 +61,15 @@ class NnPccModel {
   /// Trains on standardized features (row-major N x input_dim) with the
   /// given supervision; fits the target scaling internally. Returns the
   /// final epoch's mean training loss.
-  Result<double> Train(const std::vector<double>& features,
+  TASQ_NODISCARD Result<double> Train(const std::vector<double>& features,
                        const PccSupervision& supervision);
 
   /// Predicts the PCC for one standardized feature vector. Fails before
   /// training.
-  Result<PowerLawPcc> Predict(const std::vector<double>& features) const;
+  TASQ_NODISCARD Result<PowerLawPcc> Predict(const std::vector<double>& features) const;
 
   /// Batch prediction over row-major N x input_dim features.
-  Result<std::vector<PowerLawPcc>> PredictBatch(
+  TASQ_NODISCARD Result<std::vector<PowerLawPcc>> PredictBatch(
       const std::vector<double>& features, size_t count) const;
 
   /// Total trainable scalar parameters (Table 7).
@@ -81,11 +81,11 @@ class NnPccModel {
 
   /// Serializes the trained network (architecture, weights, target
   /// scaling) into an archive.
-  void Save(TextArchiveWriter& writer) const;
+  void Serialize(TextArchiveWriter& writer) const;
 
   /// Reconstructs a model written by Save; errors latch on the reader and
   /// the returned model is untrained.
-  static NnPccModel Load(TextArchiveReader& reader);
+  static NnPccModel Deserialize(TextArchiveReader& reader);
 
  private:
   /// Forward pass: returns the (p1, p2) column pair for a batch input.

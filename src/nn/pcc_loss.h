@@ -27,7 +27,7 @@ class PccTargetScaling {
   /// Fits the two scale factors from training targets. Targets with
   /// positive `a` (non-monotone fits, rare under AREPAS) contribute their
   /// magnitude. Requires a non-empty set.
-  static Result<PccTargetScaling> Fit(const std::vector<PowerLawPcc>& targets);
+  TASQ_NODISCARD static Result<PccTargetScaling> Fit(const std::vector<PowerLawPcc>& targets);
 
   /// Explicit scales (both must be positive). Used by tests.
   PccTargetScaling(double s1, double s2) : s1_(s1), s2_(s2) {}
@@ -91,7 +91,7 @@ struct PccLossBatch {
 /// The run-time terms rebuild runtime = exp(p2*s2 - p1*s1*log A) inside the
 /// graph so gradients flow through both parameters. Fails if sizes are
 /// inconsistent or required supervision is missing.
-Result<Var> BuildPccLoss(const Var& p1, const Var& p2,
+TASQ_NODISCARD Result<Var> BuildPccLoss(const Var& p1, const Var& p2,
                          const PccTargetScaling& scaling,
                          const PccLossBatch& batch,
                          const LossWeights& weights);

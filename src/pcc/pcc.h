@@ -67,7 +67,7 @@ struct PowerLawFit {
 /// log(runtime) = log(b) + a*log(A) (paper §4.1, Figure 9). Requires at
 /// least two samples with strictly positive tokens and run time and at
 /// least two distinct token values.
-Result<PowerLawFit> FitPowerLaw(const std::vector<PccSample>& samples);
+TASQ_NODISCARD Result<PowerLawFit> FitPowerLaw(const std::vector<PccSample>& samples);
 
 /// True when the sampled curve (sorted by tokens internally) never increases
 /// by more than `tolerance_percent` of the preceding value as tokens grow —
@@ -91,14 +91,14 @@ std::vector<PccSample> FilterAroundReference(
 /// formulation (§2.1) applied to a discrete curve. Requires >= 2 samples
 /// with positive tokens; non-monotone segments terminate the walk (beyond
 /// them the curve is not a trustworthy trade-off).
-Result<double> OptimalTokensFromSamples(const std::vector<PccSample>& samples,
+TASQ_NODISCARD Result<double> OptimalTokensFromSamples(const std::vector<PccSample>& samples,
                                         double min_improvement_percent);
 
 /// Finds the elbow of a sampled PCC (Figure 3's red marker): the sample
 /// with maximum distance below the chord from the first to the last sample
 /// after normalizing both axes to [0,1]. Requires >= 3 samples spanning a
 /// nonzero token and runtime range.
-Result<double> FindElbowTokens(std::vector<PccSample> samples);
+TASQ_NODISCARD Result<double> FindElbowTokens(std::vector<PccSample> samples);
 
 /// A natural cubic smoothing spline (Reinsch/Green-Silverman formulation)
 /// used to build the XGBoost-SS curve from point predictions: minimizes
@@ -112,7 +112,7 @@ class SmoothingSpline {
  public:
   /// Fits the spline. Requires >= 3 strictly increasing x values and
   /// lambda >= 0.
-  static Result<SmoothingSpline> Fit(const std::vector<double>& x,
+  TASQ_NODISCARD static Result<SmoothingSpline> Fit(const std::vector<double>& x,
                                      const std::vector<double>& y,
                                      double lambda);
 

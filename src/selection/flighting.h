@@ -63,7 +63,7 @@ class FlightHarness {
   explicit FlightHarness(FlightConfig config) : config_(std::move(config)) {}
 
   /// Flights one job at all configured token fractions.
-  Result<FlightedJob> FlightJob(const Job& job) const;
+  TASQ_NODISCARD Result<FlightedJob> FlightJob(const Job& job) const;
 
   /// Flights a batch; jobs whose simulation fails are skipped.
   std::vector<FlightedJob> FlightJobs(const std::vector<Job>& jobs) const;

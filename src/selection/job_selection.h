@@ -51,7 +51,7 @@ struct SelectionOutcome {
 ///                     jobs the subset must come from.
 ///
 /// Fails on inconsistent sizes or an empty pool.
-Result<SelectionOutcome> SelectRepresentativeJobs(
+TASQ_NODISCARD Result<SelectionOutcome> SelectRepresentativeJobs(
     const std::vector<double>& features, size_t rows, size_t dim,
     const std::vector<double>& summary, const std::vector<int>& template_ids,
     const std::vector<size_t>& pool, const SelectionConfig& config);

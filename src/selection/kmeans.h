@@ -24,7 +24,7 @@ struct KMeansResult {
 /// Lloyd's algorithm with k-means++ initialization over a row-major
 /// `rows` x `dim` matrix. Deterministic given `rng`'s seed. Requires
 /// 1 <= k <= rows. Empty clusters are re-seeded from the farthest point.
-Result<KMeansResult> KMeans(const std::vector<double>& data, size_t rows,
+TASQ_NODISCARD Result<KMeansResult> KMeans(const std::vector<double>& data, size_t rows,
                             size_t dim, size_t k, Rng& rng,
                             int max_iterations = 50);
 

@@ -14,7 +14,7 @@ double MsSince(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
-void Record(StageLatency& stage, double ms) {
+void RecordLatency(StageLatency& stage, double ms) {
   ++stage.count;
   stage.total_ms += ms;
   stage.max_ms = std::max(stage.max_ms, ms);
@@ -197,7 +197,7 @@ void PccServer::DrainQueue() {
     {
       MutexLock lock(stats_mutex_);
       for (const Pending& pending : batch) {
-        Record(queue_wait_, std::chrono::duration<double, std::milli>(
+        RecordLatency(queue_wait_, std::chrono::duration<double, std::milli>(
                                 picked_at - pending.submitted_at)
                                 .count());
       }
@@ -260,7 +260,7 @@ void PccServer::ProcessBatch(std::vector<Pending> batch) {
 
   double inference_ms = MsSince(inference_start);
   MutexLock lock(stats_mutex_);
-  Record(inference_, inference_ms);
+  RecordLatency(inference_, inference_ms);
 }
 
 void PccServer::ScoreOne(Pending& pending) {
@@ -285,7 +285,7 @@ void PccServer::FulfillOk(Pending& pending, WhatIfReport report,
   {
     MutexLock lock(stats_mutex_);
     ++completed_;
-    Record(end_to_end_, total_ms);
+    RecordLatency(end_to_end_, total_ms);
   }
   pending.promise.set_value(std::move(report));
 }
@@ -295,7 +295,7 @@ void PccServer::FulfillError(Pending& pending, Status status) {
   {
     MutexLock lock(stats_mutex_);
     ++failed_;
-    Record(end_to_end_, total_ms);
+    RecordLatency(end_to_end_, total_ms);
   }
   pending.promise.set_value(std::move(status));
 }

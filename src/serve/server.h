@@ -115,7 +115,7 @@ class PccServer {
       TASQ_EXCLUDES(mutex_, stats_mutex_);
 
   /// Blocking convenience: Submit + wait.
-  Result<WhatIfReport> Score(ScoreRequest request);
+  TASQ_NODISCARD Result<WhatIfReport> Score(ScoreRequest request);
 
   /// Submits every request, then waits for all of them. Entry i of the
   /// result corresponds to requests[i].

@@ -62,7 +62,7 @@ class ClusterScheduler {
 
   /// Simulates the whole submission trace. Fails if any request exceeds
   /// the pool or any plan is invalid. Results are in submission order.
-  Result<std::vector<ScheduledJob>> Run(
+  TASQ_NODISCARD Result<std::vector<ScheduledJob>> Run(
       std::vector<Submission> submissions) const;
 
   const SchedulerConfig& config() const { return config_; }

@@ -78,7 +78,7 @@ class ClusterSimulator {
   ClusterSimulator() = default;
 
   /// Runs `plan` under `config`. Fails on an invalid plan or tokens < 1.
-  Result<RunResult> Run(const JobPlan& plan, const RunConfig& config) const;
+  TASQ_NODISCARD Result<RunResult> Run(const JobPlan& plan, const RunConfig& config) const;
 };
 
 }  // namespace tasq

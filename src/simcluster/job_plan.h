@@ -46,7 +46,7 @@ struct JobPlan {
 
   /// Checks structural validity: non-empty, dense topologically-ordered ids,
   /// positive task counts and durations, dependencies in range.
-  Status Validate() const;
+  TASQ_NODISCARD Status Validate() const;
 };
 
 }  // namespace tasq

@@ -124,7 +124,7 @@ std::vector<double> AllocationSeries(const Skyline& skyline,
 /// Token-seconds allocated but unused under `allocation`:
 /// sum_t (allocation[t] - usage[t]). `allocation` must cover the skyline
 /// duration and dominate usage at every tick.
-Result<double> OverAllocation(const Skyline& skyline,
+TASQ_NODISCARD Result<double> OverAllocation(const Skyline& skyline,
                               const std::vector<double>& allocation);
 
 }  // namespace tasq

@@ -36,7 +36,7 @@ struct ExecutorRunResult {
 /// underlying engine is the same discrete-event simulator; only the
 /// resource unit changes — exactly the platform-specific swap the paper
 /// describes (resource unit, simulator, functional form).
-Result<ExecutorRunResult> RunOnExecutors(const JobPlan& plan, int executors,
+TASQ_NODISCARD Result<ExecutorRunResult> RunOnExecutors(const JobPlan& plan, int executors,
                                          const SparkPlatformConfig& platform,
                                          const NoiseModel& noise = {},
                                          uint64_t seed = 0);
@@ -64,16 +64,16 @@ class AutoExecutor {
 
   /// Trains from a workload of jobs (each job's default executor count is
   /// derived from its default token request and the executor width).
-  Status Train(const std::vector<Job>& jobs);
+  TASQ_NODISCARD Status Train(const std::vector<Job>& jobs);
 
   /// Predicts the executor-PCC (runtime = b * executors^a) for an unseen
   /// query. Monotone non-increasing by construction.
-  Result<PowerLawPcc> PredictPcc(const JobGraph& graph) const;
+  TASQ_NODISCARD Result<PowerLawPcc> PredictPcc(const JobGraph& graph) const;
 
   /// Recommends the minimum executor count whose marginal improvement
   /// stays above `min_improvement_percent` per executor, capped at
   /// `max_executors` (or the platform cap, whichever is smaller).
-  Result<int> RecommendExecutors(const JobGraph& graph, int max_executors,
+  TASQ_NODISCARD Result<int> RecommendExecutors(const JobGraph& graph, int max_executors,
                                  double min_improvement_percent = 1.0) const;
 
   bool trained() const;

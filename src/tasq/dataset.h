@@ -30,7 +30,7 @@ struct ObservedJob {
 /// Executes each job once at its default allocation on the simulated
 /// cluster, producing the "historical" dataset. `noise` models production
 /// variance; `seed` varies the noisy runs per job.
-Result<std::vector<ObservedJob>> ObserveWorkload(const std::vector<Job>& jobs,
+TASQ_NODISCARD Result<std::vector<ObservedJob>> ObserveWorkload(const std::vector<Job>& jobs,
                                                  const NoiseModel& noise,
                                                  uint64_t seed);
 
@@ -84,7 +84,7 @@ class DatasetBuilder {
   explicit DatasetBuilder(DatasetOptions options = {})
       : options_(std::move(options)) {}
 
-  Result<Dataset> Build(const std::vector<ObservedJob>& observed) const;
+  TASQ_NODISCARD Result<Dataset> Build(const std::vector<ObservedJob>& observed) const;
 
   const DatasetOptions& options() const { return options_; }
 
@@ -99,7 +99,7 @@ struct DatasetScalers {
   FeatureScaler job_scaler;
   FeatureScaler op_scaler;
 };
-Result<DatasetScalers> FitScalers(const Dataset& dataset);
+TASQ_NODISCARD Result<DatasetScalers> FitScalers(const Dataset& dataset);
 void ApplyScalers(const DatasetScalers& scalers, Dataset& dataset);
 
 }  // namespace tasq

@@ -31,12 +31,12 @@ struct ModelEvalMetrics {
 /// standardized with the pipeline's training scalers; curve-parameter
 /// errors are measured in the pipeline's scaled target space, so numbers
 /// are comparable across models.
-Result<ModelEvalMetrics> EvaluateModel(const Tasq& tasq, ModelKind kind,
+TASQ_NODISCARD Result<ModelEvalMetrics> EvaluateModel(const Tasq& tasq, ModelKind kind,
                                        const Dataset& test);
 
 /// Per-job run-time predictions of `kind` at each job's observed token
 /// count (same order as the dataset). Used by workload-level analyses.
-Result<std::vector<double>> PredictRuntimes(const Tasq& tasq, ModelKind kind,
+TASQ_NODISCARD Result<std::vector<double>> PredictRuntimes(const Tasq& tasq, ModelKind kind,
                                             const Dataset& test);
 
 }  // namespace tasq

@@ -17,15 +17,15 @@ namespace tasq {
 /// submission metadata, and the observed run (skyline, run time, tokens),
 /// so a training pipeline can be replayed from disk without regenerating
 /// the workload.
-Status SaveWorkload(std::ostream& out,
+TASQ_NODISCARD Status SaveWorkload(std::ostream& out,
                     const std::vector<ObservedJob>& workload);
-Status SaveWorkloadToFile(const std::string& path,
+TASQ_NODISCARD Status SaveWorkloadToFile(const std::string& path,
                           const std::vector<ObservedJob>& workload);
 
 /// Loads a workload written by SaveWorkload. Structural invariants (valid
 /// plans and graphs) are re-checked on load.
-Result<std::vector<ObservedJob>> LoadWorkload(std::istream& in);
-Result<std::vector<ObservedJob>> LoadWorkloadFromFile(
+TASQ_NODISCARD Result<std::vector<ObservedJob>> LoadWorkload(std::istream& in);
+TASQ_NODISCARD Result<std::vector<ObservedJob>> LoadWorkloadFromFile(
     const std::string& path);
 
 }  // namespace tasq

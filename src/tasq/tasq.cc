@@ -122,8 +122,8 @@ Status Tasq::Save(std::ostream& out) const {
   }
   TextArchiveWriter writer(out);
   writer.String("tasq.format", "tasq-pipeline-v1");
-  impl_->scalers->job_scaler.Save(writer, "tasq.job_scaler");
-  impl_->scalers->op_scaler.Save(writer, "tasq.op_scaler");
+  impl_->scalers->job_scaler.Serialize(writer, "tasq.job_scaler");
+  impl_->scalers->op_scaler.Serialize(writer, "tasq.op_scaler");
   writer.Scalar("tasq.scaling_s1", impl_->scaling->s1());
   writer.Scalar("tasq.scaling_s2", impl_->scaling->s2());
   writer.Scalar("tasq.has_xgb",
@@ -132,9 +132,9 @@ Status Tasq::Save(std::ostream& out) const {
                 static_cast<int64_t>(impl_->nn != nullptr ? 1 : 0));
   writer.Scalar("tasq.has_gnn",
                 static_cast<int64_t>(impl_->gnn != nullptr ? 1 : 0));
-  if (impl_->xgb != nullptr) impl_->xgb->Save(writer);
-  if (impl_->nn != nullptr) impl_->nn->Save(writer);
-  if (impl_->gnn != nullptr) impl_->gnn->Save(writer);
+  if (impl_->xgb != nullptr) impl_->xgb->Serialize(writer);
+  if (impl_->nn != nullptr) impl_->nn->Serialize(writer);
+  if (impl_->gnn != nullptr) impl_->gnn->Serialize(writer);
   if (!out) return Status::Internal("stream write failed");
   return Status::Ok();
 }
@@ -153,8 +153,8 @@ Result<Tasq> Tasq::Load(std::istream& in) {
     reader.ForceError("unknown pipeline archive format '" + format + "'");
   }
   Tasq tasq;
-  FeatureScaler job_scaler = FeatureScaler::Load(reader, "tasq.job_scaler");
-  FeatureScaler op_scaler = FeatureScaler::Load(reader, "tasq.op_scaler");
+  FeatureScaler job_scaler = FeatureScaler::Deserialize(reader, "tasq.job_scaler");
+  FeatureScaler op_scaler = FeatureScaler::Deserialize(reader, "tasq.op_scaler");
   double s1 = 0.0;
   double s2 = 0.0;
   int64_t has_xgb = 0;
@@ -174,13 +174,13 @@ Result<Tasq> Tasq::Load(std::istream& in) {
   tasq.impl_->scaling = std::make_unique<PccTargetScaling>(s1, s2);
   if (has_xgb == 1) {
     tasq.impl_->xgb =
-        std::make_unique<XgbRuntimeModel>(XgbRuntimeModel::Load(reader));
+        std::make_unique<XgbRuntimeModel>(XgbRuntimeModel::Deserialize(reader));
   }
   if (has_nn == 1) {
-    tasq.impl_->nn = std::make_unique<NnPccModel>(NnPccModel::Load(reader));
+    tasq.impl_->nn = std::make_unique<NnPccModel>(NnPccModel::Deserialize(reader));
   }
   if (has_gnn == 1) {
-    tasq.impl_->gnn = std::make_unique<GnnPccModel>(GnnPccModel::Load(reader));
+    tasq.impl_->gnn = std::make_unique<GnnPccModel>(GnnPccModel::Deserialize(reader));
   }
   if (!reader.status().ok()) return reader.status();
   tasq.impl_->options.train_xgb = has_xgb == 1;

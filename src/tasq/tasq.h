@@ -78,14 +78,14 @@ class Tasq {
   Tasq& operator=(Tasq&&) noexcept;
 
   /// Trains all configured models from observed historical jobs.
-  Status Train(const std::vector<ObservedJob>& observed);
+  TASQ_NODISCARD Status Train(const std::vector<ObservedJob>& observed);
 
   /// Predicts the PCC of an unseen job from its compile-time graph.
   /// `reference_tokens` is the submitted/default token count — required for
   /// the XGBoost variants, whose curves are local to a reference window.
   /// XGBoost-SS has no parametric form, so only sampled-curve prediction is
   /// offered for it (see PredictCurve).
-  Result<PowerLawPcc> PredictPcc(const JobGraph& graph, ModelKind kind,
+  TASQ_NODISCARD Result<PowerLawPcc> PredictPcc(const JobGraph& graph, ModelKind kind,
                                  double reference_tokens) const;
 
   /// Batch PCC prediction for the parametric model kinds: entry i of the
@@ -94,18 +94,18 @@ class Tasq {
   /// runs the whole batch through a single forward pass, which is what the
   /// serving layer batches for. Fails for XGBoost-SS (no parametric form)
   /// and on the first graph that fails to featurize.
-  Result<std::vector<PowerLawPcc>> PredictPccBatch(
+  TASQ_NODISCARD Result<std::vector<PowerLawPcc>> PredictPccBatch(
       const std::vector<const JobGraph*>& graphs, ModelKind kind,
       const std::vector<double>& reference_tokens) const;
 
   /// Samples the predicted PCC at the given token counts (works for all
   /// four model kinds, including XGBoost-SS).
-  Result<std::vector<PccSample>> PredictCurve(
+  TASQ_NODISCARD Result<std::vector<PccSample>> PredictCurve(
       const JobGraph& graph, ModelKind kind, double reference_tokens,
       const std::vector<double>& token_grid) const;
 
   /// Point prediction of run time at `tokens`.
-  Result<double> PredictRuntime(const JobGraph& graph, ModelKind kind,
+  TASQ_NODISCARD Result<double> PredictRuntime(const JobGraph& graph, ModelKind kind,
                                 double reference_tokens, double tokens) const;
 
   /// Recommends the minimum token count whose marginal benefit stays above
@@ -114,7 +114,7 @@ class Tasq {
   /// recommendation additionally honors the user's performance constraint:
   /// the predicted run time never exceeds (1 + max_slowdown_fraction) times
   /// the predicted run time at the reference allocation.
-  Result<TokenRecommendation> RecommendTokens(
+  TASQ_NODISCARD Result<TokenRecommendation> RecommendTokens(
       const JobGraph& graph, ModelKind kind, double reference_tokens,
       double min_improvement_percent = 1.0,
       double max_slowdown_fraction = -1.0) const;
@@ -123,13 +123,13 @@ class Tasq {
   /// scaling, and every trained model — as a single text artifact, the
   /// stand-in for the paper's model store (Figure 4). Fails before
   /// training.
-  Status Save(std::ostream& out) const;
-  Status SaveToFile(const std::string& path) const;
+  TASQ_NODISCARD Status Save(std::ostream& out) const;
+  TASQ_NODISCARD Status SaveToFile(const std::string& path) const;
 
   /// Reconstructs a pipeline written by Save. The loaded pipeline scores
   /// immediately (PredictPcc / RecommendTokens) without retraining.
-  static Result<Tasq> Load(std::istream& in);
-  static Result<Tasq> LoadFromFile(const std::string& path);
+  TASQ_NODISCARD static Result<Tasq> Load(std::istream& in);
+  TASQ_NODISCARD static Result<Tasq> LoadFromFile(const std::string& path);
 
   bool trained() const;
   /// The target scaling fitted at training time (shared metric space for

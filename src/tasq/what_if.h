@@ -47,7 +47,7 @@ struct WhatIfReport {
 /// `grid_points` controls curve resolution (>= 3). For parametric models
 /// the job is featurized and scored exactly once; the curve, elbow, and
 /// both recommendations all derive from that single predicted PCC.
-Result<WhatIfReport> BuildWhatIfReport(const Tasq& tasq, const JobGraph& graph,
+TASQ_NODISCARD Result<WhatIfReport> BuildWhatIfReport(const Tasq& tasq, const JobGraph& graph,
                                        ModelKind model,
                                        double reference_tokens,
                                        size_t grid_points = 9);
@@ -58,7 +58,7 @@ Result<WhatIfReport> BuildWhatIfReport(const Tasq& tasq, const JobGraph& graph,
 /// inference (serve/server.h). Byte-identical to BuildWhatIfReport given
 /// the PCC it would predict. Fails for XGBoost-SS, which has no
 /// parametric form.
-Result<WhatIfReport> BuildWhatIfReportFromPcc(const PowerLawPcc& pcc,
+TASQ_NODISCARD Result<WhatIfReport> BuildWhatIfReportFromPcc(const PowerLawPcc& pcc,
                                               ModelKind model,
                                               double reference_tokens,
                                               size_t grid_points = 9);

@@ -64,7 +64,7 @@ struct JobGraph {
   uint64_t Fingerprint() const;
 
   /// Checks ids are dense/ordered and inputs reference earlier operators.
-  Status Validate() const;
+  TASQ_NODISCARD Status Validate() const;
 };
 
 /// A complete generated job: the compile-time graph, the executable stage

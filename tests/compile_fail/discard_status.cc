@@ -1,0 +1,14 @@
+// Compile-FAIL fixture: discarding the result of a TASQ_NODISCARD
+// function must be rejected (built with -Werror=unused-result by the
+// harness in tests/compile_fail/CMakeLists.txt). The companion
+// discard_status_ok.cc proves the harness itself compiles clean code.
+#include "common/status.h"
+
+TASQ_NODISCARD tasq::Status MightFail() {
+  return tasq::Status::InvalidArgument("boom");
+}
+
+int main() {
+  MightFail();  // Discarded Status: this line must not compile.
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Compile-PASS control for discard_status.cc: identical shape, but the
+// Status is consumed (and one discard is explicitly waived). If this file
+// fails to build, the harness is misconfigured (bad include path, bad
+// flags) and the "must fail" result of discard_status.cc proves nothing.
+#include "common/status.h"
+
+TASQ_NODISCARD tasq::Status MightFail() {
+  return tasq::Status::InvalidArgument("boom");
+}
+
+int main() {
+  (void)MightFail();  // compile-fail fixture: waiver syntax must build
+  return MightFail().ok() ? 0 : 1;
+}

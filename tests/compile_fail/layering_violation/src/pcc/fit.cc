@@ -1,0 +1,4 @@
+// Seeded violation: pcc declares no dependency on serve (see this
+// fixture's scripts/arch_layers.toml), so this include must be flagged.
+#include "serve/api.h"
+int FitUsingServe() { return ServeApi(); }

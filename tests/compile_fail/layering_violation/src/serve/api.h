@@ -1,0 +1,4 @@
+#ifndef TASQ_SERVE_API_H_
+#define TASQ_SERVE_API_H_
+inline int ServeApi() { return 1; }
+#endif  // TASQ_SERVE_API_H_

@@ -121,9 +121,13 @@ TEST(OperatorEnumTest, TraitFlagsAreConsistent) {
     const OperatorTraits& traits =
         GetOperatorTraits(static_cast<PhysicalOperator>(i));
     // A leaf reads storage and therefore cannot be multi-input.
-    if (traits.is_leaf) EXPECT_FALSE(traits.is_multi_input) << traits.name;
+    if (traits.is_leaf) {
+      EXPECT_FALSE(traits.is_multi_input) << traits.name;
+    }
     // Repartitioning exchanges are single-input operators here.
-    if (traits.repartitions) EXPECT_FALSE(traits.is_multi_input) << traits.name;
+    if (traits.repartitions) {
+      EXPECT_FALSE(traits.is_multi_input) << traits.name;
+    }
   }
 }
 

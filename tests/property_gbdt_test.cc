@@ -60,7 +60,9 @@ TEST_P(GbdtPropertyTest, PredictionsFiniteAndBoundedByTargetRange) {
       // Trees average training targets, so predictions stay near range.
       EXPECT_GT(p, lo - margin);
       EXPECT_LT(p, hi + margin);
-      if (positive) EXPECT_GT(p, 0.0);
+      if (positive) {
+        EXPECT_GT(p, 0.0);
+      }
     }
   }
 }

@@ -81,9 +81,9 @@ TEST(FeatureScalerIoTest, RoundTripPreservesTransform) {
   FeatureScaler scaler = FeatureScaler::Fit(data, 3, 2).value();
   std::stringstream stream;
   TextArchiveWriter writer(stream);
-  scaler.Save(writer, "s");
+  scaler.Serialize(writer, "s");
   TextArchiveReader reader(stream);
-  FeatureScaler loaded = FeatureScaler::Load(reader, "s");
+  FeatureScaler loaded = FeatureScaler::Deserialize(reader, "s");
   ASSERT_TRUE(reader.status().ok());
   std::vector<double> a = {4.0, 25.0};
   std::vector<double> b = a;
@@ -109,9 +109,9 @@ TEST(GbdtIoTest, RoundTripPredictionsIdentical) {
 
   std::stringstream stream;
   TextArchiveWriter writer(stream);
-  model.Save(writer);
+  model.Serialize(writer);
   TextArchiveReader reader(stream);
-  GbdtRegressor loaded = GbdtRegressor::Load(reader);
+  GbdtRegressor loaded = GbdtRegressor::Deserialize(reader);
   ASSERT_TRUE(reader.status().ok()) << reader.status().ToString();
   EXPECT_TRUE(loaded.trained());
   EXPECT_EQ(loaded.num_trees(), model.num_trees());
@@ -141,7 +141,7 @@ TEST(GbdtIoTest, CorruptTreeIsRejected) {
   // Node referencing a child index out of range.
   writer.Vector("gbdt.tree", {0.0, 0.5, 7.0, 8.0, 0.0});
   TextArchiveReader reader(stream);
-  GbdtRegressor loaded = GbdtRegressor::Load(reader);
+  GbdtRegressor loaded = GbdtRegressor::Deserialize(reader);
   EXPECT_FALSE(reader.status().ok());
 }
 
@@ -175,9 +175,9 @@ TEST(NnIoTest, RoundTripPredictionsIdentical) {
 
   std::stringstream stream;
   TextArchiveWriter writer(stream);
-  model.Save(writer);
+  model.Serialize(writer);
   TextArchiveReader reader(stream);
-  NnPccModel loaded = NnPccModel::Load(reader);
+  NnPccModel loaded = NnPccModel::Deserialize(reader);
   ASSERT_TRUE(reader.status().ok()) << reader.status().ToString();
   ASSERT_TRUE(loaded.trained());
   EXPECT_EQ(loaded.NumParameters(), model.NumParameters());
@@ -218,9 +218,9 @@ TEST(GnnIoTest, RoundTripPredictionsIdentical) {
 
   std::stringstream stream;
   TextArchiveWriter writer(stream);
-  model.Save(writer);
+  model.Serialize(writer);
   TextArchiveReader reader(stream);
-  GnnPccModel loaded = GnnPccModel::Load(reader);
+  GnnPccModel loaded = GnnPccModel::Deserialize(reader);
   ASSERT_TRUE(reader.status().ok()) << reader.status().ToString();
   ASSERT_TRUE(loaded.trained());
   for (const GraphExample& graph : graphs) {

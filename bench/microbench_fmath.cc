@@ -1,0 +1,120 @@
+// google-benchmark microbenchmarks for the checked-math layer: what do the
+// fmath.h guards cost relative to the raw transcendentals they wrap, and
+// what does that amount to on a real hot path (FitPowerLaw, the log-log
+// regression every PCC estimate flows through)? Numbers recorded in
+// EXPERIMENTS.md.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/fmath.h"
+#include "common/rng.h"
+#include "pcc/pcc.h"
+
+namespace tasq {
+namespace {
+
+std::vector<double> PositiveInputs(size_t n) {
+  Rng rng(42);
+  std::vector<double> values;
+  values.reserve(n);
+  for (size_t i = 0; i < n; ++i) values.push_back(rng.Uniform(1e-6, 1e6));
+  return values;
+}
+
+void BM_RawLog(benchmark::State& state) {
+  // num: checked inputs drawn from [1e-6, 1e6]; this is the baseline the
+  // guarded variants are measured against.
+  std::vector<double> inputs = PositiveInputs(1024);
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (double x : inputs) sum += std::log(x);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_RawLog);
+
+void BM_CheckedLog(benchmark::State& state) {
+  std::vector<double> inputs = PositiveInputs(1024);
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (double x : inputs) sum += CheckedLog(x);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_CheckedLog);
+
+void BM_SafeLog(benchmark::State& state) {
+  std::vector<double> inputs = PositiveInputs(1024);
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (double x : inputs) sum += SafeLog(x).value_or(0.0);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_SafeLog);
+
+void BM_RawPow(benchmark::State& state) {
+  // num: checked bases in [1e-6, 1e6] with exponents in [-1, 1] cannot
+  // overflow; raw baseline for the Checked/Safe comparisons below.
+  std::vector<double> bases = PositiveInputs(1024);
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (double x : bases) sum += std::pow(x, -0.5);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_RawPow);
+
+void BM_CheckedPow(benchmark::State& state) {
+  std::vector<double> bases = PositiveInputs(1024);
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (double x : bases) sum += CheckedPow(x, -0.5);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_CheckedPow);
+
+void BM_SafePow(benchmark::State& state) {
+  std::vector<double> bases = PositiveInputs(1024);
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (double x : bases) sum += SafePow(x, -0.5).value_or(0.0);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_SafePow);
+
+// The real hot path: FitPowerLaw runs CheckedLog over every sample, plus
+// the finite/positive filter added for robustness, on each PCC estimate.
+void BM_FitPowerLaw(benchmark::State& state) {
+  PowerLawPcc truth{-0.5, 1200.0};
+  Rng rng(7);
+  std::vector<PccSample> samples;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    double tokens = rng.Uniform(4.0, 400.0);
+    samples.push_back(
+        {tokens, truth.EvalRunTime(tokens) * rng.LogNormal(0.0, 0.05)});
+  }
+  for (auto _ : state) {
+    auto fit = FitPowerLaw(samples);
+    benchmark::DoNotOptimize(fit);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_FitPowerLaw)->Arg(16)->Arg(256);
+
+}  // namespace
+}  // namespace tasq
+
+BENCHMARK_MAIN();

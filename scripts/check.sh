@@ -1,16 +1,19 @@
 #!/usr/bin/env bash
 # Runs the full correctness matrix locally:
 #
-#   1. repo lint          (scripts/tasq_lint.py + scripts/tasq_arch.py,
-#                          each with its self-test)
+#   1. repo lint          (scripts/tasq_lint.py + scripts/tasq_arch.py +
+#                          scripts/tasq_num.py, each with its self-test)
 #   2. Release            build + full ctest
 #   3. ASan + UBSan       build + full ctest
 #   4. TSan               build + the concurrency-sensitive tests
+#   5. FPE traps          Release + TASQ_FPE=ON build + full ctest, so any
+#                         unguarded log(0), 0/0, exp overflow, or ordered
+#                         NaN comparison crashes the test that reached it
 #
 # Every leg uses its own build tree (build-check-*), so an existing
 # `build/` stays untouched. Set TASQ_CHECK_JOBS to bound parallelism.
 #
-# Usage: scripts/check.sh [lint|release|asan|tsan]...   (default: all)
+# Usage: scripts/check.sh [lint|release|asan|tsan|fpe]...   (default: all)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -26,8 +29,9 @@ export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1:suppressions=${REPO
 
 run_leg() {
   local name="$1" dir="$2" sanitize="$3" test_regex="$4"
+  shift 4
   echo "== ${name}: configure + build (${dir}) =="
-  cmake -B "${dir}" -S . -DTASQ_SANITIZE="${sanitize}" >/dev/null
+  cmake -B "${dir}" -S . -DTASQ_SANITIZE="${sanitize}" "$@" >/dev/null
   # Progress spam goes to /dev/null; warnings and errors arrive on stderr.
   cmake --build "${dir}" -j "${JOBS}" >/dev/null
   echo "== ${name}: ctest =="
@@ -47,10 +51,14 @@ lint_leg() {
   python3 scripts/tasq_arch.py
   echo "== lint: arch self-check (every rule must fire on its fixture) =="
   python3 scripts/tasq_arch.py --self-test
+  echo "== lint: tasq_num.py (numerics & determinism conformance) =="
+  python3 scripts/tasq_num.py
+  echo "== lint: num self-check (every rule must fire on its fixture) =="
+  python3 scripts/tasq_num.py --self-test
 }
 
 LEGS=("$@")
-if [[ ${#LEGS[@]} -eq 0 ]]; then LEGS=(lint release asan tsan); fi
+if [[ ${#LEGS[@]} -eq 0 ]]; then LEGS=(lint release asan tsan fpe); fi
 
 for leg in "${LEGS[@]}"; do
   case "${leg}" in
@@ -62,8 +70,13 @@ for leg in "${LEGS[@]}"; do
     # cluster simulator/scheduler + property tests, the serving layer, and
     # the annotated mutex wrappers) are the ones a race can hide in.
     tsan) run_leg "tsan" build-check-tsan "thread" \
-                  "Parallel|Cluster|Serve|Mutex|CondVar" ;;
-    *) echo "unknown leg '${leg}' (want lint|release|asan|tsan)" >&2; exit 2 ;;
+                  "Parallel|Cluster|Serve|Mutex|CondVar|Determinism" ;;
+    # Full suite with FE_DIVBYZERO/FE_INVALID/FE_OVERFLOW delivering
+    # SIGFPE: a green run proves the fmath.h guards are exhaustive.
+    fpe) run_leg "fpe-traps" build-check-fpe "" "" \
+                 -DCMAKE_BUILD_TYPE=Release -DTASQ_FPE=ON ;;
+    *) echo "unknown leg '${leg}' (want lint|release|asan|tsan|fpe)" >&2
+       exit 2 ;;
   esac
 done
 

@@ -1,0 +1,555 @@
+#!/usr/bin/env python3
+"""TASQ numerics & determinism analyzer: enforces the checked-math layer.
+
+The repo's predictions flow through log-log regressions, exp-link GBDT
+objectives, and softplus heads, so one silent NaN or unordered-map
+iteration order change corrupts results without failing a test. These
+rules (stdlib only, no clang dependency) make the fmath.h discipline and
+the determinism contract mechanical:
+
+  raw-transcendental     no raw log/exp/pow/sqrt/... calls in src/ outside
+                         src/common/fmath.h: numeric kernels go through
+                         SafeLog/CheckedLog/ClampedExp and friends so every
+                         domain edge is either rejected, contract-checked,
+                         or saturated (see common/fmath.h). A call whose
+                         argument is proven in-domain can be waived with
+                         `// num: checked <reason>`.
+  float-equality         no `==`/`!=` with a floating-point literal
+                         operand in src/: exact comparison is almost always
+                         a rounding bug. The legitimate uses (exact-zero
+                         skips, -0.0 canonicalization, sentinel encodings)
+                         carry `// num: float-eq <reason>`.
+  unseeded-rng           no rand()/srand() anywhere in src/, and no
+                         std::random_device outside common/rng.h: all
+                         randomness flows from tasq::Rng(seed) so every
+                         run is reproducible from its recorded seed. Waive
+                         with `// num: rng <reason>`.
+  float-keyed-container  no float/double keys in map/set (ordered or
+                         unordered): float keys make membership depend on
+                         rounding and make iteration order a function of
+                         noise. Quantize to an integer key or waive with
+                         `// num: float-key <reason>`.
+  unordered-iteration    no range-for over a container declared as
+                         std::unordered_* in the same file unless the loop
+                         carries `// det: order-independent <why>`: hash
+                         iteration order is unspecified, so any
+                         order-sensitive fold (float accumulation, first
+                         match wins, output emission) breaks bit
+                         reproducibility across standard libraries.
+
+Waivers go on the offending line or the line directly above it, and the
+reason text is mandatory — anonymous suppressions rot.
+
+Known, accepted findings live in scripts/num_baseline.txt; the analyzer
+exits nonzero only on findings not in the baseline. The baseline is empty
+as of PR 5 and CI fails if it regrows (see .github/workflows/ci.yml, job
+static-analysis).
+
+Usage:
+  python3 scripts/tasq_num.py                   analyze the repo
+  python3 scripts/tasq_num.py --update-baseline accept current findings
+  python3 scripts/tasq_num.py --self-test       verify each rule fires on
+                                                a synthetic bad tree
+"""
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BASELINE_PATH = os.path.join("scripts", "num_baseline.txt")
+SOURCE_SUFFIXES = (".h", ".cc", ".cpp")
+SKIP_DIR_PREFIXES = ("build",)
+
+# The one place raw transcendentals are the implementation, not a hazard.
+FMATH_PATH = "src/common/fmath.h"
+# The one place entropy may be gathered (the seeded Rng wrapper).
+RNG_PATH = "src/common/rng.h"
+
+
+class Finding:
+    def __init__(self, rule, path, line, message):
+        self.rule = rule
+        self.path = path  # Repo-relative, forward slashes.
+        self.line = line  # 1-based.
+        self.message = message
+
+    def key(self):
+        # Line numbers shift too easily to key the baseline on them.
+        return f"{self.rule}\t{self.path}"
+
+    def __str__(self):
+        where = f"{self.path}:{self.line}" if self.line else self.path
+        return f"{where}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text):
+    """Blanks out comments and string/char literals, preserving newlines.
+
+    Good enough for token scans: a `pow` in a comment or a log string must
+    not count. Raw strings are treated as plain strings (fine for the
+    patterns we search)."""
+    out = []
+    i = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif c == "/" and nxt == "*":
+            i += 2
+            while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
+                if text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i += 2
+        elif c == '"' or c == "'":
+            quote = c
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    i += 1
+                elif text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def iter_source_files(root, subdirs):
+    for subdir in subdirs:
+        base = os.path.join(root, subdir)
+        for dirpath, dirnames, filenames in os.walk(base):
+            dirnames[:] = sorted(
+                d for d in dirnames
+                if not d.startswith(SKIP_DIR_PREFIXES) and d != ".git")
+            for name in sorted(filenames):
+                if name.endswith(SOURCE_SUFFIXES):
+                    full = os.path.join(dirpath, name)
+                    yield os.path.relpath(full, root).replace(os.sep, "/")
+
+
+def read(root, rel):
+    with open(os.path.join(root, rel), encoding="utf-8", errors="replace") as f:
+        return f.read()
+
+
+def line_of(stripped, pos):
+    return stripped[:pos].count("\n") + 1
+
+
+def has_waiver(raw_lines, line, pattern):
+    """True when `pattern` appears as a comment on the finding's line or
+    the line directly above it (raw text, since comments are stripped from
+    the scanned copy)."""
+    for candidate in (line, line - 1):
+        if 1 <= candidate <= len(raw_lines):
+            if re.search(pattern, raw_lines[candidate - 1]):
+                return True
+    return False
+
+
+def num_waiver(tag):
+    # `// num: <tag> <reason>` — the reason is mandatory.
+    return r"//\s*num:\s*" + re.escape(tag) + r"\s+\S"
+
+
+# Transcendentals with domain edges or overflow ranges that fmath.h guards.
+# Qualified (std::log) and C-style (log) forms both count; the lookbehind
+# rejects member calls (x.log(), p->exp()) and identifiers merely ending in
+# a function name (Dialog( does not contain a call to log).
+TRANSCENDENTAL_RE = re.compile(
+    r"(?<![\w.>])(?:std::)?"
+    r"(log1p|log10|log2|log|expm1|exp2|exp|pow|sqrt|cbrt|atan2)\s*\(")
+
+
+def check_raw_transcendental(root):
+    findings = []
+    for rel in iter_source_files(root, ["src"]):
+        if rel == FMATH_PATH:
+            continue
+        raw_lines = read(root, rel).split("\n")
+        stripped = strip_comments_and_strings(read(root, rel))
+        for match in TRANSCENDENTAL_RE.finditer(stripped):
+            line = line_of(stripped, match.start())
+            if has_waiver(raw_lines, line, num_waiver("checked")):
+                continue
+            findings.append(Finding(
+                "raw-transcendental", rel, line,
+                f"raw {match.group(1)}() call; use the Safe*/Checked*/"
+                "Clamped* helpers from common/fmath.h, or waive a proven "
+                "in-domain call with `// num: checked <reason>`"))
+    return findings
+
+
+# A floating literal: 1.0, .5, 2., 1e-9, 3.5e+10, with optional f/F/l/L.
+FLOAT_LITERAL = (r"(?:\d+\.\d*|\.\d+)(?:[eE][+-]?\d+)?[fFlL]?"
+                 r"|\d+[eE][+-]?\d+[fFlL]?")
+FLOAT_EQ_RE = re.compile(
+    rf"[=!]=\s*[-+]?(?:{FLOAT_LITERAL})(?![\w.])"
+    rf"|(?:(?<![\w.])(?:{FLOAT_LITERAL}))\s*[=!]=")
+
+
+def check_float_equality(root):
+    """Exact `==`/`!=` against a floating literal. A heuristic by design:
+    it cannot see declared types, but a literal operand is unambiguous and
+    covers the overwhelmingly common form of the bug."""
+    findings = []
+    for rel in iter_source_files(root, ["src"]):
+        raw_lines = read(root, rel).split("\n")
+        stripped = strip_comments_and_strings(read(root, rel))
+        for match in FLOAT_EQ_RE.finditer(stripped):
+            line = line_of(stripped, match.start())
+            if has_waiver(raw_lines, line, num_waiver("float-eq")):
+                continue
+            findings.append(Finding(
+                "float-equality", rel, line,
+                "exact comparison with a float literal; compare against a "
+                "tolerance, or waive an intentional exact check with "
+                "`// num: float-eq <reason>`"))
+    return findings
+
+
+RAND_RE = re.compile(r"(?<![\w.>])(?:std::)?(s?rand)\s*\(")
+RANDOM_DEVICE_RE = re.compile(r"\bstd::random_device\b")
+
+
+def check_unseeded_rng(root):
+    findings = []
+    for rel in iter_source_files(root, ["src"]):
+        raw_lines = read(root, rel).split("\n")
+        stripped = strip_comments_and_strings(read(root, rel))
+        for match in RAND_RE.finditer(stripped):
+            line = line_of(stripped, match.start())
+            if has_waiver(raw_lines, line, num_waiver("rng")):
+                continue
+            findings.append(Finding(
+                "unseeded-rng", rel, line,
+                f"{match.group(1)}() draws from hidden global state; use "
+                "tasq::Rng with an explicit seed (common/rng.h)"))
+        if rel == RNG_PATH:
+            continue
+        for match in RANDOM_DEVICE_RE.finditer(stripped):
+            line = line_of(stripped, match.start())
+            if has_waiver(raw_lines, line, num_waiver("rng")):
+                continue
+            findings.append(Finding(
+                "unseeded-rng", rel, line,
+                "std::random_device outside common/rng.h makes the run "
+                "unreproducible; thread a seed through tasq::Rng instead"))
+    return findings
+
+
+FLOAT_KEY_RE = re.compile(
+    r"\b(?:std::)?(?:unordered_)?(?:multi)?(?:map|set)\s*<\s*"
+    r"(float|double|long\s+double)\b")
+
+
+def check_float_keyed_container(root):
+    findings = []
+    for rel in iter_source_files(root, ["src"]):
+        raw_lines = read(root, rel).split("\n")
+        stripped = strip_comments_and_strings(read(root, rel))
+        for match in FLOAT_KEY_RE.finditer(stripped):
+            line = line_of(stripped, match.start())
+            if has_waiver(raw_lines, line, num_waiver("float-key")):
+                continue
+            findings.append(Finding(
+                "float-keyed-container", rel, line,
+                f"associative container keyed on {match.group(1)}: "
+                "membership then depends on rounding; quantize to an "
+                "integer key, or waive with `// num: float-key <reason>`"))
+    return findings
+
+
+# A declaration introducing a named unordered container in this file. The
+# template argument list is matched without nesting awareness, which is
+# fine: we only need the identifier that follows the closing `>`.
+UNORDERED_DECL_RE = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\s*<[^;{}()]*>\s+"
+    r"(\w+)\s*(?:;|=|\{|\()")
+RANGE_FOR_RE = re.compile(
+    r"\bfor\s*\(\s*(?:const\s+)?auto\s*&{0,2}\s*"
+    r"(?:\[[^\]]*\]|\w+)\s*:\s*([^)]+)\)")
+
+
+def check_unordered_iteration(root):
+    """Range-for over a name declared as std::unordered_* in the same
+    file. Hash iteration order is unspecified and differs across standard
+    libraries, so every such loop must assert order independence."""
+    findings = []
+    for rel in iter_source_files(root, ["src"]):
+        raw_lines = read(root, rel).split("\n")
+        stripped = strip_comments_and_strings(read(root, rel))
+        unordered_names = set(UNORDERED_DECL_RE.findall(stripped))
+        if not unordered_names:
+            continue
+        for match in RANGE_FOR_RE.finditer(stripped):
+            range_expr_names = set(re.findall(r"\w+", match.group(1)))
+            hit = range_expr_names & unordered_names
+            if not hit:
+                continue
+            line = line_of(stripped, match.start())
+            if has_waiver(raw_lines, line,
+                          r"//\s*det:\s*order-independent\s+\S"):
+                continue
+            findings.append(Finding(
+                "unordered-iteration", rel, line,
+                f"iterating unordered container `{sorted(hit)[0]}`: hash "
+                "order is unspecified; sort the keys first, or mark an "
+                "order-insensitive fold with "
+                "`// det: order-independent <why>`"))
+    return findings
+
+
+# Rule ids emitted by each check. self_test() enforces that every id listed
+# here has a dedicated positive (rule fires) and negative (rule stays
+# quiet) fixture, so a new check cannot land without self-test coverage.
+CHECK_RULES = {
+    check_raw_transcendental: ["raw-transcendental"],
+    check_float_equality: ["float-equality"],
+    check_unseeded_rng: ["unseeded-rng"],
+    check_float_keyed_container: ["float-keyed-container"],
+    check_unordered_iteration: ["unordered-iteration"],
+}
+
+ALL_CHECKS = list(CHECK_RULES)
+
+
+def run_checks(root):
+    findings = []
+    for check in ALL_CHECKS:
+        findings.extend(check(root))
+    findings.sort(key=lambda f: (f.path, f.rule, f.line))
+    return findings
+
+
+def load_baseline(root):
+    path = os.path.join(root, BASELINE_PATH)
+    entries = set()
+    if os.path.exists(path):
+        with open(path, encoding="utf-8") as f:
+            for line in f:
+                line = line.rstrip("\n")
+                if line and not line.startswith("#"):
+                    entries.add(line)
+    return entries
+
+
+def write_baseline(root, findings):
+    path = os.path.join(root, BASELINE_PATH)
+    with open(path, "w", encoding="utf-8") as f:
+        f.write("# Accepted tasq_num.py findings (rule<TAB>path).\n")
+        f.write("# Regenerate with: python3 scripts/tasq_num.py "
+                "--update-baseline\n")
+        for key in sorted({finding.key() for finding in findings}):
+            f.write(key + "\n")
+
+
+# A minimal tree with zero findings; per-rule fixtures are derived from it
+# via _with() so each positive seeds exactly one class of violation.
+GOOD_TREE = {
+    "src/mod/calc.cc": (
+        '#include "common/fmath.h"\n'
+        "double Half(double x) { return x * 0.5; }\n"),
+}
+
+
+def _with(overrides):
+    tree = dict(GOOD_TREE)
+    tree.update(overrides)
+    return tree
+
+
+def _write_tree(root, files):
+    for rel, content in files.items():
+        path = os.path.join(root, rel)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(content)
+
+
+def self_test_cases():
+    """rule id -> (positive tree, negative tree). The positive must draw
+    the rule; the negative is a near-miss that must stay completely
+    quiet."""
+    return {
+        "raw-transcendental": (
+            _with({"src/mod/calc.cc":
+                   "#include <cmath>\n"
+                   "double L(double x) { return std::log(x); }\n"
+                   "double P(double x) { return pow(x, 2.0); }\n"}),
+            # fmath.h itself, a waived proven-domain call, a member .log(),
+            # an identifier ending in a function name, and a Safe* helper.
+            _with({"src/common/fmath.h":
+                   "#include <cmath>\n"
+                   "inline double Impl(double x) { return std::exp(x); }\n",
+                   "src/mod/calc.cc":
+                   "#include <cmath>\n"
+                   "double A(Dialog& d) { return d.log() + p->exp(); }\n"
+                   "double Backlog(double x);\n"
+                   "double C(double x) { return Backlog(x); }\n"
+                   "// num: checked norm is >= 1 by construction above\n"
+                   "double B(double norm) { return std::sqrt(norm); }\n"}),
+        ),
+        "float-equality": (
+            _with({"src/mod/calc.cc":
+                   "bool Z(double x) { return x == 0.0; }\n"
+                   "bool O(double x) { return 1.0 != x; }\n"}),
+            # Integer-literal comparison, ordered comparison against a
+            # float literal, and a waived exact-zero skip.
+            _with({"src/mod/calc.cc":
+                   "bool Zi(int x) { return x == 0; }\n"
+                   "bool Lt(double x) { return x <= 0.5; }\n"
+                   "bool Zw(double x) {\n"
+                   "  return x == 0.0;  // num: float-eq exact-zero skip\n"
+                   "}\n"}),
+        ),
+        "unseeded-rng": (
+            _with({"src/mod/calc.cc":
+                   "#include <cstdlib>\n"
+                   "#include <random>\n"
+                   "int R() { return rand(); }\n"
+                   "unsigned D() { std::random_device rd; return rd(); }\n"}),
+            # random_device inside the sanctioned wrapper, a member
+            # .rand(), and seeded tasq-style use.
+            _with({"src/common/rng.h":
+                   "#include <random>\n"
+                   "struct Rng { std::random_device entropy_; };\n",
+                   "src/mod/calc.cc":
+                   "int Use(Sampler& s) { return s.rand(); }\n"}),
+        ),
+        "float-keyed-container": (
+            _with({"src/mod/calc.cc":
+                   "#include <map>\n"
+                   "std::map<double, int> by_score;\n"}),
+            # Float as mapped value (not key), and a waived float key.
+            _with({"src/mod/calc.cc":
+                   "#include <map>\n"
+                   "#include <cstdint>\n"
+                   "std::map<int64_t, double> by_id;\n"
+                   "// num: float-key keys are exact powers of two\n"
+                   "std::map<double, int> by_scale;\n"}),
+        ),
+        "unordered-iteration": (
+            _with({"src/mod/calc.cc":
+                   "#include <string>\n"
+                   "#include <unordered_map>\n"
+                   "double Sum(int) {\n"
+                   "  std::unordered_map<std::string, double> totals;\n"
+                   "  double sum = 0.0;\n"
+                   "  for (const auto& [key, value] : totals) sum += value;\n"
+                   "  return sum;\n"
+                   "}\n"}),
+            # Ordered map iteration, vector iteration, and a waived
+            # commutative fold over an unordered map.
+            _with({"src/mod/calc.cc":
+                   "#include <map>\n"
+                   "#include <string>\n"
+                   "#include <unordered_map>\n"
+                   "#include <vector>\n"
+                   "double Sum(const std::vector<double>& items) {\n"
+                   "  std::map<std::string, double> ordered;\n"
+                   "  std::unordered_map<std::string, double> totals;\n"
+                   "  double sum = 0.0;\n"
+                   "  for (const auto& [key, value] : ordered) sum += value;\n"
+                   "  for (double item : items) sum += item;\n"
+                   "  // det: order-independent commutative sum only\n"
+                   "  for (const auto& [key, value] : totals) sum += value;\n"
+                   "  return sum;\n"
+                   "}\n"}),
+        ),
+    }
+
+
+def self_test():
+    """Per-rule fixtures: every rule id in CHECK_RULES must have a positive
+    tree where it fires and a near-miss negative tree that is completely
+    quiet (not merely quiet for that rule)."""
+    rule_ids = {r for rules in CHECK_RULES.values() for r in rules}
+    cases = self_test_cases()
+    uncovered = rule_ids - set(cases)
+    unknown = set(cases) - rule_ids
+    if uncovered or unknown:
+        print("self-test FAILED: fixture coverage out of sync with "
+              f"CHECK_RULES (uncovered: {sorted(uncovered)}, "
+              f"unknown: {sorted(unknown)})")
+        return 1
+
+    failures = []
+    for rule in sorted(cases):
+        pos, neg = cases[rule]
+        with tempfile.TemporaryDirectory(prefix="tasq_num_pos_") as tmp:
+            _write_tree(tmp, pos)
+            pos_findings = run_checks(tmp)
+            if not any(f.rule == rule for f in pos_findings):
+                failures.append(
+                    f"[{rule}] positive fixture did not fire; saw: "
+                    f"{sorted({f.rule for f in pos_findings}) or 'nothing'}")
+        with tempfile.TemporaryDirectory(prefix="tasq_num_neg_") as tmp:
+            _write_tree(tmp, neg)
+            neg_findings = run_checks(tmp)
+            if neg_findings:
+                failures.append(
+                    f"[{rule}] negative fixture is not quiet: " +
+                    "; ".join(str(f) for f in neg_findings))
+    if failures:
+        print("self-test FAILED:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"self-test passed: {len(cases)} rules, each with a firing "
+          "positive and a quiet negative fixture")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=REPO_ROOT,
+                        help="repository root to analyze")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="accept all current findings into the baseline")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the analyzer against a synthetic bad tree")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    findings = run_checks(args.root)
+    if args.update_baseline:
+        write_baseline(args.root, findings)
+        print(f"baseline updated with {len(findings)} finding(s)")
+        return 0
+
+    baseline = load_baseline(args.root)
+    new = [f for f in findings if f.key() not in baseline]
+    found_keys = {f.key() for f in findings}
+    stale = sorted(baseline - found_keys)
+
+    for finding in new:
+        print(finding)
+    if stale:
+        print(f"note: {len(stale)} stale baseline entr"
+              f"{'y' if len(stale) == 1 else 'ies'} (fixed findings — "
+              "run --update-baseline to prune):")
+        for key in stale:
+            print(f"  {key}")
+    if new:
+        print(f"\n{len(new)} new numerics finding(s). Fix them or, if "
+              "accepted, run: python3 scripts/tasq_num.py --update-baseline")
+        return 1
+    print(f"numerics ok ({len(findings)} baselined finding(s), "
+          f"{len(stale)} stale)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -105,6 +105,7 @@ double AreaDeviationPercent(const Skyline& a, const Skyline& b) {
   double area_a = a.Area();
   double area_b = b.Area();
   double mean = (area_a + area_b) / 2.0;
+  // num: float-eq relative error degenerates only at exactly zero mean
   if (mean == 0.0) return 0.0;
   return std::fabs(area_a - area_b) / mean * 100.0;
 }

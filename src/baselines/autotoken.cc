@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/fmath.h"
 #include "common/stats.h"
 
 namespace tasq {
@@ -12,7 +13,7 @@ double AutoToken::DataSizeFeature(const Job& job) {
   if (!job.graph.operators.empty()) {
     cost = job.graph.operators.back().features.cost_total;
   }
-  return std::log1p(std::max(0.0, cost));
+  return CheckedLog1p(std::max(0.0, cost));
 }
 
 Status AutoToken::Train(const std::vector<ObservedJob>& observed) {

@@ -1,0 +1,35 @@
+#include "common/fpe.h"
+
+#include <cfenv>
+
+#include "common/check.h"
+
+namespace tasq {
+
+bool FpeTrapsRequested() {
+#if defined(TASQ_FPE)
+  return true;
+#else
+  return false;
+#endif
+}
+
+Status EnableFpeTraps() {
+#if defined(__GLIBC__)
+  if (feenableexcept(FE_DIVBYZERO | FE_INVALID | FE_OVERFLOW) == -1) {
+    return Status::Internal("feenableexcept(FE_DIVBYZERO|FE_INVALID|"
+                            "FE_OVERFLOW) failed");
+  }
+  return Status::Ok();
+#else
+  return Status::FailedPrecondition(
+      "FP-exception traps require glibc's feenableexcept");
+#endif
+}
+
+void InstallFpeTrapsIfRequested() {
+  if (!FpeTrapsRequested()) return;
+  TASQ_CHECK_OK(EnableFpeTraps());
+}
+
+}  // namespace tasq

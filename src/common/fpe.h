@@ -1,0 +1,37 @@
+#ifndef TASQ_COMMON_FPE_H_
+#define TASQ_COMMON_FPE_H_
+
+#include "common/status.h"
+
+/// Floating-point exception traps: the runtime enforcement tier behind the
+/// checked-math layer (common/fmath.h). A build configured with
+/// -DTASQ_FPE=ON defines TASQ_FPE, and every test binary's main() calls
+/// InstallFpeTrapsIfRequested() before running tests, so FE_DIVBYZERO,
+/// FE_INVALID, and FE_OVERFLOW deliver SIGFPE instead of silently
+/// producing inf/NaN. A full green ctest run under TASQ_FPE proves the
+/// deployed guards are exhaustive, not decorative: any unguarded log(0),
+/// 0/0, exp overflow, or ordered comparison on NaN crashes the test that
+/// reached it. FE_UNDERFLOW and FE_INEXACT stay untrapped — gradual
+/// underflow and rounding are normal arithmetic, not bugs.
+
+namespace tasq {
+
+/// True when this build was configured with -DTASQ_FPE=ON (the TASQ_FPE
+/// compile definition is present).
+bool FpeTrapsRequested();
+
+/// Enables hardware traps for FE_DIVBYZERO | FE_INVALID | FE_OVERFLOW on
+/// this thread (and, on Linux, threads it subsequently spawns inherit the
+/// environment). Fails with FailedPrecondition on platforms without
+/// glibc's feenableexcept.
+TASQ_NODISCARD Status EnableFpeTraps();
+
+/// Test-main hook: a no-op unless the build requested traps (TASQ_FPE),
+/// in which case it enables them and aborts if the platform cannot — a
+/// trap harness that silently proves nothing is worse than one that
+/// fails loudly.
+void InstallFpeTrapsIfRequested();
+
+}  // namespace tasq
+
+#endif  // TASQ_COMMON_FPE_H_

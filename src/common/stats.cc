@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/fmath.h"
+
 namespace tasq {
 
 double Mean(const std::vector<double>& values) {
@@ -17,7 +19,7 @@ double StdDev(const std::vector<double>& values) {
   double mean = Mean(values);
   double acc = 0.0;
   for (double v : values) acc += (v - mean) * (v - mean);
-  return std::sqrt(acc / static_cast<double>(values.size()));
+  return CheckedSqrt(acc / static_cast<double>(values.size()));
 }
 
 double Quantile(std::vector<double> values, double q) {
@@ -51,6 +53,7 @@ std::vector<double> AbsolutePercentErrors(const std::vector<double>& predicted,
   size_t n = std::min(predicted.size(), actual.size());
   errors.reserve(n);
   for (size_t i = 0; i < n; ++i) {
+    // num: float-eq exact zero is the one undefined denominator
     if (actual[i] == 0.0) continue;
     errors.push_back(std::fabs(predicted[i] - actual[i]) /
                      std::fabs(actual[i]) * 100.0);
@@ -110,11 +113,13 @@ LineFit FitLine(const std::vector<double>& x, const std::vector<double>& y) {
     sxy += (x[i] - mx) * (y[i] - my);
     syy += (y[i] - my) * (y[i] - my);
   }
+  // num: float-eq a degenerate (constant-x) design is exactly sxx == 0
   if (sxx == 0.0) return fit;
   fit.slope = sxy / sxx;
   fit.intercept = my - fit.slope * mx;
   // R^2 = 1 - SS_res / SS_tot; a constant target (syy == 0) is perfectly
   // fitted by the horizontal line.
+  // num: float-eq constant target: R^2 of the horizontal line is 1
   if (syy == 0.0) {
     fit.r2 = 1.0;
   } else {
@@ -142,8 +147,9 @@ double PearsonCorrelation(const std::vector<double>& x,
     sxy += (x[i] - mx) * (y[i] - my);
     syy += (y[i] - my) * (y[i] - my);
   }
+  // num: float-eq correlation is undefined only at exactly zero variance
   if (sxx == 0.0 || syy == 0.0) return 0.0;
-  return sxy / std::sqrt(sxx * syy);
+  return sxy / CheckedSqrt(sxx * syy);
 }
 
 }  // namespace tasq

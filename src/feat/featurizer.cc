@@ -2,19 +2,21 @@
 
 #include <cmath>
 
+#include "common/fmath.h"
+
 namespace tasq {
 
 void Featurizer::OperatorRow(const OperatorNode& node, double* out) {
   const OperatorFeatures& f = node.features;
   size_t i = 0;
-  out[i++] = std::log1p(std::max(0.0, f.output_cardinality));
-  out[i++] = std::log1p(std::max(0.0, f.leaf_input_cardinality));
-  out[i++] = std::log1p(std::max(0.0, f.children_input_cardinality));
-  out[i++] = std::log1p(std::max(0.0, f.average_row_length));
-  out[i++] = std::log1p(std::max(0.0, f.cost_subtree));
-  out[i++] = std::log1p(std::max(0.0, f.cost_exclusive));
-  out[i++] = std::log1p(std::max(0.0, f.cost_total));
-  out[i++] = std::log1p(static_cast<double>(std::max(0, f.num_partitions)));
+  out[i++] = CheckedLog1p(std::max(0.0, f.output_cardinality));
+  out[i++] = CheckedLog1p(std::max(0.0, f.leaf_input_cardinality));
+  out[i++] = CheckedLog1p(std::max(0.0, f.children_input_cardinality));
+  out[i++] = CheckedLog1p(std::max(0.0, f.average_row_length));
+  out[i++] = CheckedLog1p(std::max(0.0, f.cost_subtree));
+  out[i++] = CheckedLog1p(std::max(0.0, f.cost_exclusive));
+  out[i++] = CheckedLog1p(std::max(0.0, f.cost_total));
+  out[i++] = CheckedLog1p(static_cast<double>(std::max(0, f.num_partitions)));
   out[i++] = static_cast<double>(f.num_partitioning_columns);
   out[i++] = static_cast<double>(f.num_sort_columns);
   for (size_t k = 0; k < kPhysicalOperatorCount; ++k) out[i + k] = 0.0;
@@ -92,7 +94,7 @@ Result<JobFeatures> Featurizer::Featurize(const JobGraph& graph) const {
   for (size_t i = 0; i < n; ++i) {
     double degree = 0.0;
     for (size_t j = 0; j < n; ++j) degree += adj[i * n + j];
-    inv_sqrt_degree[i] = 1.0 / std::sqrt(degree);
+    inv_sqrt_degree[i] = 1.0 / CheckedSqrt(degree);
   }
   features.norm_adjacency.resize(n * n);
   for (size_t i = 0; i < n; ++i) {
@@ -122,7 +124,7 @@ Result<FeatureScaler> FeatureScaler::Fit(const std::vector<double>& data,
     }
   }
   for (double& s : std) {
-    s = std::sqrt(s / static_cast<double>(rows));
+    s = CheckedSqrt(s / static_cast<double>(rows));
     if (s < 1e-12) s = 1.0;  // Constant column: center only.
   }
   return FeatureScaler(std::move(mean), std::move(std));

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/fmath.h"
 #include "common/rng.h"
 
 namespace tasq {
@@ -52,12 +53,15 @@ Status GbdtRegressor::Train(const std::vector<double>& features, size_t rows,
       targets.size() != rows) {
     return Status::InvalidArgument("feature/target matrix sizes mismatch");
   }
-  if (options_.objective == GbdtOptions::Objective::kGamma) {
-    for (double y : targets) {
-      if (y <= 0.0) {
-        return Status::InvalidArgument(
-            "gamma objective requires positive targets");
-      }
+  for (double y : targets) {
+    // isfinite first: a NaN target must not reach the ordered comparison
+    // below (FE_INVALID under TASQ_FPE) or the gradient loop at all.
+    if (!std::isfinite(y)) {
+      return Status::InvalidArgument("targets must be finite");
+    }
+    if (options_.objective == GbdtOptions::Objective::kGamma && y <= 0.0) {
+      return Status::InvalidArgument(
+          "gamma objective requires positive targets");
     }
   }
   dim_ = dim;
@@ -68,7 +72,7 @@ Status GbdtRegressor::Train(const std::vector<double>& features, size_t rows,
   for (double y : targets) mean += y;
   mean /= static_cast<double>(rows);
   base_score_ = options_.objective == GbdtOptions::Objective::kGamma
-                    ? std::log(std::max(mean, 1e-12))
+                    ? CheckedLog(std::max(mean, 1e-12))
                     : mean;
   has_base_ = true;
 
@@ -110,7 +114,7 @@ Status GbdtRegressor::Train(const std::vector<double>& features, size_t rows,
     // score F.
     for (size_t r = 0; r < rows; ++r) {
       if (options_.objective == GbdtOptions::Objective::kGamma) {
-        double ratio = targets[r] * std::exp(-score[r]);
+        double ratio = targets[r] * ClampedExp(-score[r]);
         grad[r] = 1.0 - ratio;
         hess[r] = ratio;
       } else {
@@ -372,7 +376,7 @@ double GbdtRegressor::Predict(const double* row) const {
     score += options_.learning_rate * tree.Eval(row);
   }
   return options_.objective == GbdtOptions::Objective::kGamma
-             ? std::exp(score)
+             ? ClampedExp(score)
              : score;
 }
 

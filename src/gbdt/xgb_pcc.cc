@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/fmath.h"
+
 namespace tasq {
 
 XgbRuntimeModel::XgbRuntimeModel(XgbPccOptions options)
@@ -23,7 +25,7 @@ Status XgbRuntimeModel::Train(const std::vector<double>& job_features,
   for (size_t r = 0; r < rows; ++r) {
     std::copy_n(job_features.begin() + static_cast<long>(r * feature_dim),
                 feature_dim, augmented.begin() + static_cast<long>(r * dim));
-    augmented[r * dim + feature_dim] = std::log1p(std::max(0.0, tokens[r]));
+    augmented[r * dim + feature_dim] = CheckedLog1p(std::max(0.0, tokens[r]));
   }
   return model_.Train(augmented, rows, dim, runtimes);
 }
@@ -70,7 +72,7 @@ Result<double> XgbRuntimeModel::PredictRuntime(
         "feature dimension mismatch or non-positive tokens");
   }
   std::vector<double> row(job_features);
-  row.push_back(std::log1p(tokens));
+  row.push_back(CheckedLog1p(tokens));
   return model_.Predict(row);
 }
 

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "common/fmath.h"
 
 namespace tasq {
 namespace {
@@ -199,7 +200,7 @@ Var Tanh(const Var& a) {
 
 Var Sigmoid(const Var& a) {
   return UnaryOp(
-      a, +[](double x) { return 1.0 / (1.0 + std::exp(-x)); },
+      a, +[](double x) { return StableSigmoid(x); },
       +[](double, double y) { return y * (1.0 - y); });
 }
 
@@ -212,16 +213,15 @@ Var Abs(const Var& a) {
 Var Softplus(const Var& a) {
   return UnaryOp(
       a,
-      +[](double x) {
-        // Stable softplus: max(x, 0) + log1p(exp(-|x|)).
-        return (x > 0.0 ? x : 0.0) + std::log1p(std::exp(-std::fabs(x)));
-      },
-      +[](double x, double) { return 1.0 / (1.0 + std::exp(-x)); });
+      +[](double x) { return StableSoftplus(x); },
+      +[](double x, double) { return StableSigmoid(x); });
 }
 
 Var Exp(const Var& a) {
   return UnaryOp(
-      a, +[](double x) { return std::exp(x); },
+      // Clamped so a wild pre-activation saturates at DBL_MAX instead
+      // of overflowing to +inf (and trapping under TASQ_FPE).
+      a, +[](double x) { return ClampedExp(x); },
       +[](double, double y) { return y; });
 }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/fmath.h"
 
 namespace tasq {
 
@@ -25,7 +26,7 @@ Matrix Matrix::ColumnVector(std::vector<double> values) {
 
 Matrix Matrix::GlorotUniform(size_t rows, size_t cols, Rng& rng) {
   Matrix m(rows, cols);
-  double limit = std::sqrt(6.0 / static_cast<double>(rows + cols));
+  double limit = CheckedSqrt(6.0 / static_cast<double>(rows + cols));
   for (double& v : m.data_) v = rng.Uniform(-limit, limit);
   return m;
 }
@@ -55,6 +56,7 @@ Matrix Matrix::MatMul(const Matrix& other) const {
   for (size_t i = 0; i < rows_; ++i) {
     for (size_t k = 0; k < cols_; ++k) {
       double a = data_[i * cols_ + k];
+      // num: float-eq exact-zero operand: skipping is a pure optimization
       if (a == 0.0) continue;
       const double* brow = &other.data_[k * other.cols_];
       double* orow = &out.data_[i * other.cols_];

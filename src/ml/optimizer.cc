@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/fmath.h"
 
 namespace tasq {
 
@@ -22,8 +23,8 @@ AdamOptimizer::AdamOptimizer(std::vector<Var> parameters, Options options)
 
 void AdamOptimizer::Step() {
   ++steps_;
-  double bias1 = 1.0 - std::pow(options_.beta1, static_cast<double>(steps_));
-  double bias2 = 1.0 - std::pow(options_.beta2, static_cast<double>(steps_));
+  double bias1 = 1.0 - CheckedPow(options_.beta1, static_cast<double>(steps_));
+  double bias2 = 1.0 - CheckedPow(options_.beta2, static_cast<double>(steps_));
   for (size_t i = 0; i < parameters_.size(); ++i) {
     Matrix& value = parameters_[i]->value;
     Matrix& grad = parameters_[i]->grad;
@@ -43,8 +44,10 @@ void AdamOptimizer::Step() {
       v = options_.beta2 * v + (1.0 - options_.beta2) * g * g;
       double m_hat = m / bias1;
       double v_hat = v / bias2;
+      // CheckedSqrt makes a NaN gradient die here (sanitizer/FPE
+      // builds) instead of poisoning every parameter it touches.
       value.data()[k] -= options_.learning_rate * m_hat /
-                         (std::sqrt(v_hat) + options_.epsilon);
+                         (CheckedSqrt(v_hat) + options_.epsilon);
     }
     grad.SetZero();
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/fmath.h"
 #include "common/stats.h"
 
 namespace tasq {
@@ -17,8 +18,14 @@ Result<PccTargetScaling> PccTargetScaling::Fit(
   abs_a.reserve(targets.size());
   log_b.reserve(targets.size());
   for (const PowerLawPcc& t : targets) {
+    // A single NaN target would make both scale factors NaN and poison
+    // every loss the scaling ever touches; fail on the input instead.
+    if (!std::isfinite(t.a) || !std::isfinite(t.b)) {
+      return Status::InvalidArgument(
+          "target scaling needs finite PCC parameters");
+    }
     abs_a.push_back(std::fabs(t.a));
-    log_b.push_back(std::log(std::max(t.b, 1e-9)));
+    log_b.push_back(CheckedLog(std::max(t.b, 1e-9)));
   }
   // Guard against degenerate (constant) target sets.
   double s1 = std::max(StdDev(abs_a), 1e-3);
@@ -29,14 +36,18 @@ Result<PccTargetScaling> PccTargetScaling::Fit(
 std::pair<double, double> PccTargetScaling::ToScaled(
     const PowerLawPcc& pcc) const {
   double t1 = std::fabs(pcc.a) / s1_;
-  double t2 = std::log(std::max(pcc.b, 1e-9)) / s2_;
+  // FiniteOr keeps a NaN/inf b out of std::max (ordered comparisons on
+  // NaN raise FE_INVALID) and pins it to the same floor as a tiny b.
+  double t2 = CheckedLog(std::max(FiniteOr(pcc.b, 1e-9), 1e-9)) / s2_;
   return {t1, t2};
 }
 
 PowerLawPcc PccTargetScaling::FromScaled(double p1, double p2) const {
   PowerLawPcc pcc;
   pcc.a = -std::max(0.0, p1) * s1_;
-  pcc.b = std::exp(p2 * s2_);
+  // Clamped: an extreme predicted parameter saturates at DBL_MAX
+  // instead of decoding to an infinite curve scale.
+  pcc.b = ClampedExp(p2 * s2_);
   return pcc;
 }
 
@@ -91,7 +102,10 @@ Result<Var> BuildPccLoss(const Var& p1, const Var& p2,
   // parameters: runtime = exp(p2*s2 - p1*s1*log A).
   std::vector<double> log_tokens(n);
   for (size_t i = 0; i < n; ++i) {
-    log_tokens[i] = std::log(std::max(batch.observed_tokens[i], 1.0));
+    if (!std::isfinite(batch.observed_tokens[i])) {
+      return Status::InvalidArgument("observed_tokens must be finite");
+    }
+    log_tokens[i] = CheckedLog(std::max(batch.observed_tokens[i], 1.0));
   }
   Var log_runtime =
       Sub(ScalarMul(p2, scaling.s2()),
@@ -108,8 +122,9 @@ Result<Var> BuildPccLoss(const Var& p1, const Var& p2,
     }
     std::vector<double> inv(n);
     for (size_t i = 0; i < n; ++i) {
-      if (reference[i] <= 0.0) {
-        return Status::InvalidArgument("reference runtimes must be positive");
+      if (!std::isfinite(reference[i]) || reference[i] <= 0.0) {
+        return Status::InvalidArgument(
+            "reference runtimes must be positive and finite");
       }
       inv[i] = 1.0 / reference[i];
     }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/fmath.h"
 #include "common/stats.h"
 
 namespace tasq {
@@ -25,6 +26,7 @@ bool SolveDense(std::vector<double>& a, std::vector<double>& rhs, size_t n) {
     }
     for (size_t r = col + 1; r < n; ++r) {
       double factor = a[r * n + col] / a[col * n + col];
+      // num: float-eq exact-zero factor: skipping is a pure optimization
       if (factor == 0.0) continue;
       for (size_t c = col; c < n; ++c) a[r * n + c] -= factor * a[col * n + c];
       rhs[r] -= factor * rhs[col];
@@ -49,10 +51,14 @@ void SortByTokens(std::vector<PccSample>& samples) {
 }  // namespace
 
 double PowerLawPcc::EvalRunTime(double tokens) const {
-  return b * std::pow(tokens, a);
+  // Fitted curves carry finite a and positive b (FitPowerLaw rejects
+  // anything else), so a NaN here means the caller fed a negative token
+  // count or a hand-built degenerate curve.
+  return b * CheckedPow(tokens, a);
 }
 
 bool PowerLawPcc::IsMonotoneNonIncreasing() const {
+  // num: float-eq the exactly-flat curve is the monotone edge case
   if (a == 0.0) return true;
   return (a < 0.0) != (b < 0.0);
 }
@@ -63,9 +69,10 @@ double PowerLawPcc::MinTokensForSlowdown(
   if (!IsMonotoneNonIncreasing() || max_slowdown_fraction < 0.0) {
     return reference_tokens;
   }
+  // num: float-eq only the exactly-flat curve short-circuits
   if (a == 0.0) return 1.0;  // Flat curve: any allocation performs alike.
   double min_tokens =
-      reference_tokens * std::pow(1.0 + max_slowdown_fraction, 1.0 / a);
+      reference_tokens * CheckedPow(1.0 + max_slowdown_fraction, 1.0 / a);
   min_tokens = std::clamp(min_tokens, 1.0, reference_tokens);
   // The paper's core guarantee (§"PCC modeling"): on a monotone
   // non-increasing curve with a positive scale, shrinking to min_tokens
@@ -101,31 +108,42 @@ Result<PowerLawFit> FitPowerLaw(const std::vector<PccSample>& samples) {
   std::vector<double> log_tokens;
   std::vector<double> log_runtime;
   for (const PccSample& s : samples) {
-    if (s.tokens <= 0.0 || s.runtime_seconds <= 0.0) continue;
-    log_tokens.push_back(std::log(s.tokens));
-    log_runtime.push_back(std::log(s.runtime_seconds));
+    // isfinite runs first: an ordered comparison on NaN raises
+    // FE_INVALID, which the TASQ_FPE harness turns into a trap, and a
+    // non-finite sample reaching std::log would poison the whole fit.
+    if (!std::isfinite(s.tokens) || !std::isfinite(s.runtime_seconds) ||
+        s.tokens <= 0.0 || s.runtime_seconds <= 0.0) {
+      continue;
+    }
+    log_tokens.push_back(CheckedLog(s.tokens));
+    log_runtime.push_back(CheckedLog(s.runtime_seconds));
   }
   if (log_tokens.size() < 2) {
     return Status::InvalidArgument(
-        "power-law fit needs at least two samples with positive tokens and "
-        "run time");
+        "power-law fit needs at least two samples with positive, finite "
+        "tokens and run time");
   }
   LineFit line = FitLine(log_tokens, log_runtime);
   if (!line.ok) {
     return Status::InvalidArgument(
         "power-law fit needs at least two distinct token values");
   }
+  // A usable fit needs a finite exponent and a positive finite scale.
+  // Extreme-but-finite samples (runtimes near DBL_MAX or denormal) can
+  // push the intercept past exp's range, so these are typed errors on
+  // the data, not internal invariants.
+  if (!std::isfinite(line.slope) || !std::isfinite(line.intercept)) {
+    return Status::OutOfRange("power-law fit diverged in log space");
+  }
+  Result<double> scale = SafeExp(line.intercept);
+  if (!scale.ok() || scale.value() <= 0.0) {
+    return Status::OutOfRange(
+        "power-law scale exp(intercept) is not a positive finite value");
+  }
   PowerLawFit fit;
   fit.pcc.a = line.slope;
-  fit.pcc.b = std::exp(line.intercept);
+  fit.pcc.b = scale.value();
   fit.log_log_r2 = line.r2;
-  // A successful fit must be usable downstream: finite exponent and a
-  // positive finite scale (b = exp(intercept) by construction). Anything
-  // else is a numerical bug in FitLine, not a data problem — the sample
-  // filter above already rejected non-positive inputs.
-  TASQ_CHECK(std::isfinite(fit.pcc.a));
-  TASQ_CHECK(std::isfinite(fit.pcc.b));
-  TASQ_CHECK_GT(fit.pcc.b, 0.0);
   return fit;
 }
 
@@ -160,7 +178,12 @@ Result<double> OptimalTokensFromSamples(const std::vector<PccSample>& samples,
   }
   std::vector<PccSample> valid;
   for (const PccSample& s : samples) {
-    if (s.tokens > 0.0 && s.runtime_seconds > 0.0) valid.push_back(s);
+    // isfinite first — see FitPowerLaw; the walk below compares runtimes
+    // and a NaN would both trap under TASQ_FPE and corrupt the answer.
+    if (std::isfinite(s.tokens) && std::isfinite(s.runtime_seconds) &&
+        s.tokens > 0.0 && s.runtime_seconds > 0.0) {
+      valid.push_back(s);
+    }
   }
   if (valid.size() < 2) {
     return Status::InvalidArgument(

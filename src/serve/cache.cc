@@ -20,6 +20,7 @@ size_t ReportCacheKeyHash::operator()(const ReportCacheKey& key) const {
   // or equal keys would land in different buckets (the unordered_map
   // hash/equality contract requires equal keys to hash equal).
   double tokens =
+      // num: float-eq canonicalizes -0.0 to +0.0 before hashing
       key.reference_tokens == 0.0 ? 0.0 : key.reference_tokens;
   uint64_t h = Mix(key.fingerprint);
   h = Mix(h ^ (static_cast<uint64_t>(key.model) + 0x9E3779B97F4A7C15ULL));

@@ -206,6 +206,7 @@ Result<RunResult> ClusterSimulator::Run(const JobPlan& plan,
     bool outlier =
         usage_rng.Bernoulli(config.noise.usage_outlier_probability);
     if (outlier) scale *= usage_rng.Uniform(1.5, 2.5);
+    // num: float-eq exactly-1 scale is a pure no-op skip
     if (scale != 1.0) {
       std::vector<double> scaled = result.skyline.values();
       for (double& v : scaled) {

@@ -35,6 +35,7 @@ double Skyline::MeanUsage() const {
 
 Skyline Skyline::TrimmedTrailingZeros() const {
   size_t end = usage_.size();
+  // num: float-eq trims only exactly-empty trailing buckets
   while (end > 0 && usage_[end - 1] == 0.0) --end;
   Skyline trimmed(std::vector<double>(usage_.begin(), usage_.begin() + end));
   // Trimming removes exact zeros only, so the area is preserved exactly.

@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/fmath.h"
+
 namespace tasq {
 namespace {
 
 // Returns a log-normal draw with the given median and log-sigma.
 double LogNormalMedian(Rng& rng, double median, double log_sigma) {
-  return rng.LogNormal(std::log(median), log_sigma);
+  return rng.LogNormal(CheckedLog(median), log_sigma);
 }
 
 // Multiplicative estimate noise with mean ~1.
@@ -189,12 +191,12 @@ Job WorkloadGenerator::InstantiateJob(int64_t job_id,
     stage.dependencies = spec.deps[static_cast<size_t>(s)];
     // Input growth mostly widens stages and mildly lengthens tasks.
     double width = spec.parallelism_base * spec.width_scales[static_cast<size_t>(s)] *
-                   std::pow(input_scale, 0.7) * rng.Uniform(0.9, 1.1);
+                   CheckedPow(input_scale, 0.7) * rng.Uniform(0.9, 1.1);
     stage.num_tasks = std::clamp(static_cast<int>(std::lround(width)), 1,
                                  config_.max_stage_width);
     double duration = spec.task_seconds_base *
                       spec.duration_scales[static_cast<size_t>(s)] *
-                      std::pow(input_scale, 0.3) *
+                      CheckedPow(input_scale, 0.3) *
                       std::max(1e-3, config_.seconds_per_cost_unit);
     stage.task_duration_seconds = std::clamp(duration, 1.0, 600.0);
     max_width = std::max(max_width, stage.num_tasks);
@@ -206,7 +208,7 @@ Job WorkloadGenerator::InstantiateJob(int64_t job_id,
                                   config_.overprovision_hi)));
 
   // ---- Operator DAG with Table-1 features, derived from the stage plan ---
-  double rows_per_token_second = rng.LogNormal(std::log(2.0e4), 0.8);
+  double rows_per_token_second = rng.LogNormal(CheckedLog(2.0e4), 0.8);
   double row_length_base = rng.Uniform(30.0, 300.0);
 
   JobGraph& graph = job.graph;

@@ -25,7 +25,7 @@ void MixU64(uint64_t& h, uint64_t v) {
 void MixDouble(uint64_t& h, double v) {
   // Canonicalize the two zero representations and all NaN payloads so
   // numerically equal features always hash equal.
-  if (v == 0.0) v = 0.0;
+  if (v == 0.0) v = 0.0;  // num: float-eq canonicalizes -0.0 to +0.0
   if (std::isnan(v)) v = std::numeric_limits<double>::quiet_NaN();
   MixU64(h, std::bit_cast<uint64_t>(v));
 }

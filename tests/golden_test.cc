@@ -15,6 +15,7 @@
 #include <sstream>
 #include <string>
 
+#include "common/fpe.h"
 #include "tasq/what_if.h"
 #include "workload/generator.h"
 
@@ -119,6 +120,7 @@ TEST_F(GoldenReportTest, WhatIfReportsMatchGoldenFiles) {
 
 int main(int argc, char** argv) {
   ::testing::InitGoogleTest(&argc, argv);
+  tasq::InstallFpeTrapsIfRequested();
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--update_golden") g_update_golden = true;
   }

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/rng.h"
 #include "nn/nn_model.h"
@@ -37,6 +38,19 @@ TEST(PccTargetScalingTest, FromScaledAlwaysMonotone) {
 
 TEST(PccTargetScalingTest, RejectsEmptyTargets) {
   EXPECT_FALSE(PccTargetScaling::Fit({}).ok());
+}
+
+TEST(PccTargetScalingTest, RejectsNonFiniteTargets) {
+  const double kNan = std::numeric_limits<double>::quiet_NaN();
+  const double kInf = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(
+      PccTargetScaling::Fit({{-0.5, 100.0}, {kNan, 200.0}}).ok());
+  EXPECT_FALSE(
+      PccTargetScaling::Fit({{-0.5, 100.0}, {-0.4, kNan}}).ok());
+  EXPECT_FALSE(
+      PccTargetScaling::Fit({{-kInf, 100.0}, {-0.4, 200.0}}).ok());
+  EXPECT_FALSE(
+      PccTargetScaling::Fit({{-0.5, kInf}, {-0.4, 200.0}}).ok());
 }
 
 TEST(PccTargetScalingTest, DegenerateTargetsGetFloorScales) {
@@ -112,6 +126,25 @@ TEST(BuildPccLossTest, ValidatesInput) {
   EXPECT_FALSE(
       BuildPccLoss(p1, p2, scaling, batch, DefaultLossWeights(LossForm::kLF2))
           .ok());
+}
+
+TEST(BuildPccLossTest, RejectsNonFiniteSupervision) {
+  const double kNan = std::numeric_limits<double>::quiet_NaN();
+  const double kInf = std::numeric_limits<double>::infinity();
+  PccTargetScaling scaling(1.0, 1.0);
+  Var p1 = MakeConstant(Matrix::ColumnVector({1.0}));
+  Var p2 = MakeConstant(Matrix::ColumnVector({1.0}));
+  PccLossBatch batch;
+  batch.scaled_targets = {1.0, 1.0};
+  LossWeights weights = DefaultLossWeights(LossForm::kLF2);
+  batch.observed_tokens = {kNan};
+  batch.observed_runtime = {5.0};
+  EXPECT_FALSE(BuildPccLoss(p1, p2, scaling, batch, weights).ok());
+  batch.observed_tokens = {10.0};
+  batch.observed_runtime = {kInf};
+  EXPECT_FALSE(BuildPccLoss(p1, p2, scaling, batch, weights).ok());
+  batch.observed_runtime = {kNan};
+  EXPECT_FALSE(BuildPccLoss(p1, p2, scaling, batch, weights).ok());
 }
 
 // Synthetic PCC regression task: features determine (a, b) through a known

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/rng.h"
 #include "pcc/pcc.h"
@@ -113,6 +114,42 @@ TEST(FitPowerLawTest, RejectsDegenerateSamples) {
   EXPECT_FALSE(FitPowerLaw({{-10.0, 100.0}, {0.0, 90.0}, {5.0, 0.0}}).ok());
 }
 
+TEST(FitPowerLawTest, IgnoresNonFiniteAndNonPositiveSamples) {
+  // A clean power law with degenerate observations interleaved: the fit
+  // must equal the fit on the clean subset exactly, because the bad rows
+  // never enter the log-log regression.
+  const double kNan = std::numeric_limits<double>::quiet_NaN();
+  const double kInf = std::numeric_limits<double>::infinity();
+  PowerLawPcc truth{-0.6, 500.0};
+  std::vector<PccSample> clean;
+  for (double tokens = 2.0; tokens <= 64.0; tokens *= 2.0) {
+    clean.push_back({tokens, truth.EvalRunTime(tokens)});
+  }
+  std::vector<PccSample> dirty = clean;
+  dirty.insert(dirty.begin(), {kNan, 100.0});
+  dirty.insert(dirty.begin() + 3, {10.0, kNan});
+  dirty.push_back({kInf, 50.0});
+  dirty.push_back({12.0, -3.0});
+  dirty.push_back({0.0, 40.0});
+  Result<PowerLawFit> clean_fit = FitPowerLaw(clean);
+  Result<PowerLawFit> dirty_fit = FitPowerLaw(dirty);
+  ASSERT_TRUE(clean_fit.ok());
+  ASSERT_TRUE(dirty_fit.ok());
+  EXPECT_DOUBLE_EQ(dirty_fit.value().pcc.a, clean_fit.value().pcc.a);
+  EXPECT_DOUBLE_EQ(dirty_fit.value().pcc.b, clean_fit.value().pcc.b);
+  EXPECT_DOUBLE_EQ(dirty_fit.value().log_log_r2,
+                   clean_fit.value().log_log_r2);
+}
+
+TEST(FitPowerLawTest, AllNonFiniteSamplesIsTypedErrorNotCrash) {
+  const double kNan = std::numeric_limits<double>::quiet_NaN();
+  const double kInf = std::numeric_limits<double>::infinity();
+  Result<PowerLawFit> fit = FitPowerLaw(
+      {{kNan, 1.0}, {1.0, kNan}, {kInf, 2.0}, {3.0, -kInf}});
+  ASSERT_FALSE(fit.ok());
+  EXPECT_EQ(fit.status().code(), StatusCode::kInvalidArgument);
+}
+
 TEST(MonotoneCheckTest, DetectsIncreaseBeyondTolerance) {
   std::vector<PccSample> increasing = {{10.0, 100.0}, {20.0, 115.0}};
   EXPECT_FALSE(IsCurveMonotoneNonIncreasing(increasing));
@@ -187,6 +224,22 @@ TEST(OptimalTokensFromSamplesTest, ValidatesInput) {
   // Non-positive samples are discarded.
   EXPECT_FALSE(
       OptimalTokensFromSamples({{-1.0, 5.0}, {10.0, 0.0}}, 1.0).ok());
+}
+
+TEST(OptimalTokensFromSamplesTest, IgnoresNonFiniteSamples) {
+  const double kNan = std::numeric_limits<double>::quiet_NaN();
+  const double kInf = std::numeric_limits<double>::infinity();
+  // The finite subset is a flat curve whose walk ends at 10 tokens; the
+  // NaN/inf rows must not perturb the answer or crash the walk.
+  std::vector<PccSample> samples = {
+      {kNan, 100.0}, {10.0, 100.0}, {15.0, kInf},
+      {20.0, 100.0}, {kInf, 1.0},   {40.0, 100.0}};
+  Result<double> tokens = OptimalTokensFromSamples(samples, 1.0);
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_DOUBLE_EQ(tokens.value(), 10.0);
+  // All rows degenerate: typed error, not a crash.
+  EXPECT_FALSE(
+      OptimalTokensFromSamples({{kNan, 1.0}, {2.0, kNan}}, 1.0).ok());
 }
 
 TEST(FindElbowTest, LocatesKneeOfConvexCurve) {

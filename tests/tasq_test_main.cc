@@ -1,0 +1,19 @@
+// Shared main() for every TASQ test binary (linked instead of
+// GTest::gtest_main). Its one job is the runtime enforcement tier of the
+// checked-math layer: when the build was configured with -DTASQ_FPE=ON,
+// hardware traps for FE_DIVBYZERO/FE_INVALID/FE_OVERFLOW are installed
+// before any test runs, so a full green ctest run proves the fmath.h
+// guards are exhaustive — any unguarded log(0), 0/0, exp overflow, or
+// ordered comparison on NaN crashes the test that reached it instead of
+// silently propagating inf/NaN. In ordinary builds this main() behaves
+// exactly like gtest_main.
+
+#include <gtest/gtest.h>
+
+#include "common/fpe.h"
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  tasq::InstallFpeTrapsIfRequested();
+  return RUN_ALL_TESTS();
+}

@@ -2,9 +2,11 @@
 #define TASQ_BENCH_BENCH_UTIL_H_
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "arepas/arepas.h"
@@ -135,6 +137,80 @@ inline ArepasValidation RunArepasValidation(int64_t first_id, int64_t count,
   }
   return validation;
 }
+
+/// Minimal ordered JSON-object emitter for the BENCH_*.json perf
+/// trajectory (ROADMAP item 5): each bench binary records its headline
+/// numbers as one flat JSON object next to its human-readable stdout, so
+/// successive runs (and CI artifacts) can be diffed mechanically.
+/// Insertion order is preserved; keys are written exactly once (a repeated
+/// Set overwrites). Values are numbers or strings — nesting is
+/// deliberately unsupported, flat keys like "warm_req_per_s_t8" keep the
+/// trajectory trivially greppable.
+class BenchJson {
+ public:
+  void Set(const std::string& key, double value) {
+    char buffer[64];
+    // %.17g round-trips every double exactly.
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    Assign(key, buffer);
+  }
+  void Set(const std::string& key, uint64_t value) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%llu",
+                  static_cast<unsigned long long>(value));
+    Assign(key, buffer);
+  }
+  void Set(const std::string& key, int value) {
+    Set(key, static_cast<uint64_t>(value < 0 ? 0 : value));
+  }
+  void SetString(const std::string& key, const std::string& value) {
+    std::string quoted = "\"";
+    for (char c : value) {
+      if (c == '"' || c == '\\') quoted += '\\';
+      quoted += c;
+    }
+    quoted += '"';
+    Assign(key, quoted);
+  }
+
+  std::string ToString() const {
+    std::string out = "{\n";
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      out += "  \"" + entries_[i].first + "\": " + entries_[i].second;
+      if (i + 1 < entries_.size()) out += ",";
+      out += "\n";
+    }
+    out += "}\n";
+    return out;
+  }
+
+  /// Writes the object to `path`; returns false (with a stderr note) on
+  /// I/O failure so benches can keep printing rather than die.
+  bool WriteFile(const std::string& path) const {
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::string text = ToString();
+    size_t written = std::fwrite(text.data(), 1, text.size(), file);
+    std::fclose(file);
+    return written == text.size();
+  }
+
+ private:
+  void Assign(const std::string& key, const std::string& rendered) {
+    for (auto& entry : entries_) {
+      if (entry.first == key) {
+        entry.second = rendered;
+        return;
+      }
+    }
+    entries_.emplace_back(key, rendered);
+  }
+
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
 
 /// Default pipeline options tuned for bench-scale workloads.
 inline TasqOptions BenchTasqOptions(LossForm loss_form = LossForm::kLF2) {

@@ -1,16 +1,23 @@
 // Serving-layer microbenchmark: throughput of PccServer at 1/2/8 worker
 // threads on a cold cache (every request unique) and on a warm,
 // 90%-recurring workload (the regime the paper targets — §2.2 scores
-// recurring jobs at submission time), plus cache hit ratios and the full
-// ServerStats block for the largest run.
+// recurring jobs at submission time), plus cache hit ratios, the
+// TryScoreCached zero-allocation fast path, and the full ServerStats
+// block for the largest run. Headline numbers also land in
+// BENCH_serving.json (ROADMAP item 5: the machine-diffable perf
+// trajectory) — req/s cold/warm per thread count, end-to-end p50/p99,
+// and measured allocations/request (the binary links the counting
+// operator new from tests/alloc_counter.h).
 //
 // Results are hardware-dependent: thread scaling tracks the number of
 // physical cores ctest/bench can actually use.
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <vector>
 
+#include "alloc_counter.h"
 #include "bench/bench_util.h"
 #include "common/rng.h"
 #include "serve/server.h"
@@ -100,6 +107,10 @@ int main() {
   for (int64_t i = 0; i < kColdRequests; ++i) {
     cold.push_back(make_request(2000 + i));
   }
+  BenchJson json;
+  json.SetString("bench", "serving");
+  json.Set("cold_requests", static_cast<uint64_t>(kColdRequests));
+
   std::printf("\ncold cache, %lld unique requests:\n",
               static_cast<long long>(kColdRequests));
   double cold_baseline = 0.0;
@@ -108,6 +119,9 @@ int main() {
     double rps = static_cast<double>(run.stats.completed) / run.seconds;
     if (threads == 1) cold_baseline = rps;
     PrintRow(threads, run, cold_baseline);
+    char key[48];
+    std::snprintf(key, sizeof(key), "cold_req_per_s_t%u", threads);
+    json.Set(key, rps);
   }
 
   // Warm workload: 90% of requests recur from a 24-job working set (cache
@@ -131,13 +145,87 @@ int main() {
               "working set):\n",
               static_cast<long long>(kWarmRequests),
               static_cast<long long>(kWorkingSet));
+  json.Set("warm_requests", static_cast<uint64_t>(kWarmRequests));
+  json.Set("warm_working_set", static_cast<uint64_t>(kWorkingSet));
   StreamRun last;
   for (unsigned threads : {1u, 2u, 8u}) {
+    uint64_t allocations_before = tasq_test::AllocationCount();
     last = RunStream(pipeline, warm, threads, /*cache_capacity=*/4096);
+    uint64_t allocations =
+        tasq_test::AllocationCount() - allocations_before;
     PrintRow(threads, last, cold_baseline);
+    char key[48];
+    std::snprintf(key, sizeof(key), "warm_req_per_s_t%u", threads);
+    json.Set(key, static_cast<double>(last.stats.completed) / last.seconds);
+    if (threads == 8) {
+      // Submit-path cost of the mixed 90/10 workload: futures, queue
+      // entries, inference scratch — everything, process-wide.
+      json.Set("warm_submit_allocations_per_request",
+               static_cast<double>(allocations) /
+                   static_cast<double>(last.stats.completed));
+    }
+  }
+  // End-to-end latency distribution of the largest warm run (ms -> ns).
+  json.Set("warm_p50_ns", last.stats.end_to_end.p50_ms() * 1e6);
+  json.Set("warm_p99_ns", last.stats.end_to_end.p99_ms() * 1e6);
+  json.Set("warm_max_ns", last.stats.end_to_end.max_ms * 1e6);
+  json.Set("warm_mean_ns", last.stats.end_to_end.mean_ms() * 1e6);
+
+  // The TASQ_HOT fast path: synchronous TryScoreCached against a primed
+  // cache with one reused report buffer — the zero-allocation serving
+  // loop that scripts/tasq_hot.py and tests/hot_path_test.cc enforce.
+  {
+    PccServerOptions options;
+    options.num_threads = 1;
+    options.cache_capacity = 4096;
+    PccServer server(pipeline, options);
+    std::vector<ScoreRequest> working_set;
+    for (int64_t i = 0; i < kWorkingSet; ++i) {
+      working_set.push_back(make_request(4000 + i));
+    }
+    for (const ScoreRequest& request : working_set) {
+      Result<WhatIfReport> primed = server.Score(request);
+      if (!primed.ok()) {
+        std::fprintf(stderr, "priming failed: %s\n",
+                     primed.status().ToString().c_str());
+        return 1;
+      }
+    }
+    WhatIfReport buffer;
+    (void)server.TryScoreCached(working_set[0], &buffer);  // Warm buffer.
+    const int64_t kFastRequests = 200000;
+    uint64_t allocations_before = tasq_test::AllocationCount();
+    auto start = std::chrono::steady_clock::now();
+    int64_t hits = 0;
+    for (int64_t i = 0; i < kFastRequests; ++i) {
+      hits += server.TryScoreCached(
+          working_set[static_cast<size_t>(i % kWorkingSet)], &buffer);
+    }
+    double seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+    uint64_t allocations =
+        tasq_test::AllocationCount() - allocations_before;
+    double fast_rps = static_cast<double>(hits) / seconds;
+    double allocations_per_request =
+        static_cast<double>(allocations) / static_cast<double>(kFastRequests);
+    ServerStats stats = server.Stats();
+    std::printf("\nfast path (TryScoreCached, warm cache, 1 thread):\n"
+                "  %12.0f req/s   p50 %.0f ns   p99 %.0f ns   "
+                "%.4f allocations/request\n",
+                fast_rps, stats.end_to_end.p50_ms() * 1e6,
+                stats.end_to_end.p99_ms() * 1e6, allocations_per_request);
+    json.Set("fastpath_requests", static_cast<uint64_t>(kFastRequests));
+    json.Set("fastpath_req_per_s", fast_rps);
+    json.Set("fastpath_p50_ns", stats.end_to_end.p50_ms() * 1e6);
+    json.Set("fastpath_p99_ns", stats.end_to_end.p99_ms() * 1e6);
+    json.Set("fastpath_allocations_per_request", allocations_per_request);
   }
 
   std::printf("\nserver stats (warm, 8 threads):\n%s",
               last.stats.ToText().c_str());
+  if (json.WriteFile("BENCH_serving.json")) {
+    std::printf("\nwrote BENCH_serving.json\n");
+  }
   return 0;
 }

@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
 # Runs the full correctness matrix locally:
 #
-#   1. repo lint          (scripts/tasq_lint.py + scripts/tasq_arch.py +
-#                          scripts/tasq_num.py, each with its self-test)
+#   1. analyzers          every conformance analyzer (tasq_lint, tasq_arch,
+#                         tasq_num, tasq_hot): repo run, self-test, and an
+#                         empty-baseline gate each. CI's static-analysis
+#                         job invokes this leg verbatim, so the local and
+#                         CI analyzer matrices cannot drift. (`lint` is a
+#                         deprecated alias.)
 #   2. Release            build + full ctest
 #   3. ASan + UBSan       build + full ctest
 #   4. TSan               build + the concurrency-sensitive tests
@@ -13,7 +17,7 @@
 # Every leg uses its own build tree (build-check-*), so an existing
 # `build/` stays untouched. Set TASQ_CHECK_JOBS to bound parallelism.
 #
-# Usage: scripts/check.sh [lint|release|asan|tsan|fpe]...   (default: all)
+# Usage: scripts/check.sh [analyzers|release|asan|tsan|fpe]... (default: all)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -42,27 +46,48 @@ run_leg() {
   fi
 }
 
-lint_leg() {
-  echo "== lint: tasq_lint.py =="
-  python3 scripts/tasq_lint.py
-  echo "== lint: self-check (a seeded violation must fail) =="
-  python3 scripts/tasq_lint.py --self-test
-  echo "== lint: tasq_arch.py (layering, include hygiene, nodiscard) =="
-  python3 scripts/tasq_arch.py
-  echo "== lint: arch self-check (every rule must fire on its fixture) =="
-  python3 scripts/tasq_arch.py --self-test
-  echo "== lint: tasq_num.py (numerics & determinism conformance) =="
-  python3 scripts/tasq_num.py
-  echo "== lint: num self-check (every rule must fire on its fixture) =="
-  python3 scripts/tasq_num.py --self-test
+# A baseline that regrows silently converts "enforced" into "suggested":
+# every analyzer baseline must contain nothing but comments and blanks.
+require_empty_baseline() {
+  local path="$1"
+  if grep -vE '^\s*(#|$)' "${path}" >/dev/null 2>&1; then
+    echo "ERROR: ${path} must stay empty (found accepted findings):" >&2
+    grep -vE '^\s*(#|$)' "${path}" >&2
+    exit 1
+  fi
+  echo "   ${path}: empty (gate holds)"
+}
+
+# One analyzer: repo run + self-test + (when baselined) empty-baseline
+# gate. This is THE analyzer matrix — CI's static-analysis job calls
+# `scripts/check.sh analyzers` verbatim rather than restating it.
+run_analyzer() {
+  local script="$1" what="$2" baseline="${3:-}"
+  echo "== analyzers: ${script} (${what}) =="
+  python3 "scripts/${script}"
+  echo "== analyzers: ${script} self-test =="
+  python3 "scripts/${script}" --self-test
+  if [[ -n "${baseline}" ]]; then
+    require_empty_baseline "scripts/${baseline}"
+  fi
+}
+
+analyzers_leg() {
+  run_analyzer tasq_lint.py "style & API conformance" lint_baseline.txt
+  run_analyzer tasq_arch.py "layering, include hygiene, nodiscard" \
+               arch_baseline.txt
+  run_analyzer tasq_num.py "numerics & determinism conformance" \
+               num_baseline.txt
+  run_analyzer tasq_hot.py "hot-path performance conformance" \
+               hot_baseline.txt
 }
 
 LEGS=("$@")
-if [[ ${#LEGS[@]} -eq 0 ]]; then LEGS=(lint release asan tsan fpe); fi
+if [[ ${#LEGS[@]} -eq 0 ]]; then LEGS=(analyzers release asan tsan fpe); fi
 
 for leg in "${LEGS[@]}"; do
   case "${leg}" in
-    lint) lint_leg ;;
+    analyzers|lint) analyzers_leg ;;
     release) run_leg "release" build-check-release "" "" ;;
     asan) run_leg "asan+ubsan" build-check-asan "address;undefined" "" ;;
     # TSan's scheduler interleaving makes the full suite slow; the
@@ -75,7 +100,7 @@ for leg in "${LEGS[@]}"; do
     # SIGFPE: a green run proves the fmath.h guards are exhaustive.
     fpe) run_leg "fpe-traps" build-check-fpe "" "" \
                  -DCMAKE_BUILD_TYPE=Release -DTASQ_FPE=ON ;;
-    *) echo "unknown leg '${leg}' (want lint|release|asan|tsan|fpe)" >&2
+    *) echo "unknown leg '${leg}' (want analyzers|release|asan|tsan|fpe)" >&2
        exit 2 ;;
   esac
 done

@@ -1,0 +1,818 @@
+#!/usr/bin/env python3
+"""TASQ hot-path performance-conformance analyzer.
+
+Serving-time reallocation loops (Enel-style elastic scaling, drift-driven
+refits) only work if the request path has predictable, allocation-free
+latency — and nothing but a linter stops a future PR from reintroducing a
+lock, a std::string format, or a blocking call into it. This analyzer
+(stdlib only, same mold as tasq_arch.py) parses every function definition
+under src/, builds a lightweight name-based call graph, and transitively
+enforces a real-time-safety contract on every function reachable from a
+`TASQ_HOT` annotation (macro in src/common/hot.h):
+
+  hot-alloc              no heap allocation: new / new[], malloc / calloc /
+                         realloc / strdup, make_unique / make_shared. The
+                         hot path works out of preallocated, caller-owned
+                         buffers.
+  hot-container-growth   no push_back / emplace_back / emplace / insert /
+                         resize / reserve / append / clear-then-grow on
+                         containers: growth reallocates. Preallocated
+                         (bounded) growth is waivable.
+  hot-string             no std::string construction, std::to_string, or
+                         ToString/ToText-style formatting: every one heap
+                         allocates. Hot code reports through counters and
+                         fixed structs.
+  hot-std-function       no std::function: capturing callables type-erase
+                         through a heap allocation.
+  hot-mutex              no mutex acquisition (MutexLock, lock_guard,
+                         unique_lock, scoped_lock, .Lock()/.lock()) except
+                         inside functions on the shard-local allowlist
+                         (scripts/hot_locks.txt): an O(1) critical section
+                         local to one cache shard is the only sanctioned
+                         lock shape on the serving fast path.
+  hot-blocking           no blocking calls: sleeps, condition-variable
+                         waits, file/stream I/O, printf-family, system().
+  hot-abort              the hot path neither throws nor aborts: no throw,
+                         abort, exit, and no TASQ_CHECK* (its failure path
+                         aborts) — use TASQ_DCHECK*, which compiles out of
+                         Release serving builds.
+
+Waivers: a deliberate exception carries `// hot: <reason>` on the
+offending line or the line directly above it; the reason is mandatory
+(anonymous suppressions rot). The mutex allowlist is declarative instead
+of per-line: scripts/hot_locks.txt lists `Class::Function` names whose
+single shard-local lock acquisition is part of the reviewed design.
+
+Known, accepted findings live in scripts/hot_baseline.txt; the analyzer
+exits nonzero only on findings not in the baseline. The baseline is empty
+as of PR 6 and CI fails if it regrows (job static-analysis, via
+scripts/check.sh analyzers).
+
+Usage:
+  python3 scripts/tasq_hot.py                    analyze the repo
+  python3 scripts/tasq_hot.py --update-baseline  accept current findings
+  python3 scripts/tasq_hot.py --self-test        per-rule fixture check
+  python3 scripts/tasq_hot.py --dot out.dot      emit the hot call graph
+  python3 scripts/tasq_hot.py --list-hot         list the enforced set
+"""
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BASELINE_PATH = os.path.join("scripts", "hot_baseline.txt")
+LOCKS_PATH = os.path.join("scripts", "hot_locks.txt")
+SOURCE_SUFFIXES = (".h", ".cc", ".cpp")
+SKIP_DIR_PREFIXES = ("build",)
+
+
+class Finding:
+    def __init__(self, rule, path, line, message):
+        self.rule = rule
+        self.path = path  # Repo-relative, forward slashes.
+        self.line = line  # 1-based.
+        self.message = message
+
+    def key(self):
+        # Line numbers shift too easily to key the baseline on them.
+        return f"{self.rule}\t{self.path}"
+
+    def __str__(self):
+        where = f"{self.path}:{self.line}" if self.line else self.path
+        return f"{where}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text):
+    """Blanks out comments and string/char literals, preserving newlines.
+
+    Identical policy to tasq_arch.py: a banned token inside a comment or a
+    log string must not count as a violation."""
+    out = []
+    i = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif c == "/" and nxt == "*":
+            i += 2
+            while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
+                if text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i += 2
+        elif c == '"' or c == "'":
+            quote = c
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    i += 1
+                elif text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+# ---------------------------------------------------------------------------
+# Function extraction: definitions, bodies, annotations
+# ---------------------------------------------------------------------------
+
+# A function-definition head: `Qualified::Name (args…)` followed (after
+# optional const/noexcept/ref-qualifier/attributes/initializer list) by
+# `{`. Control-flow keywords are filtered out afterwards.
+FUNC_HEAD_RE = re.compile(
+    r"(?P<name>[A-Za-z_]\w*(?:::[A-Za-z_]\w*|::operator\s*\(\s*\))*)"
+    r"\s*\(")
+
+HEAD_KEYWORDS = frozenset((
+    "if", "for", "while", "switch", "catch", "return", "sizeof", "alignof",
+    "decltype", "static_assert", "defined", "assert", "co_return",
+    "co_await", "co_yield", "new", "delete", "throw", "noexcept",
+    "alignas", "typeid", "requires",
+))
+
+# What may legally sit between the closing `)` of the parameter list and
+# the opening `{` of the body: cv/ref qualifiers, noexcept, attributes,
+# override/final, thread-safety annotations, trailing return types, and
+# constructor initializer lists.
+TAIL_OK_RE = re.compile(
+    r"\A(?:\s|const|noexcept|override|final|&&?|->\s*[\w:<>,\s*&]+|"
+    r"\[\[[^\]]*\]\]|TASQ_\w+(?:\s*\([^)]*\))?|:\s*[^{};]*)*\Z")
+
+# A TASQ_HOT annotation followed by the annotated declaration. The name is
+# the last identifier before the parameter list.
+HOT_ANNOT_RE = re.compile(
+    r"\bTASQ_HOT\b(?P<sig>[^;{}()]*?)(?P<name>[A-Za-z_]\w*)\s*\(")
+
+CALL_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\(")
+CALL_KEYWORDS = frozenset((
+    "if", "for", "while", "switch", "return", "sizeof", "alignof",
+    "decltype", "static_assert", "catch", "defined", "assert", "co_return",
+    "co_await", "co_yield", "new", "delete", "throw", "noexcept",
+    "alignas", "typeid", "requires", "operator",
+))
+
+WAIVER_RE = re.compile(r"//\s*hot:\s*\S")
+
+
+def _matching_brace_end(text, open_idx):
+    """Index just past the `}` matching text[open_idx] == `{`, or -1."""
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return -1
+
+
+def _matching_paren_end(text, open_idx):
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return -1
+
+
+class Function:
+    """One function definition: its location, body span, and call set."""
+
+    def __init__(self, rel, qual_name, line, body_start, body_end):
+        self.rel = rel
+        self.qual_name = qual_name          # e.g. ReportCache::GetInto
+        self.name = qual_name.split("::")[-1]
+        self.line = line                    # 1-based line of the head.
+        self.body_start = body_start        # Offsets into the stripped text.
+        self.body_end = body_end
+
+
+def extract_functions(stripped, rel):
+    """Finds function definitions (heuristically) in one stripped file.
+
+    The regex net is cast to catch ordinary definitions and out-of-line
+    members; lambdas and tricky macro-generated functions fall through the
+    net, which is acceptable for a conformance lint (the rules then apply
+    to their *enclosing* function, whose body textually contains them)."""
+    functions = []
+    pos = 0
+    n = len(stripped)
+    while pos < n:
+        match = FUNC_HEAD_RE.search(stripped, pos)
+        if not match:
+            break
+        name = match.group("name")
+        last = name.split("::")[-1]
+        if last in HEAD_KEYWORDS:
+            pos = match.end()
+            continue
+        paren_end = _matching_paren_end(stripped, match.end() - 1)
+        if paren_end < 0:
+            pos = match.end()
+            continue
+        brace = stripped.find("{", paren_end)
+        semi = stripped.find(";", paren_end)
+        if brace < 0 or (0 <= semi < brace):
+            pos = paren_end  # Declaration only; no body here.
+            continue
+        tail = stripped[paren_end:brace]
+        if not TAIL_OK_RE.match(tail):
+            pos = paren_end
+            continue
+        body_end = _matching_brace_end(stripped, brace)
+        if body_end < 0:
+            pos = paren_end
+            continue
+        line = stripped[:match.start()].count("\n") + 1
+        functions.append(Function(rel, name, line, brace, body_end))
+        # Nested definitions (local structs, lambdas) stay part of this
+        # body; resume the scan inside so member definitions in headers
+        # (class bodies brace-nest too) are still found.
+        pos = brace + 1
+    return functions
+
+
+class Repo:
+    """Scanned view of src/: files, functions, annotations, call graph."""
+
+    def __init__(self, root):
+        self.root = root
+        self.files = []
+        self._text = {}
+        self._stripped = {}
+        self.functions = []          # Every definition found.
+        self.by_name = {}            # last-name -> [Function, ...]
+        self.hot_names = set()       # Names annotated TASQ_HOT anywhere.
+        self.hot_sites = {}          # name -> (rel, line) of the annotation.
+        self._scan()
+
+    def _scan(self):
+        base = os.path.join(self.root, "src")
+        if os.path.isdir(base):
+            for dirpath, dirnames, filenames in os.walk(base):
+                dirnames[:] = sorted(
+                    d for d in dirnames
+                    if not d.startswith(SKIP_DIR_PREFIXES) and d != ".git")
+                for fname in sorted(filenames):
+                    if fname.endswith(SOURCE_SUFFIXES):
+                        rel = os.path.relpath(
+                            os.path.join(dirpath, fname),
+                            self.root).replace(os.sep, "/")
+                        self.files.append(rel)
+        for rel in self.files:
+            stripped = self.stripped(rel)
+            for func in extract_functions(stripped, rel):
+                self.functions.append(func)
+                self.by_name.setdefault(func.name, []).append(func)
+            for match in HOT_ANNOT_RE.finditer(stripped):
+                # Ignore the macro's own #define.
+                if rel.endswith("common/hot.h"):
+                    continue
+                name = match.group("name")
+                line = stripped[:match.start()].count("\n") + 1
+                self.hot_names.add(name)
+                self.hot_sites.setdefault(name, (rel, line))
+
+    def text(self, rel):
+        if rel not in self._text:
+            with open(os.path.join(self.root, rel), encoding="utf-8",
+                      errors="replace") as f:
+                self._text[rel] = f.read()
+        return self._text[rel]
+
+    def stripped(self, rel):
+        if rel not in self._stripped:
+            self._stripped[rel] = strip_comments_and_strings(self.text(rel))
+        return self._stripped[rel]
+
+    def body(self, func):
+        return self.stripped(func.rel)[func.body_start:func.body_end]
+
+    def calls(self, func):
+        """Names called from `func`'s body (src-resolvable or not)."""
+        out = set()
+        for match in CALL_RE.finditer(self.body(func)):
+            name = match.group(1)
+            if name not in CALL_KEYWORDS:
+                out.add(name)
+        return out
+
+
+def load_lock_allowlist(root):
+    """Qualified function names whose shard-local lock is sanctioned."""
+    path = os.path.join(root, LOCKS_PATH)
+    entries = set()
+    if os.path.exists(path):
+        with open(path, encoding="utf-8") as f:
+            for line in f:
+                line = line.split("#", 1)[0].strip()
+                if line:
+                    entries.add(line)
+    return entries
+
+
+# ---------------------------------------------------------------------------
+# Transitive hot set
+# ---------------------------------------------------------------------------
+
+def hot_closure(repo):
+    """Functions transitively reachable from a TASQ_HOT annotation.
+
+    The call graph is name-based (no type resolution), so a call edge
+    fans out to every src/ definition sharing the callee's last name —
+    a deliberate over-approximation: a colliding cold function being
+    swept into the hot set is a naming smell worth renaming, whereas an
+    under-approximation would let allocation creep in through a helper.
+    Returns (hot_functions, edges) where edges maps a function to the
+    hot callee names it reaches (for --dot)."""
+    hot_funcs = []
+    seen = set()
+    edges = {}
+    frontier = [name for name in sorted(repo.hot_names)]
+    visited_names = set()
+    while frontier:
+        name = frontier.pop()
+        if name in visited_names:
+            continue
+        visited_names.add(name)
+        for func in repo.by_name.get(name, ()):
+            key = (func.rel, func.line, func.qual_name)
+            if key in seen:
+                continue
+            seen.add(key)
+            hot_funcs.append(func)
+            callees = sorted(
+                c for c in repo.calls(func) if c in repo.by_name)
+            edges[func] = callees
+            for callee in callees:
+                if callee not in visited_names:
+                    frontier.append(callee)
+    return hot_funcs, edges
+
+
+# ---------------------------------------------------------------------------
+# Per-rule scans over hot bodies
+# ---------------------------------------------------------------------------
+
+# rule id -> (pattern over stripped body text, message).
+RULE_PATTERNS = (
+    ("hot-alloc",
+     re.compile(r"\bnew\b(?!\s*\()"
+                r"|\bnew\s*\("            # placement/new(nothrow) too
+                r"|\b(?:malloc|calloc|realloc|strdup|aligned_alloc)\s*\("
+                r"|\bmake_unique\s*<"
+                r"|\bmake_shared\s*<"),
+     "heap allocation on the hot path"),
+    ("hot-container-growth",
+     re.compile(r"\.(?:push_back|emplace_back|emplace|emplace_front|"
+                r"push_front|insert|resize|reserve|append|assign)\s*\("),
+     "container growth reallocates on the hot path"),
+    ("hot-string",
+     re.compile(r"\bstd\s*::\s*string\b"
+                r"|\bto_string\s*\("
+                r"|\bToString\s*\("
+                r"|\bToText\s*\("
+                r"|\bsnprintf\s*\("
+                r"|\bostringstream\b|\bstringstream\b"),
+     "string construction/formatting allocates on the hot path"),
+    ("hot-std-function",
+     re.compile(r"\bstd\s*::\s*function\b"),
+     "std::function type-erases through a heap allocation"),
+    ("hot-mutex",
+     re.compile(r"\bMutexLock\b|\block_guard\b|\bunique_lock\b|"
+                r"\bscoped_lock\b|\.\s*(?:Lock|lock)\s*\(\s*\)"),
+     "mutex acquisition outside the shard-local allowlist "
+     f"({LOCKS_PATH})"),
+    ("hot-blocking",
+     re.compile(r"\bsleep_for\b|\bsleep_until\b|\busleep\s*\(|"
+                r"\b(?:std\s*::\s*)?this_thread\b|"
+                r"\.\s*[Ww]ait(?:For)?\s*\(|"
+                r"\bfopen\s*\(|\bfread\s*\(|\bfwrite\s*\(|\bfputs\s*\(|"
+                r"\bf?printf\s*\(|\bfflush\s*\(|\bgetline\s*\(|"
+                r"\bsystem\s*\(|\bifstream\b|\bofstream\b|\bfstream\b|"
+                r"\bstd\s*::\s*(?:cout|cerr|cin)\b"),
+     "blocking call / IO on the hot path"),
+    ("hot-abort",
+     re.compile(r"\bthrow\b|\babort\s*\(|\bexit\s*\(|"
+                r"\bTASQ_CHECK(?:_[A-Z]+)?\s*\("),
+     "hot path must not throw or abort (TASQ_CHECK aborts on failure; "
+     "use TASQ_DCHECK, which compiles out of Release)"),
+)
+
+RULE_IDS = tuple(rule for rule, _, _ in RULE_PATTERNS)
+
+
+def _waived(raw_lines, line):
+    """True when `line` (1-based) carries or follows a `// hot:` waiver."""
+    here = raw_lines[line - 1] if line - 1 < len(raw_lines) else ""
+    above = raw_lines[line - 2] if line - 2 >= 0 else ""
+    return bool(WAIVER_RE.search(here)) or bool(WAIVER_RE.search(above))
+
+
+def check_hot_functions(repo, lock_allowlist):
+    findings = []
+    hot_funcs, _ = hot_closure(repo)
+    for func in hot_funcs:
+        body = repo.body(func)
+        base_line = repo.stripped(func.rel)[:func.body_start].count("\n") + 1
+        raw_lines = repo.text(func.rel).split("\n")
+        for rule, pattern, message in RULE_PATTERNS:
+            if rule == "hot-mutex" and func.qual_name in lock_allowlist:
+                continue
+            for match in pattern.finditer(body):
+                line = base_line + body[:match.start()].count("\n")
+                if _waived(raw_lines, line):
+                    continue
+                token = match.group(0).strip()
+                findings.append(Finding(
+                    rule, func.rel, line,
+                    f"'{token}' in hot function '{func.qual_name}': "
+                    f"{message}. Fix it, or waive with "
+                    "`// hot: <reason>` on this line"))
+    return findings
+
+
+def check_annotations_resolve(repo):
+    """Every TASQ_HOT annotation must name a function defined in src/ —
+    a stale annotation would silently enforce nothing."""
+    findings = []
+    for name in sorted(repo.hot_names):
+        if name not in repo.by_name:
+            rel, line = repo.hot_sites[name]
+            findings.append(Finding(
+                "hot-unresolved", rel, line,
+                f"TASQ_HOT annotates '{name}' but no definition of it "
+                "exists under src/; the contract is enforced on nothing"))
+    return findings
+
+
+def check_lock_allowlist(repo, lock_allowlist):
+    """Allowlist entries must name functions that exist and are hot —
+    stale entries would grandfather future locks in silently."""
+    findings = []
+    hot_funcs, _ = hot_closure(repo)
+    hot_quals = {f.qual_name for f in hot_funcs}
+    for entry in sorted(lock_allowlist):
+        if entry not in hot_quals:
+            findings.append(Finding(
+                "hot-stale-allowlist", LOCKS_PATH, 0,
+                f"allowlist entry '{entry}' matches no function in the "
+                "hot closure; remove it (stale entries grandfather "
+                "future locks in silently)"))
+    return findings
+
+
+RULE_IDS_ALL = RULE_IDS + ("hot-unresolved", "hot-stale-allowlist")
+
+
+def run_checks(root):
+    repo = Repo(root)
+    lock_allowlist = load_lock_allowlist(root)
+    findings = []
+    findings.extend(check_annotations_resolve(repo))
+    findings.extend(check_lock_allowlist(repo, lock_allowlist))
+    findings.extend(check_hot_functions(repo, lock_allowlist))
+    findings.sort(key=lambda f: (f.path, f.rule, f.line))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# DOT export
+# ---------------------------------------------------------------------------
+
+def hot_dag_dot(repo):
+    """Graphviz source for the enforced hot call graph: annotation roots
+    in bold, transitive members plain, edges by textual call."""
+    hot_funcs, edges = hot_closure(repo)
+    lines = [
+        "// Generated by scripts/tasq_hot.py --dot; do not edit.",
+        "digraph tasq_hot_paths {",
+        "  rankdir=LR;",
+        "  node [shape=box, fontname=\"Helvetica\"];",
+    ]
+    hot_names_by_last = {}
+    for func in hot_funcs:
+        hot_names_by_last.setdefault(func.name, set()).add(func.qual_name)
+    emitted_nodes = set()
+    for func in sorted(hot_funcs, key=lambda f: (f.rel, f.line)):
+        if func.qual_name in emitted_nodes:
+            continue  # Same-named defs share one node (name-based graph).
+        emitted_nodes.add(func.qual_name)
+        style = ", style=bold" if func.name in repo.hot_names else ""
+        lines.append(
+            f"  \"{func.qual_name}\" [label=\"{func.qual_name}\\n"
+            f"{func.rel}:{func.line}\"{style}];")
+    emitted = set()
+    for func in sorted(hot_funcs, key=lambda f: (f.rel, f.line)):
+        for callee in edges.get(func, ()):
+            for target in sorted(hot_names_by_last.get(callee, ())):
+                if target == func.qual_name:
+                    continue
+                edge = (func.qual_name, target)
+                if edge in emitted:
+                    continue
+                emitted.add(edge)
+                lines.append(f"  \"{edge[0]}\" -> \"{edge[1]}\";")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Baseline
+# ---------------------------------------------------------------------------
+
+def load_baseline(root):
+    path = os.path.join(root, BASELINE_PATH)
+    entries = set()
+    if os.path.exists(path):
+        with open(path, encoding="utf-8") as f:
+            for line in f:
+                line = line.rstrip("\n")
+                if line and not line.startswith("#"):
+                    entries.add(line)
+    return entries
+
+
+def write_baseline(root, findings):
+    path = os.path.join(root, BASELINE_PATH)
+    with open(path, "w", encoding="utf-8") as f:
+        f.write("# Accepted tasq_hot.py findings (rule<TAB>path).\n")
+        f.write("# Regenerate with: python3 scripts/tasq_hot.py "
+                "--update-baseline\n")
+        for key in sorted({finding.key() for finding in findings}):
+            f.write(key + "\n")
+
+
+# ---------------------------------------------------------------------------
+# Self-test: per-rule positive + quiet-negative fixtures + coverage gate
+# ---------------------------------------------------------------------------
+
+HOT_H = (
+    "#ifndef TASQ_COMMON_HOT_H_\n"
+    "#define TASQ_COMMON_HOT_H_\n"
+    "#define TASQ_HOT\n"
+    "#endif\n")
+
+# Conforming base tree: one annotated hot function calling one clean
+# helper two hops deep — the negative fixture for every rule, and the
+# base the positive fixtures perturb. The cold function allocates freely
+# and must never be flagged (it is not in the closure).
+GOOD_TREE = {
+    "src/common/hot.h": HOT_H,
+    "src/app/fast.h": (
+        "#ifndef TASQ_APP_FAST_H_\n"
+        "#define TASQ_APP_FAST_H_\n"
+        "#include \"common/hot.h\"\n"
+        "TASQ_HOT int FastLookup(int key);\n"
+        "void ColdRefill(int* out, int n);\n"
+        "#endif\n"),
+    "src/app/fast.cc": (
+        "#include \"app/fast.h\"\n"
+        "#include <vector>\n"
+        "namespace {\n"
+        "int MixKey(int key) { return key * 2654435761; }\n"
+        "int ProbeSlot(int key) { return MixKey(key) & 1023; }\n"
+        "}  // namespace\n"
+        "int FastLookup(int key) { return ProbeSlot(key); }\n"
+        "void ColdRefill(int* out, int n) {\n"
+        "  std::vector<int> scratch;\n"
+        "  for (int i = 0; i < n; ++i) scratch.push_back(i);\n"
+        "  for (int i = 0; i < n; ++i) out[i] = scratch[i];\n"
+        "}\n"),
+}
+
+GOOD_LOCKS = ""
+
+
+def _with(base, **overrides):
+    tree = dict(base)
+    for path, content in overrides.items():
+        if content is None:
+            tree.pop(path, None)
+        else:
+            tree[path] = content
+    return tree
+
+
+def _inject(statement):
+    """Positive fixture: `statement` lands in the transitive helper
+    ProbeSlot — two hops below the TASQ_HOT root — proving enforcement is
+    transitive, not just on the annotated function."""
+    return _with(GOOD_TREE, **{
+        "src/app/fast.cc": GOOD_TREE["src/app/fast.cc"].replace(
+            "int ProbeSlot(int key) { return MixKey(key) & 1023; }",
+            "int ProbeSlot(int key) {\n"
+            f"  {statement}\n"
+            "  return MixKey(key) & 1023;\n"
+            "}")})
+
+
+def _inject_waived(statement, reason="bounded by ctor-time reserve"):
+    """Negative fixture: the same defect carrying a `// hot:` waiver."""
+    return _inject(f"{statement}  // hot: {reason}")
+
+
+# rule -> (positive tree, positive locks, negative tree, negative locks).
+def self_test_cases():
+    cases = {}
+    cases["hot-alloc"] = (
+        _inject("int* p = new int(key); delete p;"), GOOD_LOCKS,
+        _inject_waived("int* p = new int(key); delete p;",
+                       "freelist-backed; measured zero on warm path"),
+        GOOD_LOCKS)
+    cases["hot-container-growth"] = (
+        _inject("static std::vector<int> v; v.push_back(key);"), GOOD_LOCKS,
+        _inject_waived("static std::vector<int> v; v.push_back(key);"),
+        GOOD_LOCKS)
+    cases["hot-string"] = (
+        _inject("std::string s; (void)s;"), GOOD_LOCKS,
+        _inject_waived("std::string s; (void)s;",
+                       "SSO-only name, never exceeds 15 bytes"),
+        GOOD_LOCKS)
+    cases["hot-std-function"] = (
+        _inject("std::function<int()> f; (void)f;"), GOOD_LOCKS,
+        _inject_waived("std::function<int()> f; (void)f;",
+                       "empty target, never rebound"),
+        GOOD_LOCKS)
+    cases["hot-mutex"] = (
+        _inject("MutexLock lock(shard_mutex);"), GOOD_LOCKS,
+        # Negative: same lock, but the function is on the declared
+        # shard-local allowlist.
+        _inject("MutexLock lock(shard_mutex);"),
+        "ProbeSlot  # shard-local probe lock, O(1) critical section\n")
+    cases["hot-blocking"] = (
+        _inject("queue_cv.Wait(shard_mutex);  // hot: not the wait rule"
+                .replace("  // hot: not the wait rule", "")), GOOD_LOCKS,
+        _inject_waived("queue_cv.Wait(shard_mutex);",
+                       "bounded 1us adaptive backoff, measured"),
+        GOOD_LOCKS)
+    cases["hot-abort"] = (
+        _inject("TASQ_CHECK(key >= 0);"), GOOD_LOCKS,
+        _inject_waived("TASQ_CHECK(key >= 0);",
+                       "startup-only branch, unreachable after warmup"),
+        GOOD_LOCKS)
+    cases["hot-unresolved"] = (
+        _with(GOOD_TREE, **{
+            "src/app/fast.h": GOOD_TREE["src/app/fast.h"].replace(
+                "TASQ_HOT int FastLookup(int key);",
+                "TASQ_HOT int FastLookup(int key);\n"
+                "TASQ_HOT int GhostLookup(int key);")}),
+        GOOD_LOCKS, GOOD_TREE, GOOD_LOCKS)
+    cases["hot-stale-allowlist"] = (
+        GOOD_TREE, "Ghost::Function  # no such function\n",
+        GOOD_TREE, GOOD_LOCKS)
+    return cases
+
+
+def _materialize(tmp, tree, locks_text):
+    for rel, content in tree.items():
+        path = os.path.join(tmp, rel)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(content)
+    locks_file = os.path.join(tmp, LOCKS_PATH)
+    os.makedirs(os.path.dirname(locks_file), exist_ok=True)
+    with open(locks_file, "w", encoding="utf-8") as f:
+        f.write(locks_text)
+
+
+def self_test():
+    """Coverage-gated: every rule id must have a positive fixture that
+    fires exactly that rule (through a transitive callee, proving closure)
+    and a negative fixture that is completely quiet."""
+    cases = self_test_cases()
+    uncovered = set(RULE_IDS_ALL) - set(cases)
+    if uncovered:
+        print(f"self-test FAILED: rules without fixtures: "
+              f"{sorted(uncovered)}")
+        return 1
+    failures = 0
+    for rule, (pos_tree, pos_locks, neg_tree, neg_locks) in \
+            sorted(cases.items()):
+        with tempfile.TemporaryDirectory(
+                prefix="tasq_hot_selftest_") as tmp:
+            _materialize(tmp, pos_tree, pos_locks)
+            findings = run_checks(tmp)
+            fired = {f.rule for f in findings}
+            if rule not in fired:
+                print(f"self-test FAILED: [{rule}] positive fixture did "
+                      f"not fire (saw {sorted(fired) or 'nothing'})")
+                failures += 1
+            elif fired != {rule}:
+                print(f"self-test FAILED: [{rule}] positive fixture also "
+                      f"fired {sorted(fired - {rule})}")
+                for f in findings:
+                    print(f"  saw: {f}")
+                failures += 1
+        with tempfile.TemporaryDirectory(
+                prefix="tasq_hot_selftest_") as tmp:
+            _materialize(tmp, neg_tree, neg_locks)
+            leftover = run_checks(tmp)
+            if leftover:
+                print(f"self-test FAILED: [{rule}] negative fixture is "
+                      "not quiet:")
+                for f in leftover:
+                    print(f"  {f}")
+                failures += 1
+    # The cold function must stay invisible to the closure: its
+    # allocations never fire even in the conforming tree (checked above by
+    # the negative fixtures being quiet while ColdRefill push_backs).
+    if failures:
+        return 1
+    print(f"self-test passed: {len(cases)} rules, each firing through a "
+          "transitive callee and quiet when waived/allowlisted")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--root", default=REPO_ROOT,
+                        help="repository root to analyze")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="accept all current findings into the baseline")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run per-rule positive/negative fixtures")
+    parser.add_argument("--dot", metavar="PATH",
+                        help="write the hot call graph as Graphviz to PATH "
+                        "('-' for stdout)")
+    parser.add_argument("--list-hot", action="store_true",
+                        help="list every function in the enforced hot set")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    repo = Repo(args.root)
+
+    if args.dot:
+        dot = hot_dag_dot(repo)
+        if args.dot == "-":
+            sys.stdout.write(dot)
+        else:
+            with open(args.dot, "w", encoding="utf-8") as f:
+                f.write(dot)
+            print(f"hot call graph written to {args.dot}")
+        return 0
+
+    if args.list_hot:
+        hot_funcs, _ = hot_closure(repo)
+        for func in sorted(hot_funcs, key=lambda f: (f.rel, f.line)):
+            root = " [root]" if func.name in repo.hot_names else ""
+            print(f"{func.rel}:{func.line}: {func.qual_name}{root}")
+        print(f"{len(hot_funcs)} function(s) in the hot closure, "
+              f"{len(repo.hot_names)} annotated root name(s)")
+        return 0
+
+    findings = run_checks(args.root)
+
+    if args.update_baseline:
+        write_baseline(args.root, findings)
+        print(f"baseline updated with {len(findings)} finding(s)")
+        return 0
+
+    baseline = load_baseline(args.root)
+    new = [f for f in findings if f.key() not in baseline]
+    found_keys = {f.key() for f in findings}
+    stale = sorted(baseline - found_keys)
+
+    for finding in new:
+        print(finding)
+    if stale:
+        print(f"note: {len(stale)} stale baseline entr"
+              f"{'y' if len(stale) == 1 else 'ies'} (fixed findings — "
+              "run --update-baseline to prune):")
+        for key in stale:
+            print(f"  {key}")
+    if new:
+        print(f"\n{len(new)} new hot-path finding(s). Fix them or, if "
+              "accepted, run: python3 scripts/tasq_hot.py "
+              "--update-baseline")
+        return 1
+    hot_funcs, _ = hot_closure(repo)
+    print(f"hot ok ({len(hot_funcs)} function(s) enforced, "
+          f"{len(findings)} baselined finding(s), {len(stale)} stale)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,40 @@
+#ifndef TASQ_COMMON_HOT_H_
+#define TASQ_COMMON_HOT_H_
+
+/// Hot-path performance annotation — the marker behind the
+/// scripts/tasq_hot.py conformance analyzer (see DESIGN.md, "Hot-path
+/// conformance").
+///
+/// `TASQ_HOT` goes immediately before the return type of a function
+/// declaration (preferably the header declaration; annotating the
+/// definition also works):
+///
+///   TASQ_HOT uint64_t Fingerprint() const;
+///
+/// The annotation is a *contract*, enforced transitively over the static
+/// call graph by scripts/tasq_hot.py: the function, and every src/
+/// function reachable from it, must be
+///
+///   - allocation-free: no new/malloc/make_unique, no container growth
+///     (push_back/resize/insert/...), no std::string construction, no
+///     std::function (its captures heap-allocate);
+///   - lock-free except for locks on the declared shard-local allowlist
+///     (scripts/hot_locks.txt) — O(1) critical sections that are never
+///     held across allocation, I/O, or another lock;
+///   - non-blocking: no sleeps, no condition-variable waits, no I/O;
+///   - abort-free: no throw, no abort/exit, no TASQ_CHECK (use
+///     TASQ_DCHECK, which compiles out of Release serving builds).
+///
+/// A deliberate, reviewed exception carries a same-line (or
+/// preceding-line) waiver comment with a reason:
+///
+///   buffer.push_back(x);  // hot: bounded by ctor-time reserve(capacity)
+///
+/// The macro itself expands to nothing: it exists so the analyzer (and a
+/// reader) can see which paths promise predictable latency. The runtime
+/// tier (tests/alloc_counter.h + hot_path_test.cc) pins the promise down
+/// with a counting operator new: the warm cache-hit serving path must
+/// measure exactly zero heap allocations per request.
+#define TASQ_HOT
+
+#endif  // TASQ_COMMON_HOT_H_

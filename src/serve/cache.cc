@@ -14,7 +14,7 @@ uint64_t Mix(uint64_t z) {
 
 }  // namespace
 
-size_t ReportCacheKeyHash::operator()(const ReportCacheKey& key) const {
+size_t HashReportCacheKey(const ReportCacheKey& key) {
   // operator== compares reference_tokens with double ==, under which
   // -0.0 == +0.0 — but their bit patterns differ. Hash the canonical zero,
   // or equal keys would land in different buckets (the unordered_map
@@ -32,15 +32,30 @@ size_t ReportCacheKeyHash::operator()(const ReportCacheKey& key) const {
 ReportCache::ReportCache(size_t capacity) : capacity_(capacity) {}
 
 std::optional<WhatIfReport> ReportCache::Get(const ReportCacheKey& key) {
+  std::optional<WhatIfReport> report;
+  report.emplace();
+  if (!GetInto(key, &report.value())) {
+    report.reset();
+  }
+  return report;
+}
+
+bool ReportCache::GetInto(const ReportCacheKey& key, WhatIfReport* out) {
+  // Sanctioned by scripts/hot_locks.txt: shard-local mutex, O(1) critical
+  // section, never held across allocation, I/O, or another lock.
   MutexLock lock(mutex_);
   auto it = index_.find(key);
   if (it == index_.end()) {
     ++misses_;
-    return std::nullopt;
+    return false;
   }
   ++hits_;
   lru_.splice(lru_.begin(), lru_, it->second);  // Refresh recency.
-  return it->second->second;
+  // Copy-assign instead of returning a fresh report: when the caller's
+  // buffer is warm (its curve vector's capacity covers this report),
+  // libstdc++ reuses the storage and the hit allocates nothing.
+  *out = it->second->second;
+  return true;
 }
 
 void ReportCache::Put(const ReportCacheKey& key, WhatIfReport report) {

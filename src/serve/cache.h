@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/hot.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "tasq/what_if.h"
@@ -31,9 +32,17 @@ struct ReportCacheKey {
   }
 };
 
-/// Hash for ReportCacheKey (splitmix-style mixing of the four fields).
+/// Splitmix-style mix of the four key fields — the hash behind
+/// ReportCacheKeyHash, exposed as a free function so the hot-path
+/// analyzer can anchor its contract here (the functor call inside
+/// unordered_map is invisible to a textual call graph).
+TASQ_HOT size_t HashReportCacheKey(const ReportCacheKey& key);
+
+/// Hash for ReportCacheKey; delegates to HashReportCacheKey.
 struct ReportCacheKeyHash {
-  size_t operator()(const ReportCacheKey& key) const;
+  size_t operator()(const ReportCacheKey& key) const {
+    return HashReportCacheKey(key);
+  }
 };
 
 /// Counter snapshot of a cache instance since construction.
@@ -56,8 +65,18 @@ class ReportCache {
   explicit ReportCache(size_t capacity);
 
   /// Returns the cached report and refreshes its recency, or nullopt on a
-  /// miss. Counts the hit/miss either way.
+  /// miss. Counts the hit/miss either way. Allocating convenience over
+  /// GetInto; the serving fast path uses GetInto directly.
   std::optional<WhatIfReport> Get(const ReportCacheKey& key);
+
+  /// Copies the cached report into `*out` (refreshing recency) and
+  /// returns true, or returns false on a miss leaving `*out` untouched.
+  /// Counts the hit/miss either way. Steady-state allocation-free: the
+  /// copy-assign into a warm `*out` reuses the curve vector's existing
+  /// capacity, so a caller that recycles its report buffer pays zero
+  /// heap allocations per hit (pinned by tests/hot_path_test.cc). The
+  /// single shard-local lock is on the scripts/hot_locks.txt allowlist.
+  TASQ_HOT bool GetInto(const ReportCacheKey& key, WhatIfReport* out);
 
   /// Inserts (or refreshes) `report`, evicting the least recently used
   /// entry when at capacity.

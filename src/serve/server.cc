@@ -14,6 +14,15 @@ double MsSince(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+// Integer nanoseconds for the end-to-end histogram; steady_clock never
+// runs backwards, so the cast is safe. Allocation-free (hot-path callee).
+uint64_t NsSince(std::chrono::steady_clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
 void RecordLatency(StageLatency& stage, double ms) {
   ++stage.count;
   stage.total_ms += ms;
@@ -60,8 +69,10 @@ std::string ServerStats::ToText() const {
                 inference.max_ms);
   out += line;
   std::snprintf(line, sizeof(line),
-                "          end-to-end mean %.3f ms (max %.3f)\n",
-                end_to_end.mean_ms(), end_to_end.max_ms);
+                "          end-to-end mean %.3f ms (max %.3f, "
+                "p50 %.3f, p99 %.3f)\n",
+                end_to_end.mean_ms(), end_to_end.max_ms,
+                end_to_end.p50_ms(), end_to_end.p99_ms());
   out += line;
   return out;
 }
@@ -100,13 +111,11 @@ std::future<Result<WhatIfReport>> PccServer::Submit(ScoreRequest request) {
   pending.submitted_at = submitted_at;
   std::future<Result<WhatIfReport>> future = pending.promise.get_future();
 
-  {
-    MutexLock lock(stats_mutex_);
-    ++received_;
-  }
+  received_.fetch_add(1, std::memory_order_relaxed);
 
   // Fingerprint-cache fast path: recurring jobs (the dominant workload)
-  // skip the queue and model inference entirely.
+  // skip the queue and model inference entirely. (TryScoreCached is the
+  // future-free flavor of this same path.)
   std::optional<WhatIfReport> cached = cache_.Get(key);
   if (cached.has_value()) {
     FulfillOk(pending, std::move(cached.value()), /*from_cache=*/true);
@@ -143,6 +152,30 @@ std::future<Result<WhatIfReport>> PccServer::Submit(ScoreRequest request) {
   return future;
 }
 
+bool PccServer::TryScoreCached(const ScoreRequest& request,
+                               WhatIfReport* out) {
+  auto submitted_at = std::chrono::steady_clock::now();
+  ReportCacheKey key;
+  key.fingerprint = request.graph.Fingerprint();
+  key.model = request.model;
+  key.reference_tokens = request.reference_tokens;
+  key.grid_points = request.grid_points;
+  if (!cache_.GetInto(key, out)) {
+    // The miss is already in the cache counters; received_ stays
+    // untouched so the caller's follow-up Submit counts the request
+    // exactly once.
+    return false;
+  }
+  // A hit is a fully served request: count it exactly like a Submit-path
+  // completion. Relaxed is enough — the counts are published to the
+  // caller by this function's return (sequenced-before) and to other
+  // threads by whatever edge hands them the result.
+  received_.fetch_add(1, std::memory_order_relaxed);
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  end_to_end_hist_.Observe(NsSince(submitted_at));
+  return true;
+}
+
 Result<WhatIfReport> PccServer::Score(ScoreRequest request) {
   return Submit(std::move(request)).get();
 }
@@ -177,8 +210,12 @@ void PccServer::Shutdown() {
 }
 
 void PccServer::DrainQueue() {
+  // One scratch set per drainer activation: after the first few batches
+  // every vector below has grown to its steady-state capacity and the
+  // drain loop stops allocating batch bookkeeping altogether.
+  BatchScratch scratch;
   for (;;) {
-    std::vector<Pending> batch;
+    scratch.batch.clear();
     {
       MutexLock lock(mutex_);
       if (queue_.empty()) {
@@ -186,9 +223,9 @@ void PccServer::DrainQueue() {
         return;
       }
       size_t take = std::min(options_.max_batch, queue_.size());
-      batch.reserve(take);
+      scratch.batch.reserve(take);
       for (size_t i = 0; i < take; ++i) {
-        batch.push_back(std::move(queue_.front()));
+        scratch.batch.push_back(std::move(queue_.front()));
         queue_.pop_front();
       }
     }
@@ -196,35 +233,39 @@ void PccServer::DrainQueue() {
     auto picked_at = std::chrono::steady_clock::now();
     {
       MutexLock lock(stats_mutex_);
-      for (const Pending& pending : batch) {
+      for (const Pending& pending : scratch.batch) {
         RecordLatency(queue_wait_, std::chrono::duration<double, std::milli>(
                                 picked_at - pending.submitted_at)
                                 .count());
       }
       ++batches_;
-      batched_requests_ += batch.size();
+      batched_requests_ += scratch.batch.size();
     }
-    ProcessBatch(std::move(batch));
+    ProcessBatch(scratch);
   }
 }
 
-void PccServer::ProcessBatch(std::vector<Pending> batch) {
+void PccServer::ProcessBatch(BatchScratch& scratch) {
+  std::vector<Pending>& batch = scratch.batch;
   auto inference_start = std::chrono::steady_clock::now();
 
   // Group the parametric requests per model kind so the batch shares
   // inference (one NN forward pass per group); XGBoost-SS has no
   // parametric form and scores per request.
-  std::vector<size_t> parametric[kModelKindCount];
+  for (std::vector<size_t>& group : scratch.parametric) group.clear();
   for (size_t i = 0; i < batch.size(); ++i) {
     if (batch[i].request.model != ModelKind::kXgboostSs) {
-      parametric[static_cast<size_t>(batch[i].request.model)].push_back(i);
+      scratch.parametric[static_cast<size_t>(batch[i].request.model)]
+          .push_back(i);
     }
   }
-  for (const std::vector<size_t>& group : parametric) {
+  for (const std::vector<size_t>& group : scratch.parametric) {
     if (group.empty()) continue;
     ModelKind kind = batch[group.front()].request.model;
-    std::vector<const JobGraph*> graphs;
-    std::vector<double> reference_tokens;
+    std::vector<const JobGraph*>& graphs = scratch.graphs;
+    std::vector<double>& reference_tokens = scratch.reference_tokens;
+    graphs.clear();
+    reference_tokens.clear();
     graphs.reserve(group.size());
     reference_tokens.reserve(group.size());
     for (size_t i : group) {
@@ -279,39 +320,35 @@ void PccServer::FulfillOk(Pending& pending, WhatIfReport report,
   if (!from_cache) {
     cache_.Put(pending.key, report);
   }
-  double total_ms = MsSince(pending.submitted_at);
+  uint64_t total_ns = NsSince(pending.submitted_at);
   // Count before resolving the future so a caller that observed the result
-  // never reads a Stats() snapshot that has not seen it yet.
-  {
-    MutexLock lock(stats_mutex_);
-    ++completed_;
-    RecordLatency(end_to_end_, total_ms);
-  }
+  // never reads a Stats() snapshot that has not seen it yet — set_value /
+  // future::get is the happens-before edge that publishes these relaxed
+  // updates to the waiter.
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  end_to_end_hist_.Observe(total_ns);
   pending.promise.set_value(std::move(report));
 }
 
 void PccServer::FulfillError(Pending& pending, Status status) {
-  double total_ms = MsSince(pending.submitted_at);
-  {
-    MutexLock lock(stats_mutex_);
-    ++failed_;
-    RecordLatency(end_to_end_, total_ms);
-  }
+  uint64_t total_ns = NsSince(pending.submitted_at);
+  failed_.fetch_add(1, std::memory_order_relaxed);
+  end_to_end_hist_.Observe(total_ns);
   pending.promise.set_value(std::move(status));
 }
 
 ServerStats PccServer::Stats() const {
   ServerStats stats;
+  stats.received = received_.load(std::memory_order_relaxed);
+  stats.completed = completed_.load(std::memory_order_relaxed);
+  stats.failed = failed_.load(std::memory_order_relaxed);
+  stats.end_to_end = end_to_end_hist_.TakeSnapshot();
   {
     MutexLock lock(stats_mutex_);
-    stats.received = received_;
-    stats.completed = completed_;
-    stats.failed = failed_;
     stats.batches = batches_;
     stats.batched_requests = batched_requests_;
     stats.queue_wait = queue_wait_;
     stats.inference = inference_;
-    stats.end_to_end = end_to_end_;
   }
   {
     MutexLock lock(mutex_);

@@ -1,6 +1,7 @@
 #ifndef TASQ_SERVE_SERVER_H_
 #define TASQ_SERVE_SERVER_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <deque>
@@ -8,9 +9,11 @@
 #include <string>
 #include <vector>
 
+#include "common/hot.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "serve/cache.h"
+#include "serve/latency_histogram.h"
 #include "serve/thread_pool.h"
 #include "tasq/tasq.h"
 #include "tasq/what_if.h"
@@ -64,8 +67,11 @@ struct ServerStats {
   StageLatency queue_wait;
   /// Per-batch model-inference time (count == batches).
   StageLatency inference;
-  /// Per-request time from Submit to promise fulfillment.
-  StageLatency end_to_end;
+  /// Per-request time from Submit to fulfillment (TryScoreCached hits
+  /// included). A histogram snapshot rather than a plain accumulator:
+  /// mean/max as before, plus p50_ms()/p99_ms() tail quantiles, recorded
+  /// on the request path without a lock or an allocation.
+  LatencyHistogram::Snapshot end_to_end;
 
   /// Renders the snapshot as an aligned human-readable block.
   std::string ToText() const;
@@ -114,6 +120,20 @@ class PccServer {
   std::future<Result<WhatIfReport>> Submit(ScoreRequest request)
       TASQ_EXCLUDES(mutex_, stats_mutex_);
 
+  /// Synchronous fingerprint-cache fast path: on a hit, copies the cached
+  /// report into `*out` and returns true; on a miss, returns false
+  /// leaving `*out` untouched (the caller then goes through Submit).
+  /// This is the zero-allocation serving path: a caller that reuses one
+  /// `WhatIfReport` buffer across requests pays no heap allocation, no
+  /// future/promise machinery, and no lock beyond the cache's shard-local
+  /// one — pinned at exactly 0 allocations per warm hit by
+  /// tests/hot_path_test.cc and enforced transitively by
+  /// scripts/tasq_hot.py. Hits count into received/completed/cache_hits
+  /// and end-to-end latency exactly like Submit-path requests.
+  TASQ_HOT bool TryScoreCached(const ScoreRequest& request,
+                               WhatIfReport* out)
+      TASQ_EXCLUDES(mutex_, stats_mutex_);
+
   /// Blocking convenience: Submit + wait.
   TASQ_NODISCARD Result<WhatIfReport> Score(ScoreRequest request);
 
@@ -138,10 +158,23 @@ class PccServer {
     std::chrono::steady_clock::time_point submitted_at;
   };
 
+  /// Per-drainer scratch buffers, reused across every batch the drainer
+  /// processes: the steady-state batch loop reallocates nothing once the
+  /// vectors have grown to the realized batch size (clear() keeps
+  /// capacity). One instance per DrainQueue activation — never shared, so
+  /// no lock guards it.
+  struct BatchScratch {
+    std::vector<Pending> batch;
+    /// Request indices per parametric model kind.
+    std::vector<size_t> parametric[kModelKindCount];
+    std::vector<const JobGraph*> graphs;
+    std::vector<double> reference_tokens;
+  };
+
   /// Worker-side loop: repeatedly pulls up to max_batch pending requests
   /// and scores them; exits when the queue is empty.
   void DrainQueue() TASQ_EXCLUDES(mutex_, stats_mutex_);
-  void ProcessBatch(std::vector<Pending> batch)
+  void ProcessBatch(BatchScratch& scratch)
       TASQ_EXCLUDES(stats_mutex_);
   void ScoreOne(Pending& pending) TASQ_EXCLUDES(stats_mutex_);
   void FulfillOk(Pending& pending, WhatIfReport report, bool from_cache)
@@ -163,16 +196,23 @@ class PccServer {
   bool shutting_down_ TASQ_GUARDED_BY(mutex_) = false;
   size_t max_queue_depth_ TASQ_GUARDED_BY(mutex_) = 0;
 
-  // Observability counters, off the request path's critical lock.
+  // Per-request observability: lock-free so the cache-hit fast path
+  // (TryScoreCached) records without touching any mutex. Relaxed ordering
+  // suffices — counts are made visible to observers by the promise/future
+  // (or TryScoreCached-return) happens-before edge, not by the counters
+  // themselves.
+  std::atomic<uint64_t> received_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> failed_{0};
+  LatencyHistogram end_to_end_hist_;
+
+  // Batch-path observability, off the request path entirely (only
+  // drainers touch these, once per batch).
   mutable Mutex stats_mutex_;
-  uint64_t received_ TASQ_GUARDED_BY(stats_mutex_) = 0;
-  uint64_t completed_ TASQ_GUARDED_BY(stats_mutex_) = 0;
-  uint64_t failed_ TASQ_GUARDED_BY(stats_mutex_) = 0;
   uint64_t batches_ TASQ_GUARDED_BY(stats_mutex_) = 0;
   uint64_t batched_requests_ TASQ_GUARDED_BY(stats_mutex_) = 0;
   StageLatency queue_wait_ TASQ_GUARDED_BY(stats_mutex_);
   StageLatency inference_ TASQ_GUARDED_BY(stats_mutex_);
-  StageLatency end_to_end_ TASQ_GUARDED_BY(stats_mutex_);
 };
 
 }  // namespace tasq

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/hot.h"
 #include "common/status.h"
 #include "simcluster/job_plan.h"
 #include "workload/operators.h"
@@ -61,7 +62,9 @@ struct JobGraph {
   /// serving layer (src/serve) without comparing whole graphs. The value
   /// depends only on graph content — never on addresses or iteration
   /// order — and is stable across runs, threads, and processes.
-  uint64_t Fingerprint() const;
+  /// TASQ_HOT: runs per request on the serving fast path; walks the
+  /// operators in place without allocating (scripts/tasq_hot.py).
+  TASQ_HOT uint64_t Fingerprint() const;
 
   /// Checks ids are dense/ordered and inputs reference earlier operators.
   TASQ_NODISCARD Status Validate() const;

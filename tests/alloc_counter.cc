@@ -1,0 +1,114 @@
+#include "alloc_counter.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace tasq_test {
+namespace {
+
+std::atomic<uint64_t> g_allocations{0};
+
+void* CountedAllocate(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = 1;  // operator new must return a unique pointer.
+  return std::malloc(size);
+}
+
+void* CountedAllocateAligned(std::size_t size, std::size_t alignment) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = 1;
+  // aligned_alloc requires size to be a multiple of the alignment.
+  size = (size + alignment - 1) / alignment * alignment;
+  return std::aligned_alloc(alignment, size);
+}
+
+}  // namespace
+
+uint64_t AllocationCount() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+}  // namespace tasq_test
+
+// Global replacements: C++ finds these instead of the library versions in
+// every TU of a binary that links this object file. Allocation failure
+// aborts rather than throwing bad_alloc — a test harness has nothing
+// useful to do on OOM, and the abort keeps these functions trivially
+// noexcept-correct.
+
+void* operator new(std::size_t size) {
+  void* p = tasq_test::CountedAllocate(size);
+  if (p == nullptr) std::abort();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  void* p = tasq_test::CountedAllocate(size);
+  if (p == nullptr) std::abort();
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return tasq_test::CountedAllocate(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return tasq_test::CountedAllocate(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t alignment) {
+  void* p = tasq_test::CountedAllocateAligned(
+      size, static_cast<std::size_t>(alignment));
+  if (p == nullptr) std::abort();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t alignment) {
+  void* p = tasq_test::CountedAllocateAligned(
+      size, static_cast<std::size_t>(alignment));
+  if (p == nullptr) std::abort();
+  return p;
+}
+
+void* operator new(std::size_t size, std::align_val_t alignment,
+                   const std::nothrow_t&) noexcept {
+  return tasq_test::CountedAllocateAligned(
+      size, static_cast<std::size_t>(alignment));
+}
+
+void* operator new[](std::size_t size, std::align_val_t alignment,
+                     const std::nothrow_t&) noexcept {
+  return tasq_test::CountedAllocateAligned(
+      size, static_cast<std::size_t>(alignment));
+}
+
+// Every delete pairs with malloc/aligned_alloc above, so plain free()
+// releases all of them (glibc free handles aligned_alloc pointers).
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t,
+                     const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  std::free(p);
+}

@@ -14,6 +14,7 @@
 
 #include "common/parallel.h"
 #include "serve/cache.h"
+#include "serve/latency_histogram.h"
 #include "serve/server.h"
 #include "serve/thread_pool.h"
 #include "tasq/what_if.h"
@@ -388,10 +389,18 @@ TEST_F(ServeServerTest, StatsSnapshotIsCoherentAndPrintable) {
   EXPECT_EQ(stats.batched_requests, 5u);
   EXPECT_EQ(stats.end_to_end.count, 5u);
   EXPECT_GT(stats.end_to_end.total_ms, 0.0);
+  // Tail latency comes from the lock-free histogram: quantiles are
+  // positive once anything was served, monotone in q, and never exceed
+  // the observed maximum.
+  EXPECT_GT(stats.end_to_end.p50_ms(), 0.0);
+  EXPECT_LE(stats.end_to_end.p50_ms(), stats.end_to_end.p99_ms());
+  EXPECT_LE(stats.end_to_end.p99_ms(), stats.end_to_end.max_ms);
+  EXPECT_GE(stats.end_to_end.max_ms, stats.end_to_end.mean_ms());
   std::string text = stats.ToText();
   EXPECT_NE(text.find("requests:"), std::string::npos);
   EXPECT_NE(text.find("cache:"), std::string::npos);
   EXPECT_NE(text.find("latency:"), std::string::npos);
+  EXPECT_NE(text.find("p99"), std::string::npos);
 }
 
 }  // namespace

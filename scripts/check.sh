@@ -92,10 +92,11 @@ for leg in "${LEGS[@]}"; do
     asan) run_leg "asan+ubsan" build-check-asan "address;undefined" "" ;;
     # TSan's scheduler interleaving makes the full suite slow; the
     # concurrency-sensitive suites (ParallelFor*, ParallelStress*, the
-    # cluster simulator/scheduler + property tests, the serving layer, and
-    # the annotated mutex wrappers) are the ones a race can hide in.
+    # cluster simulator/scheduler + arbiter property tests, the serving
+    # layer, and the annotated mutex wrappers) are the ones a race can
+    # hide in.
     tsan) run_leg "tsan" build-check-tsan "thread" \
-                  "Parallel|Cluster|Serve|Mutex|CondVar|Determinism" ;;
+                  "Parallel|Cluster|Serve|Mutex|CondVar|Determinism|Arbiter" ;;
     # Full suite with FE_DIVBYZERO/FE_INVALID/FE_OVERFLOW delivering
     # SIGFPE: a green run proves the fmath.h guards are exhaustive.
     fpe) run_leg "fpe-traps" build-check-fpe "" "" \

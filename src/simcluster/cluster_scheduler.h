@@ -16,8 +16,13 @@ struct Submission {
   double arrival_seconds = 0.0;
   /// Tokens to reserve for the job's whole lifetime (SCOPE's guaranteed
   /// allocation: the job cannot start until the full request is free).
+  /// This is the *user-reported* demand — a strategic tenant may inflate
+  /// it, which is exactly what the arbiter policies are measured against.
   double requested_tokens = 1.0;
   JobPlan plan;
+  /// Owning tenant (user / virtual cluster). The FIFO baseline ignores it;
+  /// the multi-tenant arbiter policies allocate across tenants.
+  int64_t tenant_id = 0;
 };
 
 /// Scheduling outcome of one submission.
@@ -28,6 +33,11 @@ struct ScheduledJob {
   double finish_seconds = 0.0;
   double requested_tokens = 0.0;
   double runtime_seconds = 0.0;
+  /// Tokens actually granted and held for the job's lifetime. Equals
+  /// requested_tokens under FIFO gang admission; an arbiter may grant
+  /// less (partial grant) but never more.
+  double granted_tokens = 0.0;
+  int64_t tenant_id = 0;
 
   double wait_seconds() const { return start_seconds - arrival_seconds; }
 };
@@ -39,10 +49,68 @@ struct SchedulerConfig {
   /// When true, running jobs progressively release tokens they will never
   /// need again (the suffix maximum of their usage skyline) back to the
   /// pool — the adaptive-peak policy of the paper's [9] baseline. Jobs
-  /// still gang-admit at their full request.
+  /// still gang-admit at their full request. Not supported together with
+  /// an arbiter (arbiter grants are held whole until completion).
   bool adaptive_release = false;
   NoiseModel noise;
   uint64_t seed = 0;
+};
+
+/// A job waiting in the queue, as seen by an arbiter. `index` refers to
+/// the submissions vector passed to ClusterScheduler::Run; `pending` views
+/// are always in arrival order (ties by submission order).
+struct PendingJob {
+  size_t index = 0;
+  const Submission* submission = nullptr;
+};
+
+/// A job currently holding tokens, as seen by an arbiter.
+struct RunningJob {
+  size_t index = 0;
+  int64_t tenant_id = 0;
+  double granted_tokens = 0.0;
+};
+
+/// One admission decision: start pending job `index` now, holding `tokens`
+/// for its whole runtime. `tokens` must lie in [1, requested_tokens] and
+/// the grants of one arbitration must sum to at most the free pool.
+struct TokenGrant {
+  size_t index = 0;
+  double tokens = 0.0;
+};
+
+/// Everything an arbiter may condition on at one scheduling event. The
+/// referenced vectors are owned by the scheduler and valid only for the
+/// duration of the Arbitrate call.
+struct ArbitrationContext {
+  double now = 0.0;
+  double free_tokens = 0.0;
+  double cluster_tokens = 0.0;
+  const std::vector<PendingJob>& pending;
+  const std::vector<RunningJob>& running;
+};
+
+/// Decides, at each scheduling event, which queued jobs start now and at
+/// what token grant. Implementations (welfare-maximizing, max-min fair,
+/// Karma credits, and the FIFO baseline) live in src/arbiter; simcluster
+/// only defines the contract so the layer DAG stays acyclic.
+///
+/// Contract: Arbitrate must be deterministic given (Reset inputs, call
+/// sequence); grants must reference distinct pending indices with tokens
+/// in [1, requested_tokens] summing to at most free_tokens. Jobs not
+/// granted simply stay queued and are offered again at the next event.
+class AllocationArbiter {
+ public:
+  virtual ~AllocationArbiter() = default;
+
+  /// Called once per Run before any event, with the full (validated)
+  /// submission trace; stateful policies reset their accounts here.
+  virtual void Reset(const SchedulerConfig& config,
+                     const std::vector<Submission>& submissions) = 0;
+
+  /// Returns the grants for this scheduling event (may be empty).
+  virtual std::vector<TokenGrant> Arbitrate(
+      const ArbitrationContext& context) = 0;
 };
 
 /// A FIFO gang-admission scheduler over a finite token pool — the cluster-
@@ -50,20 +118,34 @@ struct SchedulerConfig {
 /// requests "reduce job wait time and improve overall resource
 /// availability".
 ///
-/// Semantics: submissions queue in arrival order; the head of the queue is
-/// admitted as soon as its full request is free (strict FIFO — no
+/// Default semantics: submissions queue in arrival order; the head of the
+/// queue is admitted as soon as its full request is free (strict FIFO — no
 /// backfilling, so over-allocation directly translates into head-of-line
 /// blocking); admitted jobs run on a private ClusterSimulator at their
 /// granted allocation and hold the full request until completion.
+///
+/// With an arbiter, admission and grant sizing are delegated: at every
+/// event (arrival or completion) the arbiter sees the pending queue, the
+/// running set, and the free pool, and returns the grants to start now.
 class ClusterScheduler {
  public:
   explicit ClusterScheduler(SchedulerConfig config)
       : config_(std::move(config)) {}
 
-  /// Simulates the whole submission trace. Fails if any request exceeds
-  /// the pool or any plan is invalid. Results are in submission order.
+  /// Simulates the whole submission trace under FIFO gang admission.
+  /// Fails if any request exceeds the pool or any plan is invalid.
+  /// Results are in submission order.
   TASQ_NODISCARD Result<std::vector<ScheduledJob>> Run(
       std::vector<Submission> submissions) const;
+
+  /// Simulates the trace with admission delegated to `arbiter` (nullptr
+  /// falls back to FIFO gang admission). The arbiter is Reset first and
+  /// then consulted at every scheduling event; if the pool is idle, the
+  /// trace is exhausted, and the arbiter still grants nothing, the oldest
+  /// pending job is force-admitted at its full request so every trace
+  /// drains (no-starvation backstop, see DESIGN.md).
+  TASQ_NODISCARD Result<std::vector<ScheduledJob>> Run(
+      std::vector<Submission> submissions, AllocationArbiter* arbiter) const;
 
   const SchedulerConfig& config() const { return config_; }
 
@@ -83,7 +165,12 @@ struct TraceSummary {
   double mean_reserved_fraction = 0.0;
 };
 
-/// Summarizes a trace returned by ClusterScheduler::Run.
+/// Summarizes a trace returned by ClusterScheduler::Run. Reservation
+/// accounting uses granted tokens when present (arbiter traces) and falls
+/// back to requested tokens for hand-built jobs. Degenerate inputs — an
+/// empty trace, a non-positive pool, or a zero-length span (e.g. a single
+/// zero-runtime job) — return all-zero summaries rather than dividing by
+/// zero.
 TraceSummary SummarizeTrace(const std::vector<ScheduledJob>& trace,
                             double cluster_tokens);
 

@@ -1,0 +1,234 @@
+// Behavioral and strategy-proofness regressions for the allocation
+// arbiter policies. The canonical-trace tests pin the incentive story:
+// a tenant that inflates its requests strictly gains under welfare-max
+// (the documented exploit of a strategy-naive objective) while Karma's
+// credit pricing bounds the same liar's gain.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "arbiter/allocation_arbiter.h"
+#include "simcluster/cluster_scheduler.h"
+#include "workload/generator.h"
+
+namespace tasq {
+namespace {
+
+JobPlan FlatPlan(int tasks, double duration) {
+  JobPlan plan;
+  plan.stages.push_back(StageSpec{0, {}, tasks, duration});
+  return plan;
+}
+
+Submission MakeSubmission(int64_t id, int64_t tenant, double arrival,
+                          double tokens, JobPlan plan) {
+  Submission submission;
+  submission.job_id = id;
+  submission.tenant_id = tenant;
+  submission.arrival_seconds = arrival;
+  submission.requested_tokens = tokens;
+  submission.plan = std::move(plan);
+  return submission;
+}
+
+std::unique_ptr<PolicyArbiter> Arbiter(ArbiterPolicy policy,
+                                       const std::vector<Submission>& subs,
+                                       double initial_credits = 5000.0) {
+  ArbiterOptions options;
+  options.policy = policy;
+  options.karma_initial_credits = initial_credits;
+  return MakeArbiter(options, BeliefsFromPlans(subs));
+}
+
+TEST(ArbiterTest, PolicyNamesAreStable) {
+  EXPECT_STREQ(ArbiterPolicyName(ArbiterPolicy::kFifoGang), "fifo");
+  EXPECT_STREQ(ArbiterPolicyName(ArbiterPolicy::kWelfareMax), "welfare");
+  EXPECT_STREQ(ArbiterPolicyName(ArbiterPolicy::kMaxMinFair), "maxmin");
+  EXPECT_STREQ(ArbiterPolicyName(ArbiterPolicy::kKarma), "karma");
+}
+
+TEST(ArbiterTest, FifoArbiterMatchesInlineScheduler) {
+  // The kFifoGang policy routed through the arbiter machinery must
+  // reproduce the scheduler's built-in FIFO path byte for byte.
+  WorkloadConfig config;
+  config.seed = 5;
+  WorkloadGenerator generator(config);
+  std::vector<Submission> submissions;
+  double arrival = 0.0;
+  for (const Job& job : generator.Generate(100, 40)) {
+    arrival += 7.0;
+    submissions.push_back(MakeSubmission(
+        job.id, job.id % 3, arrival,
+        std::min(200.0, std::max(1.0, job.default_tokens)), job.plan));
+  }
+  ClusterScheduler scheduler(SchedulerConfig{200.0, false, {}, 3});
+  auto inline_trace = scheduler.Run(submissions);
+  auto arbiter = Arbiter(ArbiterPolicy::kFifoGang, submissions);
+  auto arbiter_trace = scheduler.Run(submissions, arbiter.get());
+  ASSERT_TRUE(inline_trace.ok());
+  ASSERT_TRUE(arbiter_trace.ok());
+  EXPECT_EQ(FormatTrace(inline_trace.value()),
+            FormatTrace(arbiter_trace.value()));
+}
+
+TEST(ArbiterTest, WelfareGrantsMoreToScalableJob) {
+  // Job 1 parallelizes (80 tasks); job 2 saturates at 2 tokens. Under
+  // contention welfare-max should pour tokens into the scalable job.
+  std::vector<Submission> submissions = {
+      MakeSubmission(1, 0, 0.0, 80.0, FlatPlan(80, 10.0)),
+      MakeSubmission(2, 1, 0.0, 80.0, FlatPlan(2, 10.0)),
+  };
+  ClusterScheduler scheduler(SchedulerConfig{100.0, false, {}, 0});
+  auto arbiter = Arbiter(ArbiterPolicy::kWelfareMax, submissions);
+  auto trace = scheduler.Run(submissions, arbiter.get());
+  ASSERT_TRUE(trace.ok());
+  EXPECT_GT(trace.value()[0].granted_tokens,
+            2.0 * trace.value()[1].granted_tokens);
+}
+
+TEST(ArbiterTest, MaxMinLetsLightTenantThrough) {
+  // Tenant 0 floods three 30-token jobs; tenant 1 asks for one. FIFO
+  // blocks tenant 1 behind the flood; max-min gives each tenant its
+  // share, so tenant 1 starts immediately.
+  std::vector<Submission> submissions = {
+      MakeSubmission(1, 0, 0.0, 30.0, FlatPlan(30, 10.0)),
+      MakeSubmission(2, 0, 0.0, 30.0, FlatPlan(30, 10.0)),
+      MakeSubmission(3, 0, 0.0, 30.0, FlatPlan(30, 10.0)),
+      MakeSubmission(4, 1, 0.0, 30.0, FlatPlan(30, 10.0)),
+  };
+  ClusterScheduler scheduler(SchedulerConfig{60.0, false, {}, 0});
+  auto fifo = Arbiter(ArbiterPolicy::kFifoGang, submissions);
+  auto fifo_trace = scheduler.Run(submissions, fifo.get());
+  auto maxmin = Arbiter(ArbiterPolicy::kMaxMinFair, submissions);
+  auto maxmin_trace = scheduler.Run(submissions, maxmin.get());
+  ASSERT_TRUE(fifo_trace.ok());
+  ASSERT_TRUE(maxmin_trace.ok());
+  EXPECT_GT(fifo_trace.value()[3].wait_seconds(), 5.0);
+  EXPECT_LT(maxmin_trace.value()[3].wait_seconds(), 1.0);
+}
+
+TEST(ArbiterTest, KarmaChargesBursterAndPaysDonors) {
+  // Tenant 0 bursts to the whole pool while tenant 1 idles: the burst
+  // cost must move credits from tenant 0 to tenant 1, conserving the sum.
+  std::vector<Submission> submissions = {
+      MakeSubmission(1, 0, 0.0, 100.0, FlatPlan(100, 8.0)),
+      MakeSubmission(2, 1, 500.0, 10.0, FlatPlan(10, 8.0)),
+  };
+  ClusterScheduler scheduler(SchedulerConfig{100.0, false, {}, 0});
+  auto arbiter = Arbiter(ArbiterPolicy::kKarma, submissions, 1000.0);
+  auto trace = scheduler.Run(submissions, arbiter.get());
+  ASSERT_TRUE(trace.ok());
+  const auto& credits = arbiter->tenant_credits();
+  ASSERT_EQ(credits.size(), 2u);
+  EXPECT_LT(credits.at(0), 1000.0);
+  EXPECT_GT(credits.at(1), 1000.0);
+  EXPECT_NEAR(credits.at(0) + credits.at(1), 2000.0, 1e-6);
+}
+
+TEST(ArbiterTest, KarmaDebtBoundCapsBurstGrant) {
+  // With a nearly empty account and no debt allowance, a tenant asking
+  // for the whole pool is capped close to its fair share (half the pool
+  // for two tenants): the over-share part it cannot pay for is refused.
+  std::vector<Submission> submissions = {
+      MakeSubmission(1, 0, 0.0, 100.0, FlatPlan(100, 8.0)),
+      MakeSubmission(2, 1, 500.0, 10.0, FlatPlan(10, 8.0)),
+  };
+  ClusterScheduler scheduler(SchedulerConfig{100.0, false, {}, 0});
+  auto arbiter = Arbiter(ArbiterPolicy::kKarma, submissions, 10.0);
+  auto trace = scheduler.Run(submissions, arbiter.get());
+  ASSERT_TRUE(trace.ok());
+  EXPECT_GE(trace.value()[0].granted_tokens, 45.0);
+  EXPECT_LE(trace.value()[0].granted_tokens, 55.0);
+  EXPECT_GE(arbiter->tenant_credits().at(0), -1e-6);
+}
+
+TEST(ArbiterTest, WithInflatedRequestsClampsToPool) {
+  std::vector<Submission> submissions = {
+      MakeSubmission(1, 0, 0.0, 60.0, FlatPlan(10, 1.0)),
+      MakeSubmission(2, 1, 0.0, 60.0, FlatPlan(10, 1.0)),
+  };
+  auto inflated = WithInflatedRequests(submissions, 0, 3.0, 100.0);
+  EXPECT_DOUBLE_EQ(inflated[0].requested_tokens, 100.0);  // 180 capped.
+  EXPECT_DOUBLE_EQ(inflated[1].requested_tokens, 60.0);   // Untouched.
+}
+
+TEST(ArbiterTest, BeliefsFromPlansAreMonotone) {
+  std::vector<Submission> submissions = {
+      MakeSubmission(1, 0, 0.0, 50.0, FlatPlan(64, 5.0)),
+  };
+  PccBeliefs beliefs = BeliefsFromPlans(submissions);
+  ASSERT_EQ(beliefs.count(1), 1u);
+  EXPECT_TRUE(beliefs[1].IsMonotoneNonIncreasing());
+  EXPECT_GT(beliefs[1].EvalRunTime(4.0), beliefs[1].EvalRunTime(64.0));
+}
+
+TEST(ArbiterTest, TenantMetricsAndLiarsGainEdgeCases) {
+  TenantMetrics empty = ComputeTenantMetrics({}, 100.0);
+  EXPECT_DOUBLE_EQ(empty.utilization, 0.0);
+  EXPECT_DOUBLE_EQ(empty.p95_wait_seconds, 0.0);
+  // A liar's gain over a tenant absent from either trace is zero.
+  EXPECT_DOUBLE_EQ(LiarsGain(empty, empty, 7), 0.0);
+}
+
+/// The canonical strategy-proofness trace: four symmetric tenants submit
+/// one perfectly scalable job per round (request = fair share), with
+/// rounds spaced so the honest trace has no queueing. The liar (tenant 0)
+/// inflates every request 3x.
+struct CanonicalTrace {
+  std::vector<Submission> honest;
+  std::vector<Submission> lying;
+  static constexpr double kPool = 100.0;
+  static constexpr int64_t kLiar = 0;
+
+  CanonicalTrace() {
+    int64_t id = 0;
+    for (int round = 0; round < 12; ++round) {
+      for (int64_t tenant = 0; tenant < 4; ++tenant) {
+        honest.push_back(MakeSubmission(
+            ++id, tenant, 40.0 * round + 0.01 * static_cast<double>(tenant),
+            25.0, FlatPlan(100, 8.0)));
+      }
+    }
+    lying = WithInflatedRequests(honest, kLiar, 3.0, kPool);
+  }
+
+  double Gain(ArbiterPolicy policy, double initial_credits) const {
+    ClusterScheduler scheduler(SchedulerConfig{kPool, false, {}, 0});
+    auto honest_arbiter = Arbiter(policy, honest, initial_credits);
+    auto honest_trace = scheduler.Run(honest, honest_arbiter.get());
+    auto lying_arbiter = Arbiter(policy, lying, initial_credits);
+    auto lying_trace = scheduler.Run(lying, lying_arbiter.get());
+    EXPECT_TRUE(honest_trace.ok());
+    EXPECT_TRUE(lying_trace.ok());
+    return LiarsGain(ComputeTenantMetrics(honest_trace.value(), kPool),
+                     ComputeTenantMetrics(lying_trace.value(), kPool), kLiar);
+  }
+};
+
+TEST(ArbiterStrategyProofnessTest, WelfareMaxRewardsInflatedRequests) {
+  // The documented exploit: welfare-max trusts the reported demand, so
+  // the liar's bigger cap wins it more tokens and a strictly better
+  // latency. The gain must clear the bound Karma is held to below.
+  CanonicalTrace trace;
+  double welfare_gain = trace.Gain(ArbiterPolicy::kWelfareMax, 800.0);
+  EXPECT_GT(welfare_gain, 0.10);  // Measured 0.125 on the canonical trace.
+}
+
+TEST(ArbiterStrategyProofnessTest, KarmaBoundsTheLiarsGain) {
+  // Karma prices the same inflation in credits: after the endowment is
+  // spent, the liar collapses back to its fair share. Its gain stays
+  // under a fixed bound strictly below the welfare-max exploit.
+  CanonicalTrace trace;
+  double karma_gain = trace.Gain(ArbiterPolicy::kKarma, 800.0);
+  double welfare_gain = trace.Gain(ArbiterPolicy::kWelfareMax, 800.0);
+  // Measured: karma 0.042 vs welfare 0.125. The bound sits between the
+  // two so either policy drifting across it fails loudly.
+  EXPECT_LT(karma_gain, 0.08);
+  EXPECT_LT(karma_gain, welfare_gain);
+}
+
+}  // namespace
+}  // namespace tasq

@@ -172,6 +172,71 @@ TEST(ClusterSchedulerTest, SummaryStatistics) {
   EXPECT_DOUBLE_EQ(empty.span_seconds, 0.0);
 }
 
+TEST(ClusterSchedulerTest, SummarizeTraceDegenerateInputs) {
+  // Empty trace: every field is zero, no division happens (the fpe leg
+  // runs this with FE_INVALID trapping, so a 0/0 would SIGFPE).
+  TraceSummary empty = SummarizeTrace({}, 10.0);
+  EXPECT_DOUBLE_EQ(empty.mean_wait_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(empty.median_wait_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(empty.p95_wait_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(empty.mean_runtime_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(empty.span_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(empty.mean_reserved_fraction, 0.0);
+
+  // A non-positive pool cannot be divided by either.
+  ScheduledJob job;
+  job.arrival_seconds = 1.0;
+  job.start_seconds = 2.0;
+  job.finish_seconds = 5.0;
+  job.runtime_seconds = 3.0;
+  job.requested_tokens = 4.0;
+  EXPECT_DOUBLE_EQ(SummarizeTrace({job}, 0.0).mean_reserved_fraction, 0.0);
+
+  // Single zero-runtime job: span is zero, so the reserved fraction must
+  // stay zero instead of dividing 0/0; percentile indexing on the
+  // one-element wait vector is in range.
+  ScheduledJob instant;
+  instant.arrival_seconds = 3.0;
+  instant.start_seconds = 3.0;
+  instant.finish_seconds = 3.0;
+  instant.runtime_seconds = 0.0;
+  instant.requested_tokens = 2.0;
+  TraceSummary summary = SummarizeTrace({instant}, 10.0);
+  EXPECT_DOUBLE_EQ(summary.span_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(summary.mean_reserved_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(summary.p95_wait_seconds, 0.0);
+}
+
+TEST(ClusterSchedulerTest, SummarizeTraceSingleJob) {
+  ScheduledJob job;
+  job.arrival_seconds = 0.0;
+  job.start_seconds = 2.0;
+  job.finish_seconds = 6.0;
+  job.runtime_seconds = 4.0;
+  job.requested_tokens = 5.0;
+  TraceSummary summary = SummarizeTrace({job}, 10.0);
+  EXPECT_DOUBLE_EQ(summary.mean_wait_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(summary.median_wait_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(summary.p95_wait_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(summary.span_seconds, 6.0);
+  // 5 tokens * 4 s over a pool of 10 across 6 s of span.
+  EXPECT_NEAR(summary.mean_reserved_fraction, 20.0 / 60.0, 1e-12);
+}
+
+TEST(ClusterSchedulerTest, SummarizeTraceUsesGrantedTokensWhenPresent) {
+  // Arbiter traces hold the grant, not the request: reservation
+  // accounting must weight by granted_tokens when it is set.
+  ScheduledJob job;
+  job.arrival_seconds = 0.0;
+  job.start_seconds = 0.0;
+  job.finish_seconds = 4.0;
+  job.runtime_seconds = 4.0;
+  job.requested_tokens = 8.0;
+  job.granted_tokens = 2.0;
+  TraceSummary summary = SummarizeTrace({job}, 10.0);
+  EXPECT_NEAR(summary.mean_reserved_fraction, 8.0 / 40.0, 1e-12);
+}
+
 TEST(ClusterSchedulerTest, ResultsInSubmissionOrder) {
   ClusterScheduler scheduler(SchedulerConfig{50.0, false, {}, 0});
   auto trace = scheduler.Run({

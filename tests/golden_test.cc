@@ -15,7 +15,10 @@
 #include <sstream>
 #include <string>
 
+#include "arbiter/allocation_arbiter.h"
 #include "common/fpe.h"
+#include "common/rng.h"
+#include "simcluster/cluster_scheduler.h"
 #include "tasq/what_if.h"
 #include "workload/generator.h"
 
@@ -47,6 +50,24 @@ std::string ReadFileOrEmpty(const std::string& path) {
   return buffer.str();
 }
 
+// Compares `actual` against the named golden file, or rewrites the file
+// when the binary ran with --update_golden.
+void CheckGolden(const std::string& name, const std::string& actual) {
+  const std::string path = GoldenPath(name);
+  if (g_update_golden) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    return;
+  }
+  std::string expected = ReadFileOrEmpty(path);
+  ASSERT_FALSE(expected.empty())
+      << path << " is missing; run golden_test --update_golden";
+  EXPECT_EQ(actual, expected)
+      << "report drifted from " << path
+      << " (rerun with --update_golden if the change is intentional)";
+}
+
 class GoldenReportTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
@@ -73,25 +94,6 @@ class GoldenReportTest : public ::testing::Test {
     generator_ = nullptr;
   }
 
-  // Compares `actual` against the named golden file, or rewrites the file
-  // when the binary ran with --update_golden.
-  static void CheckGolden(const std::string& name,
-                          const std::string& actual) {
-    const std::string path = GoldenPath(name);
-    if (g_update_golden) {
-      std::ofstream out(path);
-      ASSERT_TRUE(out.good()) << "cannot write " << path;
-      out << actual;
-      return;
-    }
-    std::string expected = ReadFileOrEmpty(path);
-    ASSERT_FALSE(expected.empty())
-        << path << " is missing; run golden_test --update_golden";
-    EXPECT_EQ(actual, expected)
-        << "report drifted from " << path
-        << " (rerun with --update_golden if the change is intentional)";
-  }
-
   static Tasq* pipeline_;
   static WorkloadGenerator* generator_;
 };
@@ -113,6 +115,48 @@ TEST_F(GoldenReportTest, WhatIfReportsMatchGoldenFiles) {
       CheckGolden(name, report.value().ToText());
     }
   }
+}
+
+// Pins the scheduled trace of a fixed 64-job multi-tenant workload under
+// all four arbiter policies, so any change to arbitration, grant sizing,
+// or the scheduler's event loop shows up as a readable line diff.
+TEST(GoldenArbiterTest, PolicyTracesMatchGoldenFile) {
+  WorkloadConfig config;
+  config.seed = 23;
+  WorkloadGenerator generator(config);
+  auto jobs = generator.Generate(500, 64);
+  constexpr double kPool = 400.0;
+  Rng rng(2311);
+  std::vector<Submission> submissions;
+  double burst_start = 0.0;
+  size_t i = 0;
+  while (i < jobs.size()) {
+    burst_start += rng.LogNormal(std::log(90.0), 0.7);
+    int64_t burst = rng.UniformInt(2, 6);
+    for (int64_t k = 0; k < burst && i < jobs.size(); ++k, ++i) {
+      Submission submission;
+      submission.job_id = jobs[i].id;
+      submission.tenant_id = static_cast<int64_t>(i % 4);
+      submission.arrival_seconds = burst_start + rng.Uniform(0.0, 4.0);
+      submission.requested_tokens =
+          std::min(kPool, std::max(1.0, jobs[i].default_tokens));
+      submission.plan = jobs[i].plan;
+      submissions.push_back(std::move(submission));
+    }
+  }
+  ClusterScheduler scheduler(SchedulerConfig{kPool, false, {}, 42});
+  std::string rendered;
+  for (int p = 0; p < kArbiterPolicyCount; ++p) {
+    ArbiterOptions options;
+    options.policy = static_cast<ArbiterPolicy>(p);
+    auto arbiter = MakeArbiter(options, BeliefsFromPlans(submissions));
+    auto trace = scheduler.Run(submissions, arbiter.get());
+    ASSERT_TRUE(trace.ok()) << ArbiterPolicyName(options.policy);
+    rendered += std::string("== policy ") +
+                ArbiterPolicyName(options.policy) + " ==\n";
+    rendered += FormatTrace(trace.value());
+  }
+  CheckGolden("arbiter_policies.txt", rendered);
 }
 
 }  // namespace

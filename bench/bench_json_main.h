@@ -1,0 +1,97 @@
+#ifndef TASQ_BENCH_BENCH_JSON_MAIN_H_
+#define TASQ_BENCH_BENCH_JSON_MAIN_H_
+
+// Shared custom main for the google-benchmark microbench binaries
+// (ROADMAP item 5): run the registered benchmarks exactly as
+// BENCHMARK_MAIN() would — console output, --benchmark_* flags — while
+// also capturing each benchmark's ns/op (and items/s where reported)
+// and writing them as one flat BenchJson object, so microbench_core and
+// microbench_fmath feed the BENCH_*.json perf trajectory like
+// microbench_serving does, and scripts/bench_diff.py can diff runs
+// mechanically.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace tasq {
+
+/// JSON keys must stay flat and greppable: "BM_FitPowerLaw/256" becomes
+/// "BM_FitPowerLaw_256_ns_per_op".
+inline std::string BenchKeySanitize(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    bool word = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                (c >= '0' && c <= '9');
+    out += word ? c : '_';
+  }
+  return out;
+}
+
+/// Console reporter that additionally records (name, ns/op, items/s) for
+/// every iteration report it prints.
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Captured {
+    std::string name;
+    double ns_per_op = 0.0;
+    double items_per_second = 0.0;  // 0 when the bench reports none.
+  };
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      Captured captured;
+      captured.name = run.benchmark_name();
+      if (run.iterations > 0) {
+        captured.ns_per_op = run.real_accumulated_time /
+                             static_cast<double>(run.iterations) * 1e9;
+      }
+      auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        captured.items_per_second = items->second.value;
+      }
+      captured_.push_back(captured);
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  const std::vector<Captured>& captured() const { return captured_; }
+
+ private:
+  std::vector<Captured> captured_;
+};
+
+/// Drop-in replacement for BENCHMARK_MAIN()'s body: run everything, then
+/// write the captured measurements to `json_path` (repo-root-relative
+/// when invoked from the repo root, matching the other BENCH emitters).
+inline int RunBenchmarksAndWriteJson(int argc, char** argv,
+                                     const std::string& source,
+                                     const std::string& json_path) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonCaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  bench::BenchJson json;
+  json.SetString("bench", source);
+  for (const JsonCaptureReporter::Captured& captured : reporter.captured()) {
+    std::string key = BenchKeySanitize(captured.name);
+    json.Set(key + "_ns_per_op", captured.ns_per_op);
+    if (captured.items_per_second > 0.0) {
+      json.Set(key + "_items_per_s", captured.items_per_second);
+    }
+  }
+  if (!json.WriteFile(json_path)) return 1;
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}
+
+}  // namespace tasq
+
+#endif  // TASQ_BENCH_BENCH_JSON_MAIN_H_

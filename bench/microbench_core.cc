@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "arepas/arepas.h"
+#include "bench/bench_json_main.h"
 #include "common/check.h"
 #include "feat/featurizer.h"
 #include "gnn/gnn_model.h"
@@ -122,4 +123,9 @@ BENCHMARK(BM_GnnPredict);
 }  // namespace
 }  // namespace tasq
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): identical run + console
+// output, plus BENCH_core.json for the perf trajectory (ROADMAP item 5).
+int main(int argc, char** argv) {
+  return tasq::RunBenchmarksAndWriteJson(argc, argv, "microbench_core",
+                                         "BENCH_core.json");
+}

@@ -9,6 +9,7 @@
 #include <cmath>
 #include <vector>
 
+#include "bench/bench_json_main.h"
 #include "common/fmath.h"
 #include "common/rng.h"
 #include "pcc/pcc.h"
@@ -117,4 +118,9 @@ BENCHMARK(BM_FitPowerLaw)->Arg(16)->Arg(256);
 }  // namespace
 }  // namespace tasq
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): identical run + console
+// output, plus BENCH_fmath.json for the perf trajectory (ROADMAP item 5).
+int main(int argc, char** argv) {
+  return tasq::RunBenchmarksAndWriteJson(argc, argv, "microbench_fmath",
+                                         "BENCH_fmath.json");
+}

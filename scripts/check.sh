@@ -2,11 +2,11 @@
 # Runs the full correctness matrix locally:
 #
 #   1. analyzers          every conformance analyzer (tasq_lint, tasq_arch,
-#                         tasq_num, tasq_hot): repo run, self-test, and an
-#                         empty-baseline gate each. CI's static-analysis
-#                         job invokes this leg verbatim, so the local and
-#                         CI analyzer matrices cannot drift. (`lint` is a
-#                         deprecated alias.)
+#                         tasq_num, tasq_hot, tasq_sync): repo run,
+#                         self-test, and an empty-baseline gate each. CI's
+#                         static-analysis job invokes this leg verbatim, so
+#                         the local and CI analyzer matrices cannot drift.
+#                         (`lint` is a deprecated alias.)
 #   2. Release            build + full ctest
 #   3. ASan + UBSan       build + full ctest
 #   4. TSan               build + the concurrency-sensitive tests
@@ -80,6 +80,8 @@ analyzers_leg() {
                num_baseline.txt
   run_analyzer tasq_hot.py "hot-path performance conformance" \
                hot_baseline.txt
+  run_analyzer tasq_sync.py "atomics & lock-free conformance" \
+               sync_baseline.txt
 }
 
 LEGS=("$@")
@@ -93,10 +95,11 @@ for leg in "${LEGS[@]}"; do
     # TSan's scheduler interleaving makes the full suite slow; the
     # concurrency-sensitive suites (ParallelFor*, ParallelStress*, the
     # cluster simulator/scheduler + arbiter property tests, the serving
-    # layer, and the annotated mutex wrappers) are the ones a race can
-    # hide in.
+    # layer, the annotated mutex wrappers, and the lock-free sync
+    # primitives) are the ones a race can hide in. Keep this regex in
+    # lockstep with the tsan job in .github/workflows/ci.yml.
     tsan) run_leg "tsan" build-check-tsan "thread" \
-                  "Parallel|Cluster|Serve|Mutex|CondVar|Determinism|Arbiter" ;;
+                  "Parallel|Cluster|Serve|Mutex|CondVar|Determinism|Arbiter|Sync" ;;
     # Full suite with FE_DIVBYZERO/FE_INVALID/FE_OVERFLOW delivering
     # SIGFPE: a green run proves the fmath.h guards are exhaustive.
     fpe) run_leg "fpe-traps" build-check-fpe "" "" \

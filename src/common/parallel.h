@@ -57,6 +57,10 @@ inline void ParallelFor(size_t count, const std::function<void(size_t)>& body,
     for (size_t i = 0; i < count; ++i) body(i);
     return;
   }
+  // Relaxed throughout for both atomics: `next` only partitions indices
+  // (each i is claimed exactly once by the RMW; results are published by
+  // the joins below, not by the counter), and `cancelled` is a
+  // best-effort stop flag whose only effect is skipping work.
   std::atomic<size_t> next{0};
   std::atomic<bool> cancelled{false};
   Mutex exception_mutex;
@@ -106,6 +110,9 @@ inline void ParallelFor(Executor& executor, size_t count,
     return;
   }
   struct SharedState {
+    // Relaxed (same reasoning as the thread-spawning overload): the
+    // ticket RMW claims each index exactly once, the stop flag is
+    // best-effort, and completion is published by done_cv/mutex.
     std::atomic<size_t> next{0};
     std::atomic<bool> cancelled{false};
     Mutex mutex;

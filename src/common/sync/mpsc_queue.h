@@ -1,0 +1,141 @@
+#ifndef TASQ_COMMON_SYNC_MPSC_QUEUE_H_
+#define TASQ_COMMON_SYNC_MPSC_QUEUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/hot.h"
+
+namespace tasq {
+
+/// Bounded multi-producer single-consumer ring (Vyukov sequence-number
+/// scheme). Producers claim slots with a CAS loop; hand-off per slot is
+/// a release store / acquire load of that slot's sequence number, so no
+/// mutex is ever taken and the fast path never allocates — the backing
+/// array is sized once at construction (TASQ_HOT-compatible on both
+/// ends).
+///
+/// This is the per-shard request queue for the shard-per-core serving
+/// design (ROADMAP item 1): many request threads push, exactly one
+/// shard worker pops. The single-consumer restriction is what lets the
+/// head cursor stay a plain (non-atomic) integer; calling TryPop from
+/// two threads concurrently is a data race by contract, and the TSan
+/// stress suite (tests/sync_test.cc) exercises the supported shape.
+///
+/// T must be default-constructible and movable. Slots hold T by value:
+/// a popped element is moved out and the slot is recycled, so T's own
+/// move must not block (true for pointers, PODs, and small structs —
+/// the intended cargo).
+template <typename T>
+class MpscQueue {
+ public:
+  /// Capacity is rounded up to a power of two (minimum 2) so slot
+  /// indexing is a mask, not a division.
+  explicit MpscQueue(size_t min_capacity)
+      : cells_(RoundUpPow2(min_capacity)), mask_(cells_.size() - 1) {
+    for (size_t i = 0; i < cells_.size(); ++i) {
+      // Slot i is initially writable by the producer whose ticket == i.
+      // Relaxed: the queue is not shared until the constructor returns.
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  size_t capacity() const noexcept { return cells_.size(); }
+
+  /// Attempts to enqueue; returns false if the ring is full. Safe to
+  /// call from any number of producer threads concurrently. Lock-free:
+  /// a stalled producer cannot block others from claiming later slots,
+  /// though an unfinished *write* delays the consumer reaching that
+  /// slot (bounded ring, FIFO hand-off).
+  TASQ_HOT bool TryPush(T value) noexcept {
+    // Relaxed: the ticket value itself carries no payload; slot
+    // ownership is established by the seq acquire load below.
+    uint64_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[static_cast<size_t>(pos) & mask_];
+      // Acquire: pairs with the consumer's release in TryPop — after
+      // this we may overwrite the slot the consumer finished with.
+      uint64_t seq = cell.seq.load(std::memory_order_acquire);
+      int64_t dif = static_cast<int64_t>(seq) - static_cast<int64_t>(pos);
+      if (dif == 0) {
+        // Slot is free for ticket `pos`: claim it. Weak CAS in a retry
+        // loop (spurious failure just re-reads `pos` and tries again).
+        // Relaxed on both: winning the ticket publishes nothing —
+        // the release store of seq below is the actual hand-off.
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed,
+                                        std::memory_order_relaxed)) {
+          cell.value = std::move(value);
+          // Release: publishes cell.value to the consumer's acquire.
+          cell.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+        // CAS failure reloaded `pos`; loop re-examines the new slot.
+      } else if (dif < 0) {
+        // Slot still holds an unconsumed element from one lap ago:
+        // the ring is full.
+        return false;
+      } else {
+        // Another producer claimed ticket `pos` first; chase the tail.
+        // Relaxed: same reasoning as the initial ticket read.
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Attempts to dequeue into *out; returns false if the ring is empty.
+  /// Must only ever be called from one thread at a time (the consumer).
+  TASQ_HOT bool TryPop(T* out) noexcept {
+    Cell& cell = cells_[static_cast<size_t>(head_) & mask_];
+    // Acquire: pairs with the producer's release — after this,
+    // cell.value is fully written.
+    uint64_t seq = cell.seq.load(std::memory_order_acquire);
+    if (static_cast<int64_t>(seq) - static_cast<int64_t>(head_ + 1) < 0) {
+      return false;  // Producer for this slot has not published yet.
+    }
+    *out = std::move(cell.value);
+    // Release: hands the emptied slot back to the producer one lap
+    // ahead (its acquire load of seq pairs with this).
+    cell.seq.store(head_ + cells_.size(), std::memory_order_release);
+    // head_ is plain on purpose: only the single consumer touches it.
+    ++head_;
+    return true;
+  }
+
+ private:
+  struct Cell {
+    /// Ticket protocol: seq == index        → free for producer lap 0,
+    ///                  seq == ticket + 1   → full, ready for consumer,
+    ///                  seq == ticket + cap → free for the next lap.
+    std::atomic<uint64_t> seq{0};
+    T value{};
+  };
+
+  static size_t RoundUpPow2(size_t n) {
+    size_t cap = 2;
+    while (cap < n) {
+      TASQ_CHECK(cap <= (size_t{1} << 62));
+      cap <<= 1;
+    }
+    return cap;
+  }
+
+  std::vector<Cell> cells_;
+  size_t mask_;
+  /// Producer ticket counter (multi-writer, CAS-claimed).
+  std::atomic<uint64_t> tail_{0};
+  /// Consumer cursor. Deliberately non-atomic: single-consumer contract.
+  uint64_t head_ = 0;
+};
+
+}  // namespace tasq
+
+#endif  // TASQ_COMMON_SYNC_MPSC_QUEUE_H_

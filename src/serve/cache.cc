@@ -1,6 +1,7 @@
 #include "serve/cache.h"
 
 #include <bit>
+#include <utility>
 
 namespace tasq {
 
@@ -41,50 +42,84 @@ std::optional<WhatIfReport> ReportCache::Get(const ReportCacheKey& key) {
 }
 
 bool ReportCache::GetInto(const ReportCacheKey& key, WhatIfReport* out) {
-  // Sanctioned by scripts/hot_locks.txt: shard-local mutex, O(1) critical
-  // section, never held across allocation, I/O, or another lock.
-  MutexLock lock(mutex_);
-  auto it = index_.find(key);
-  if (it == index_.end()) {
-    ++misses_;
+  // Zero locks: pin the current table version (lock-free), look up, copy
+  // out. A concurrent Put publishes a *new* table; the pinned version and
+  // every entry it references stay valid until the pin is released.
+  Snapshot<Table>::View table = table_.Read();
+  auto it = table->find(key);
+  if (it == table->end()) {
+    // Relaxed: independent event counter (see header).
+    misses_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
-  ++hits_;
-  lru_.splice(lru_.begin(), lru_, it->second);  // Refresh recency.
+  // Refresh recency. Relaxed store: the tick feeds the eviction
+  // heuristic only; no other data is published through it.
+  it->second->last_used.store(NextTick(), std::memory_order_relaxed);
+  // Relaxed: independent event counter (see header).
+  hits_.fetch_add(1, std::memory_order_relaxed);
   // Copy-assign instead of returning a fresh report: when the caller's
   // buffer is warm (its curve vector's capacity covers this report),
   // libstdc++ reuses the storage and the hit allocates nothing.
-  *out = it->second->second;
+  *out = it->second->report;
   return true;
 }
 
 void ReportCache::Put(const ReportCacheKey& key, WhatIfReport report) {
   if (capacity_ == 0) return;
-  MutexLock lock(mutex_);
-  auto it = index_.find(key);
-  if (it != index_.end()) {
-    it->second->second = std::move(report);
-    lru_.splice(lru_.begin(), lru_, it->second);
+  // Copy-update-swap, serialized across writers so no Put can overwrite
+  // another's insert: copy the current table (per-entry shared_ptr copy,
+  // not report bytes), mutate the copy, publish. Readers keep serving
+  // the previous version lock-free until the publish lands.
+  MutexLock lock(put_mutex_);
+  auto next = std::make_shared<Table>(*table_.ReadOwned());
+
+  if (auto it = next->find(key); it != next->end()) {
+    // Refresh: entries are immutable after publication, so replace the
+    // entry rather than mutating the report other readers may be copying.
+    auto entry = std::make_shared<CacheEntry>();
+    entry->report = std::move(report);
+    entry->last_used.store(NextTick(), std::memory_order_relaxed);
+    it->second = std::move(entry);
+    table_.Publish(std::move(next));
     return;
   }
-  if (lru_.size() >= capacity_) {
-    index_.erase(lru_.back().first);
-    lru_.pop_back();
-    ++evictions_;
+
+  if (next->size() >= capacity_) {
+    // Evict the minimum-tick entry — exactly the back of the old
+    // std::list LRU under sequential use, approximate under racing hits.
+    auto victim = next->begin();
+    uint64_t victim_tick =
+        victim->second->last_used.load(std::memory_order_relaxed);
+    for (auto it = std::next(next->begin()); it != next->end(); ++it) {
+      uint64_t tick = it->second->last_used.load(std::memory_order_relaxed);
+      if (tick < victim_tick) {
+        victim = it;
+        victim_tick = tick;
+      }
+    }
+    next->erase(victim);
+    // Relaxed: independent event counter (see header).
+    evictions_.fetch_add(1, std::memory_order_relaxed);
   }
-  lru_.emplace_front(key, std::move(report));
-  index_[key] = lru_.begin();
-  ++insertions_;
+
+  auto entry = std::make_shared<CacheEntry>();
+  entry->report = std::move(report);
+  entry->last_used.store(NextTick(), std::memory_order_relaxed);
+  (*next)[key] = std::move(entry);
+  // Relaxed: independent event counter (see header).
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+  table_.Publish(std::move(next));
 }
 
 ReportCacheCounters ReportCache::counters() const {
-  MutexLock lock(mutex_);
   ReportCacheCounters counters;
-  counters.hits = hits_;
-  counters.misses = misses_;
-  counters.evictions = evictions_;
-  counters.insertions = insertions_;
-  counters.size = lru_.size();
+  // Relaxed loads: each counter is independently exact; callers only
+  // rely on cross-counter consistency at quiescence (see header).
+  counters.hits = hits_.load(std::memory_order_relaxed);
+  counters.misses = misses_.load(std::memory_order_relaxed);
+  counters.evictions = evictions_.load(std::memory_order_relaxed);
+  counters.insertions = insertions_.load(std::memory_order_relaxed);
+  counters.size = table_.ReadOwned()->size();
   counters.capacity = capacity_;
   return counters;
 }

@@ -1,15 +1,15 @@
 #ifndef TASQ_SERVE_CACHE_H_
 #define TASQ_SERVE_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
-#include <list>
+#include <memory>
 #include <optional>
 #include <unordered_map>
-#include <utility>
 
 #include "common/hot.h"
 #include "common/mutex.h"
-#include "common/thread_annotations.h"
+#include "common/sync/snapshot.h"
 #include "tasq/what_if.h"
 
 namespace tasq {
@@ -60,6 +60,18 @@ struct ReportCacheCounters {
 /// compile-time graph), so the serving layer answers repeats from here
 /// and skips model inference entirely. Capacity 0 disables caching (every
 /// Get is a miss, Put is a no-op) — handy for A/B benchmarks.
+///
+/// Concurrency design (PR 8, ROADMAP item 1): the table is an immutable
+/// snapshot behind Snapshot<Table>, so the read path — GetInto, the
+/// serving fast path — takes **zero locks**: one lock-free snapshot pin,
+/// a hash lookup, and relaxed-atomic counter bumps. Writers (Put) do
+/// copy-update-swap of the whole table under a writer mutex; recency is
+/// a shared monotonic tick written into each entry's relaxed atomic
+/// `last_used` on every hit, and eviction scans for the minimum tick.
+/// Under sequential use the tick order is exactly the classic list-LRU
+/// order (the unit tests pin this); under concurrency it is LRU up to
+/// racing hits, which only shifts *which* entry evicts, never breaks
+/// the size bound.
 class ReportCache {
  public:
   explicit ReportCache(size_t capacity);
@@ -71,34 +83,61 @@ class ReportCache {
 
   /// Copies the cached report into `*out` (refreshing recency) and
   /// returns true, or returns false on a miss leaving `*out` untouched.
-  /// Counts the hit/miss either way. Steady-state allocation-free: the
+  /// Counts the hit/miss either way. Lock-free (Snapshot<Table> pin; no
+  /// mutex anywhere on this path) and steady-state allocation-free: the
   /// copy-assign into a warm `*out` reuses the curve vector's existing
   /// capacity, so a caller that recycles its report buffer pays zero
-  /// heap allocations per hit (pinned by tests/hot_path_test.cc). The
-  /// single shard-local lock is on the scripts/hot_locks.txt allowlist.
+  /// heap allocations per hit (pinned by tests/hot_path_test.cc).
   TASQ_HOT bool GetInto(const ReportCacheKey& key, WhatIfReport* out);
 
   /// Inserts (or refreshes) `report`, evicting the least recently used
-  /// entry when at capacity.
+  /// entry when at capacity. Cold path: copies the table (shared_ptr
+  /// per entry, not report bytes) and publishes the new version.
   void Put(const ReportCacheKey& key, WhatIfReport report);
 
-  /// Point-in-time counters (consistent snapshot).
+  /// Point-in-time counters. Each counter is individually exact; a
+  /// cross-counter snapshot is only guaranteed consistent when no
+  /// concurrent operations are in flight (true everywhere it is read:
+  /// tests and post-drain stats).
   ReportCacheCounters counters() const;
 
  private:
-  using Entry = std::pair<ReportCacheKey, WhatIfReport>;
+  /// One cached report. The report is immutable after publication; the
+  /// recency tick is the only mutable field and is updated by readers
+  /// through a relaxed store (no ordering needed — it feeds an eviction
+  /// heuristic, not a happens-before edge).
+  struct CacheEntry {
+    WhatIfReport report;
+    mutable std::atomic<uint64_t> last_used{0};
+  };
+
+  /// Entries are shared between successive table versions, so a hit's
+  /// recency bump is visible to the writer regardless of which version
+  /// the reader pinned.
+  using Table =
+      std::unordered_map<ReportCacheKey, std::shared_ptr<const CacheEntry>,
+                         ReportCacheKeyHash>;
+
+  uint64_t NextTick() const {
+    // Relaxed: the tick is a monotonic recency stamp; ordering between
+    // the bump and the entry store it feeds is irrelevant to safety.
+    return tick_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   const size_t capacity_;  // Immutable after construction.
-  mutable Mutex mutex_;
-  // Most recently used at the front.
-  std::list<Entry> lru_ TASQ_GUARDED_BY(mutex_);
-  std::unordered_map<ReportCacheKey, std::list<Entry>::iterator,
-                     ReportCacheKeyHash>
-      index_ TASQ_GUARDED_BY(mutex_);
-  uint64_t hits_ TASQ_GUARDED_BY(mutex_) = 0;
-  uint64_t misses_ TASQ_GUARDED_BY(mutex_) = 0;
-  uint64_t evictions_ TASQ_GUARDED_BY(mutex_) = 0;
-  uint64_t insertions_ TASQ_GUARDED_BY(mutex_) = 0;
+  /// Guarded by put_mutex_: the read-copy-update sequence in Put (read
+  /// current table, copy, mutate, publish). Readers never take it —
+  /// they go through table_'s lock-free pin protocol.
+  mutable Mutex put_mutex_;
+  Snapshot<Table> table_;
+  /// Monotonic recency clock; advanced (relaxed) by hits and inserts.
+  mutable std::atomic<uint64_t> tick_{0};
+  // Statistic counters: relaxed throughout — each is an independent
+  // monotonic event count, never used to order or publish other data.
+  mutable std::atomic<uint64_t> hits_{0};
+  mutable std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> insertions_{0};
 };
 
 }  // namespace tasq

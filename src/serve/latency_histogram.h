@@ -9,6 +9,7 @@
 #include <cstdint>
 
 #include "common/hot.h"
+#include "common/sync/pause.h"
 
 namespace tasq {
 
@@ -75,17 +76,27 @@ class LatencyHistogram {
 
   /// Observes one duration. Hot-path safe: relaxed atomics only.
   TASQ_HOT void Observe(uint64_t ns) noexcept {
+    // Relaxed throughout: each counter is an independent statistic; the
+    // snapshot contract (see class comment) never derives a
+    // happens-before edge from them.
     buckets_[static_cast<size_t>(std::bit_width(ns))].fetch_add(
         1, std::memory_order_relaxed);
     count_.fetch_add(1, std::memory_order_relaxed);
     total_ns_.fetch_add(ns, std::memory_order_relaxed);
     uint64_t prev = max_ns_.load(std::memory_order_relaxed);
+    // Weak CAS in a retry loop: retries only while racing writers raise
+    // the max (CAS failure reloads `prev`). Relaxed success and failure
+    // orders — the max publishes no other data.
     while (prev < ns && !max_ns_.compare_exchange_weak(
-                            prev, ns, std::memory_order_relaxed)) {
+                            prev, ns, std::memory_order_relaxed,
+                            std::memory_order_relaxed)) {
+      CpuRelax();
     }
   }
 
   Snapshot TakeSnapshot() const {
+    // Relaxed loads: monitoring read of independent counters; exactness
+    // across counters comes from external happens-before edges only.
     Snapshot snapshot;
     snapshot.count = count_.load(std::memory_order_relaxed);
     snapshot.total_ms =

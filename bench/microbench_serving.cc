@@ -124,6 +124,39 @@ int main() {
     json.Set(key, rps);
   }
 
+  // Cold submit path allocations/request: one thread, cache off, the
+  // request stream moved in so only serving-side work is measured —
+  // promise/future machinery, queue entries, featurization, NN inference,
+  // report assembly. The arena-backed BatchScratch plus scratch-reusing
+  // featurize/inference path (PR 9) holds this to the single-digit
+  // steady-state budget enforced by tests/hot_path_test.cc.
+  {
+    std::vector<ScoreRequest> stream = cold;  // Copy outside the meter.
+    PccServerOptions cold_options;
+    cold_options.num_threads = 1;
+    cold_options.queue_capacity = 64;
+    cold_options.max_batch = 16;
+    cold_options.cache_capacity = 0;
+    PccServer server(pipeline, cold_options);
+    uint64_t allocations_before = tasq_test::AllocationCount();
+    std::vector<Result<WhatIfReport>> results =
+        server.ScoreBatch(std::move(stream));
+    uint64_t allocations = tasq_test::AllocationCount() - allocations_before;
+    for (const auto& result : results) {
+      if (!result.ok()) {
+        std::fprintf(stderr, "cold request failed: %s\n",
+                     result.status().ToString().c_str());
+        return 1;
+      }
+    }
+    double per_request = static_cast<double>(allocations) /
+                         static_cast<double>(results.size());
+    std::printf("\ncold submit path: %.2f allocations/request "
+                "(1 thread, cache off)\n",
+                per_request);
+    json.Set("cold_submit_allocations_per_request", per_request);
+  }
+
   // Warm workload: 90% of requests recur from a 24-job working set (cache
   // hits after first touch), 10% are fresh jobs — the recurring-job regime
   // the fingerprint cache is built for.

@@ -2,7 +2,7 @@
 # Runs the full correctness matrix locally:
 #
 #   1. analyzers          every conformance analyzer (tasq_lint, tasq_arch,
-#                         tasq_num, tasq_hot, tasq_sync): repo run,
+#                         tasq_num, tasq_hot, tasq_sync, tasq_own): repo run,
 #                         self-test, and an empty-baseline gate each. CI's
 #                         static-analysis job invokes this leg verbatim, so
 #                         the local and CI analyzer matrices cannot drift.
@@ -82,6 +82,8 @@ analyzers_leg() {
                hot_baseline.txt
   run_analyzer tasq_sync.py "atomics & lock-free conformance" \
                sync_baseline.txt
+  run_analyzer tasq_own.py "ownership & allocation discipline" \
+               own_baseline.txt
 }
 
 LEGS=("$@")

@@ -93,8 +93,10 @@ class Snapshot {
       }
     }
 
+    // own: borrowed unpinned in Release; the Snapshot outlives its Views
     const Snapshot* owner_ = nullptr;
     uint32_t slot_ = 0;
+    // own: borrowed points into the pinned slot's version while pinned
     const T* value_ = nullptr;
   };
 

@@ -52,21 +52,28 @@ std::string Featurizer::JobFeatureName(size_t index) {
   return "unknown";
 }
 
-Result<std::vector<double>> Featurizer::JobLevel(const JobGraph& graph) const {
+Status Featurizer::JobLevelInto(const JobGraph& graph, double* out) const {
   Status valid = graph.Validate();
   if (!valid.ok()) return valid;
-  std::vector<double> agg(kJobFeatureDim, 0.0);
-  std::vector<double> row(kOperatorFeatureDim);
+  double row[kOperatorFeatureDim];
+  for (size_t k = 0; k < kJobFeatureDim; ++k) out[k] = 0.0;
   double n = static_cast<double>(graph.operators.size());
   for (const OperatorNode& node : graph.operators) {
-    OperatorRow(node, row.data());
+    OperatorRow(node, row);
     // Numeric features (first 10) are aggregated by mean; categorical
     // one-hots by frequency count (paper §4.3).
-    for (size_t k = 0; k < 10; ++k) agg[k] += row[k] / n;
-    for (size_t k = 10; k < kOperatorFeatureDim; ++k) agg[k] += row[k];
+    for (size_t k = 0; k < 10; ++k) out[k] += row[k] / n;
+    for (size_t k = 10; k < kOperatorFeatureDim; ++k) out[k] += row[k];
   }
-  agg[kOperatorFeatureDim] = n;
-  agg[kOperatorFeatureDim + 1] = static_cast<double>(graph.NumStages());
+  out[kOperatorFeatureDim] = n;
+  out[kOperatorFeatureDim + 1] = static_cast<double>(graph.NumStages());
+  return Status::Ok();
+}
+
+Result<std::vector<double>> Featurizer::JobLevel(const JobGraph& graph) const {
+  std::vector<double> agg(kJobFeatureDim, 0.0);
+  Status status = JobLevelInto(graph, agg.data());
+  if (!status.ok()) return status;
   return agg;
 }
 
@@ -150,8 +157,12 @@ FeatureScaler FeatureScaler::Deserialize(TextArchiveReader& reader,
 }
 
 void FeatureScaler::Transform(std::vector<double>& vec) const {
-  for (size_t c = 0; c < vec.size() && c < mean_.size(); ++c) {
-    vec[c] = (vec[c] - mean_[c]) / std_[c];
+  TransformRow(vec.data(), vec.size());
+}
+
+void FeatureScaler::TransformRow(double* row, size_t dim) const {
+  for (size_t c = 0; c < dim && c < mean_.size(); ++c) {
+    row[c] = (row[c] - mean_[c]) / std_[c];
   }
 }
 

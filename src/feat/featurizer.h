@@ -50,6 +50,12 @@ class Featurizer {
   /// Only the aggregated job-level vector (cheaper; used by XGBoost/NN).
   TASQ_NODISCARD Result<std::vector<double>> JobLevel(const JobGraph& graph) const;
 
+  /// JobLevel into a caller-provided buffer of kJobFeatureDim doubles.
+  /// Heap-allocation-free (the per-operator row lives on the stack —
+  /// both dims are constexpr): this is the cold serving path's
+  /// featurizer, bit-identical to JobLevel (which delegates here).
+  TASQ_NODISCARD Status JobLevelInto(const JobGraph& graph, double* out) const;
+
   /// Fills `out` (size kOperatorFeatureDim) with one operator's features.
   static void OperatorRow(const OperatorNode& node, double* out);
 
@@ -75,6 +81,11 @@ class FeatureScaler {
 
   /// Standardizes a row-major matrix in place (size must be rows * dim()).
   void TransformMatrix(std::vector<double>& data) const;
+
+  /// Standardizes `dim` values in place starting at `row` (the
+  /// allocation-free flavor used by the serving path; `dim` values beyond
+  /// the fitted dimension are left untouched, matching Transform).
+  void TransformRow(double* row, size_t dim) const;
 
   size_t dim() const { return mean_.size(); }
   const std::vector<double>& mean() const { return mean_; }

@@ -55,6 +55,16 @@ class Matrix {
   std::vector<double>& data() { return data_; }
   const std::vector<double>& data() const { return data_; }
 
+  /// Reshapes to rows x cols, reusing the existing storage when its
+  /// capacity allows (contents are unspecified afterwards). Scratch
+  /// matrices on the serving path Resize per batch and stop allocating
+  /// once warm.
+  void Resize(size_t rows, size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
+
   /// Sets every element to zero.
   void SetZero();
 

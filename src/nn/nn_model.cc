@@ -4,11 +4,55 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/fmath.h"
 #include "common/rng.h"
 #include "ml/matrix_io.h"
 #include "ml/optimizer.h"
 
 namespace tasq {
+
+namespace {
+
+/// out = activation(x * w + bias) with bias row-broadcast. Replicates the
+/// autograd path bit-for-bit: the product accumulates in Matrix::MatMul's
+/// i,k,j order (including its exact-zero operand skip), the bias is added
+/// to the completed sum exactly as the Add node does, and the activation
+/// is applied elementwise last — so PredictBatchInto and the autograd
+/// Forward produce identical bytes (pinned by the determinism tests).
+void DenseLayerInto(const Matrix& x, const Matrix& w, const Matrix& bias,
+                    double (*activation)(double), Matrix* out) {
+  TASQ_CHECK_EQ(x.cols(), w.rows());
+  size_t rows = x.rows();
+  size_t inner = x.cols();
+  size_t cols = w.cols();
+  out->Resize(rows, cols);
+  out->SetZero();
+  const double* xd = x.data().data();
+  const double* wd = w.data().data();
+  double* od = out->data().data();
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t k = 0; k < inner; ++k) {
+      double a = xd[i * inner + k];
+      // num: float-eq exact-zero operand: skipping is a pure optimization
+      if (a == 0.0) continue;
+      const double* brow = &wd[k * cols];
+      double* orow = &od[i * cols];
+      for (size_t j = 0; j < cols; ++j) orow[j] += a * brow[j];
+    }
+  }
+  const double* bd = bias.data().data();
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < cols; ++j) {
+      od[i * cols + j] = activation(od[i * cols + j] + bd[j]);
+    }
+  }
+}
+
+double ActivationRelu(double x) { return x > 0.0 ? x : 0.0; }
+double ActivationSoftplus(double x) { return StableSoftplus(x); }
+double ActivationIdentity(double x) { return x; }
+
+}  // namespace
 
 Status PccSupervision::Validate(bool needs_xgb) const {
   size_t n = targets.size();
@@ -265,20 +309,44 @@ Result<PowerLawPcc> NnPccModel::Predict(
 
 Result<std::vector<PowerLawPcc>> NnPccModel::PredictBatch(
     const std::vector<double>& features, size_t count) const {
-  if (!trained()) {
-    return Status::FailedPrecondition("model has not been trained");
-  }
   if (features.size() != count * input_dim_ || count == 0) {
     return Status::InvalidArgument("feature matrix size mismatch");
   }
-  Matrix x(count, input_dim_, features);
-  auto [p1, p2] = Forward(MakeConstant(std::move(x)));
-  std::vector<PowerLawPcc> out;
-  out.reserve(count);
-  for (size_t i = 0; i < count; ++i) {
-    out.push_back(scaling_->FromScaled(p1->value.At(i, 0), p2->value.At(i, 0)));
-  }
+  InferenceScratch scratch;
+  std::vector<PowerLawPcc> out(count);
+  Status status = PredictBatchInto(features.data(), count, scratch,
+                                   out.data());
+  if (!status.ok()) return status;
   return out;
+}
+
+Status NnPccModel::PredictBatchInto(const double* features, size_t count,
+                                    InferenceScratch& scratch,
+                                    PowerLawPcc* out) const {
+  if (!trained()) {
+    return Status::FailedPrecondition("model has not been trained");
+  }
+  if (count == 0) return Status::Ok();
+  scratch.input.Resize(count, input_dim_);
+  std::copy_n(features, count * input_dim_, scratch.input.data().begin());
+  if (scratch.hidden.size() != layer_weights_.size()) {
+    scratch.hidden.resize(layer_weights_.size());
+  }
+  const Matrix* h = &scratch.input;
+  for (size_t i = 0; i < layer_weights_.size(); ++i) {
+    DenseLayerInto(*h, layer_weights_[i]->value, layer_biases_[i]->value,
+                   ActivationRelu, &scratch.hidden[i]);
+    h = &scratch.hidden[i];
+  }
+  DenseLayerInto(*h, head1_weight_->value, head1_bias_->value,
+                 ActivationSoftplus, &scratch.head1);
+  DenseLayerInto(*h, head2_weight_->value, head2_bias_->value,
+                 ActivationIdentity, &scratch.head2);
+  for (size_t i = 0; i < count; ++i) {
+    out[i] = scaling_->FromScaled(scratch.head1.At(i, 0),
+                                  scratch.head2.At(i, 0));
+  }
+  return Status::Ok();
 }
 
 }  // namespace tasq

@@ -72,6 +72,26 @@ class NnPccModel {
   TASQ_NODISCARD Result<std::vector<PowerLawPcc>> PredictBatch(
       const std::vector<double>& features, size_t count) const;
 
+  /// Reusable activation buffers for PredictBatchInto. Matrices keep
+  /// their capacity across calls, so a serving loop that recycles one
+  /// scratch pays zero heap allocations per batch once warm.
+  struct InferenceScratch {
+    Matrix input;
+    std::vector<Matrix> hidden;
+    Matrix head1;
+    Matrix head2;
+  };
+
+  /// Inference-only batch prediction into `out` (size `count`),
+  /// allocation-free once `scratch` is warm. Bit-identical to the
+  /// autograd Forward pass: the dense layers replicate Matrix::MatMul's
+  /// accumulation order (and its exact-zero skip) plus the Add bias
+  /// broadcast and activations exactly — PredictBatch delegates here, so
+  /// the golden/determinism tests pin both paths to the same bytes.
+  TASQ_NODISCARD Status PredictBatchInto(const double* features, size_t count,
+                                         InferenceScratch& scratch,
+                                         PowerLawPcc* out) const;
+
   /// Total trainable scalar parameters (Table 7).
   int64_t NumParameters() const;
 

@@ -249,36 +249,51 @@ void PccServer::ProcessBatch(BatchScratch& scratch) {
   std::vector<Pending>& batch = scratch.batch;
   auto inference_start = std::chrono::steady_clock::now();
 
+  // Everything assembled for this batch lives in the scratch arena and
+  // dies here: pointers below must not outlive this call (tasq_own.py's
+  // arena-escape rule). Reset keeps the arena's blocks, so the assembly
+  // is heap-allocation-free once the blocks have grown to the realized
+  // batch size.
+  scratch.arena.Reset();
+  Arena& arena = scratch.arena.arena();
+
   // Group the parametric requests per model kind so the batch shares
   // inference (one NN forward pass per group); XGBoost-SS has no
   // parametric form and scores per request.
-  for (std::vector<size_t>& group : scratch.parametric) group.clear();
+  static_assert(kModelKindCount == 4,
+                "parametric group initializers below cover every kind");
+  ArenaVector<size_t> parametric[kModelKindCount] = {
+      ArenaVector<size_t>(ArenaAllocator<size_t>(&arena)),
+      ArenaVector<size_t>(ArenaAllocator<size_t>(&arena)),
+      ArenaVector<size_t>(ArenaAllocator<size_t>(&arena)),
+      ArenaVector<size_t>(ArenaAllocator<size_t>(&arena))};
+  for (ArenaVector<size_t>& group : parametric) group.reserve(batch.size());
   for (size_t i = 0; i < batch.size(); ++i) {
     if (batch[i].request.model != ModelKind::kXgboostSs) {
-      scratch.parametric[static_cast<size_t>(batch[i].request.model)]
-          .push_back(i);
+      parametric[static_cast<size_t>(batch[i].request.model)].push_back(i);
     }
   }
-  for (const std::vector<size_t>& group : scratch.parametric) {
+  for (const ArenaVector<size_t>& group : parametric) {
     if (group.empty()) continue;
     ModelKind kind = batch[group.front()].request.model;
-    std::vector<const JobGraph*>& graphs = scratch.graphs;
-    std::vector<double>& reference_tokens = scratch.reference_tokens;
-    graphs.clear();
-    reference_tokens.clear();
+    ArenaVector<const JobGraph*> graphs{
+        ArenaAllocator<const JobGraph*>(&arena)};
+    ArenaVector<double> reference_tokens{ArenaAllocator<double>(&arena)};
     graphs.reserve(group.size());
     reference_tokens.reserve(group.size());
     for (size_t i : group) {
       graphs.push_back(&batch[i].request.graph);
       reference_tokens.push_back(batch[i].request.reference_tokens);
     }
-    Result<std::vector<PowerLawPcc>> pccs =
-        tasq_.PredictPccBatch(graphs, kind, reference_tokens);
-    if (pccs.ok()) {
+    PowerLawPcc* pccs = arena.NewArray<PowerLawPcc>(group.size());
+    Status predicted = tasq_.PredictPccBatchInto(
+        graphs.data(), graphs.size(), kind, reference_tokens.data(),
+        scratch.tasq, pccs);
+    if (predicted.ok()) {
       for (size_t g = 0; g < group.size(); ++g) {
         Pending& pending = batch[group[g]];
         Result<WhatIfReport> report = BuildWhatIfReportFromPcc(
-            pccs.value()[g], kind, pending.request.reference_tokens,
+            pccs[g], kind, pending.request.reference_tokens,
             pending.request.grid_points);
         if (report.ok()) {
           FulfillOk(pending, std::move(report.value()), /*from_cache=*/false);
@@ -317,7 +332,10 @@ void PccServer::ScoreOne(Pending& pending) {
 
 void PccServer::FulfillOk(Pending& pending, WhatIfReport report,
                           bool from_cache) {
-  if (!from_cache) {
+  // The capacity check lives here, not just inside Put: with caching
+  // disabled the by-value parameter copy (curve vector and all) would be
+  // the cold path's biggest per-request allocation, paid for nothing.
+  if (!from_cache && options_.cache_capacity > 0) {
     cache_.Put(pending.key, report);
   }
   uint64_t total_ns = NsSince(pending.submitted_at);

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/hot.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
@@ -162,17 +163,22 @@ class PccServer {
     std::chrono::steady_clock::time_point submitted_at;
   };
 
-  /// Per-drainer scratch buffers, reused across every batch the drainer
-  /// processes: the steady-state batch loop reallocates nothing once the
-  /// vectors have grown to the realized batch size (clear() keeps
-  /// capacity). One instance per DrainQueue activation — never shared, so
-  /// no lock guards it.
+  /// Per-drainer scratch, reused across every batch the drainer
+  /// processes. Batch-assembly storage (per-kind index groups, graph
+  /// pointers, reference tokens, predicted PCCs) comes from a bump
+  /// arena that Reset()s at each batch boundary: after the arena's
+  /// blocks have grown to the realized batch size, the whole assembly
+  /// path performs zero heap allocations per batch (src/common/arena.h;
+  /// the ownership rules are enforced by scripts/tasq_own.py). The
+  /// pending requests themselves stay in a std::vector — promises have
+  /// nontrivial destructors and outlive the batch via their futures, so
+  /// they must not live in the arena. `tasq` carries the feature-row and
+  /// NN-activation buffers for Tasq::PredictPccBatchInto. One instance
+  /// per DrainQueue activation — never shared, so no lock guards it.
   struct BatchScratch {
     std::vector<Pending> batch;
-    /// Request indices per parametric model kind.
-    std::vector<size_t> parametric[kModelKindCount];
-    std::vector<const JobGraph*> graphs;
-    std::vector<double> reference_tokens;
+    ScratchArena arena;
+    TasqBatchScratch tasq;
   };
 
   /// Worker-side loop: repeatedly pulls up to max_batch pending requests

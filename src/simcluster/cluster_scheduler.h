@@ -61,6 +61,7 @@ struct SchedulerConfig {
 /// are always in arrival order (ties by submission order).
 struct PendingJob {
   size_t index = 0;
+  // own: borrowed views the caller's submissions vector for one Run call
   const Submission* submission = nullptr;
 };
 

@@ -385,43 +385,64 @@ Result<std::vector<PowerLawPcc>> Tasq::PredictPccBatch(
     return Status::InvalidArgument(
         "graphs and reference_tokens must align element-wise");
   }
+  std::vector<PowerLawPcc> out(graphs.size());
+  TasqBatchScratch scratch;
+  Status status = PredictPccBatchInto(graphs.data(), graphs.size(), kind,
+                                      reference_tokens.data(), scratch,
+                                      out.data());
+  if (!status.ok()) return status;
+  return out;
+}
+
+Status Tasq::PredictPccBatchInto(const JobGraph* const* graphs, size_t count,
+                                 ModelKind kind,
+                                 const double* reference_tokens,
+                                 TasqBatchScratch& scratch,
+                                 PowerLawPcc* out) const {
+  if (!impl_->trained) {
+    return Status::FailedPrecondition("pipeline has not been trained");
+  }
   if (kind == ModelKind::kXgboostSs) {
     return Status::InvalidArgument(
         "XGBoost SS has no parametric PCC; use PredictCurve");
   }
-  std::vector<PowerLawPcc> out;
-  out.reserve(graphs.size());
   if (kind == ModelKind::kNn) {
     if (impl_->nn == nullptr) {
       return Status::FailedPrecondition("NN model was not trained");
     }
-    if (graphs.empty()) return out;
+    if (count == 0) return Status::Ok();
+    constexpr size_t dim = Featurizer::kJobFeatureDim;
+    if (impl_->nn->input_dim() != dim) {
+      return Status::InvalidArgument("feature matrix size mismatch");
+    }
     // One forward pass over the stacked feature rows. Row i of a batched
     // matrix product accumulates in exactly the per-row order, so results
-    // are bit-identical to per-graph prediction.
-    std::vector<double> rows;
-    rows.reserve(graphs.size() * Featurizer::kJobFeatureDim);
-    for (const JobGraph* graph : graphs) {
-      if (graph == nullptr) {
+    // are bit-identical to per-graph prediction. Featurization goes
+    // through the allocation-free JobLevelInto/TransformRow pair straight
+    // into the reused scratch matrix.
+    scratch.rows.resize(count * dim);
+    for (size_t i = 0; i < count; ++i) {
+      if (graphs[i] == nullptr) {
         return Status::InvalidArgument("null graph in batch");
       }
-      Result<JobFeatures> features = impl_->Featurize(*graph);
-      if (!features.ok()) return features.status();
-      rows.insert(rows.end(), features.value().job_vector.begin(),
-                  features.value().job_vector.end());
+      double* row = scratch.rows.data() + i * dim;
+      Status featurized = impl_->featurizer.JobLevelInto(*graphs[i], row);
+      if (!featurized.ok()) return featurized;
+      impl_->scalers->job_scaler.TransformRow(row, dim);
     }
-    return impl_->nn->PredictBatch(rows, graphs.size());
+    return impl_->nn->PredictBatchInto(scratch.rows.data(), count,
+                                       scratch.nn, out);
   }
-  for (size_t i = 0; i < graphs.size(); ++i) {
+  for (size_t i = 0; i < count; ++i) {
     if (graphs[i] == nullptr) {
       return Status::InvalidArgument("null graph in batch");
     }
     Result<PowerLawPcc> pcc =
         PredictPcc(*graphs[i], kind, reference_tokens[i]);
     if (!pcc.ok()) return pcc.status();
-    out.push_back(pcc.value());
+    out[i] = pcc.value();
   }
-  return out;
+  return Status::Ok();
 }
 
 }  // namespace tasq

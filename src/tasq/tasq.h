@@ -57,6 +57,16 @@ struct TokenRecommendation {
   double predicted_slowdown = 0.0;
 };
 
+/// Reusable buffers for Tasq::PredictPccBatchInto: the standardized
+/// feature-row matrix plus the NN's activation scratch. A serving worker
+/// keeps one per drain loop; once warm, batch prediction allocates no
+/// heap memory at all (features go through Featurizer::JobLevelInto's
+/// stack row into `rows`, whose capacity persists across batches).
+struct TasqBatchScratch {
+  std::vector<double> rows;
+  NnPccModel::InferenceScratch nn;
+};
+
 /// TASQ: the end-to-end pipeline (paper §2.2). Training ingests observed
 /// jobs, augments them with AREPAS, fits power-law targets, and trains the
 /// configured models; scoring featurizes an unseen job's compile-time graph
@@ -97,6 +107,19 @@ class Tasq {
   TASQ_NODISCARD Result<std::vector<PowerLawPcc>> PredictPccBatch(
       const std::vector<const JobGraph*>& graphs, ModelKind kind,
       const std::vector<double>& reference_tokens) const;
+
+  /// PredictPccBatch into caller storage: out[i] corresponds to
+  /// graphs[i] / reference_tokens[i] (each of length `count`).
+  /// Bit-identical to PredictPccBatch (which delegates here), but reuses
+  /// `scratch` so a serving loop that recycles one scratch performs the
+  /// whole featurize-and-predict NN path without heap allocation once
+  /// warm — the cold-submit-path budget in BENCH_serving.json rests on
+  /// this.
+  TASQ_NODISCARD Status PredictPccBatchInto(const JobGraph* const* graphs,
+                                            size_t count, ModelKind kind,
+                                            const double* reference_tokens,
+                                            TasqBatchScratch& scratch,
+                                            PowerLawPcc* out) const;
 
   /// Samples the predicted PCC at the given token counts (works for all
   /// four model kinds, including XGBoost-SS).

@@ -108,10 +108,12 @@ Result<WhatIfReport> BuildWhatIfReportFromPcc(const PowerLawPcc& pcc,
   report.has_pcc = true;
 
   std::vector<PccSample> curve;
+  curve.reserve(grid_points);
   for (double tokens : ReportGrid(reference_tokens, grid_points)) {
     curve.push_back({tokens, pcc.EvalRunTime(tokens)});
   }
   double reference_runtime = curve.back().runtime_seconds;
+  report.curve.reserve(curve.size());
   for (const PccSample& sample : curve) {
     report.curve.push_back(MakePoint(sample.tokens, sample.runtime_seconds,
                                      reference_tokens, reference_runtime));

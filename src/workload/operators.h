@@ -66,6 +66,7 @@ inline constexpr size_t kPartitioningMethodCount = 4;
 /// Static properties of an operator type used by the workload generator to
 /// derive consistent cardinalities and costs.
 struct OperatorTraits {
+  // own: borrowed always a static string literal (static storage duration)
   const char* name;
   /// Typical output/input cardinality ratio range.
   double selectivity_lo;

@@ -194,6 +194,44 @@ TEST_F(HotPathTest, WarmCacheHitPathAllocatesExactlyZero) {
       << kRounds << " requests)";
 }
 
+// The cold-path acceptance criterion of the arena work (PR 9, mirroring
+// WarmCacheHitPathAllocatesExactlyZero above): a cold submitted request —
+// promise/future, queue entry, featurization, NN inference, report
+// assembly — stays within a single-digit allocation budget. Featurization
+// runs through Featurizer::JobLevelInto (stack row), inference through
+// Tasq::PredictPccBatchInto (reused matrices), and batch assembly through
+// the drainer's ScratchArena, so what remains per request is the future's
+// shared state, the report's curve vectors, and amortized queue blocks.
+TEST_F(HotPathTest, ColdSubmitPathStaysWithinAllocationBudget) {
+  constexpr int kRequests = 192;
+  constexpr uint64_t kBudgetPerRequest = 8;
+  std::vector<ScoreRequest> requests = MakeRequests(500, kRequests);
+  PccServerOptions options;
+  options.num_threads = 1;
+  options.queue_capacity = 64;
+  options.max_batch = 16;
+  options.cache_capacity = 0;  // Every request takes the cold path.
+  PccServer server(*pipeline_, options);
+
+  uint64_t before = tasq_test::AllocationCount();
+  // Moved in so the caller-side request copies are not charged to the
+  // serving path. No gtest assertions before the measurement completes:
+  // EXPECT_* may allocate.
+  std::vector<Result<WhatIfReport>> results =
+      server.ScoreBatch(std::move(requests));
+  uint64_t allocations = tasq_test::AllocationCount() - before;
+
+  ASSERT_EQ(results.size(), static_cast<size_t>(kRequests));
+  for (const auto& result : results) {
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+  }
+  EXPECT_LE(allocations, kBudgetPerRequest * kRequests)
+      << "cold submit path exceeded its allocation budget: "
+      << (static_cast<double>(allocations) / kRequests)
+      << " allocations/request measured over " << kRequests
+      << " requests (budget: " << kBudgetPerRequest << " per request)";
+}
+
 // The fast path must serve the same bytes as cold scoring — buffer reuse
 // may not leak state between differently-keyed requests.
 TEST_F(HotPathTest, FastPathReplaysColdReportsByteForByte) {

@@ -13,6 +13,7 @@
 #include <benchmark/benchmark.h>
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -40,6 +41,10 @@ class JsonCaptureReporter : public benchmark::ConsoleReporter {
     std::string name;
     double ns_per_op = 0.0;
     double items_per_second = 0.0;  // 0 when the bench reports none.
+    /// User counters other than items_per_second, in report order. A
+    /// bench that sets a counter named like a flat trajectory key (e.g.
+    /// "nn_batch_rows_per_s") gets it written to the JSON verbatim.
+    std::vector<std::pair<std::string, double>> counters;
   };
 
   void ReportRuns(const std::vector<Run>& reports) override {
@@ -51,9 +56,12 @@ class JsonCaptureReporter : public benchmark::ConsoleReporter {
         captured.ns_per_op = run.real_accumulated_time /
                              static_cast<double>(run.iterations) * 1e9;
       }
-      auto items = run.counters.find("items_per_second");
-      if (items != run.counters.end()) {
-        captured.items_per_second = items->second.value;
+      for (const auto& [name, counter] : run.counters) {
+        if (name == "items_per_second") {
+          captured.items_per_second = counter.value;
+        } else {
+          captured.counters.emplace_back(name, counter.value);
+        }
       }
       captured_.push_back(captured);
     }
@@ -85,6 +93,13 @@ inline int RunBenchmarksAndWriteJson(int argc, char** argv,
     json.Set(key + "_ns_per_op", captured.ns_per_op);
     if (captured.items_per_second > 0.0) {
       json.Set(key + "_items_per_s", captured.items_per_second);
+    }
+    // Named counters land under their own (already flat) key, so a bench
+    // can pin a headline metric name the perf trajectory greps for —
+    // e.g. "nn_batch_rows_per_s" — instead of the BM_-derived key. A
+    // name reused across benchmarks/args keeps the last value.
+    for (const auto& [counter_key, value] : captured.counters) {
+      json.Set(BenchKeySanitize(counter_key), value);
     }
   }
   if (!json.WriteFile(json_path)) return 1;

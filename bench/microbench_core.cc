@@ -7,7 +7,9 @@
 #include "arepas/arepas.h"
 #include "bench/bench_json_main.h"
 #include "common/check.h"
+#include "common/fmath.h"
 #include "feat/featurizer.h"
+#include "gbdt/gbdt.h"
 #include "gnn/gnn_model.h"
 #include "nn/nn_model.h"
 #include "pcc/pcc.h"
@@ -76,7 +78,7 @@ void BM_Featurize(benchmark::State& state) {
 }
 BENCHMARK(BM_Featurize);
 
-void BM_NnPredict(benchmark::State& state) {
+const NnPccModel& TrainedNnModel() {
   static const auto& model = *new NnPccModel([] {
     auto observed = ObserveWorkload(Generator().Generate(0, 64), {}, 1);
     Dataset dataset = DatasetBuilder().Build(observed.value()).value();
@@ -91,12 +93,194 @@ void BM_NnPredict(benchmark::State& state) {
     TASQ_CHECK(model.Train(dataset.job_features, supervision).ok());
     return model;
   }());
+  return model;
+}
+
+void BM_NnPredict(benchmark::State& state) {
+  const NnPccModel& model = TrainedNnModel();
   std::vector<double> row(Featurizer::kJobFeatureDim, 0.1);
   for (auto _ : state) {
     benchmark::DoNotOptimize(model.Predict(row));
   }
 }
 BENCHMARK(BM_NnPredict);
+
+constexpr size_t kNnBatchRows = 256;
+
+/// Fills a batch with deterministic, strictly nonzero values: a trained
+/// net has no exactly-zero activations either, so the pre-change kernel's
+/// zero-skip branch never fires and the two benches compare pure
+/// throughput, not data-dependent shortcuts.
+std::vector<double> NnBatchFeatures(size_t rows, size_t dim) {
+  std::vector<double> features(rows * dim);
+  for (size_t i = 0; i < features.size(); ++i) {
+    features[i] = 0.013 * static_cast<double>(i % 97 + 1) - 0.41;
+  }
+  return features;
+}
+
+void BM_NnForwardBatch(benchmark::State& state) {
+  const NnPccModel& model = TrainedNnModel();
+  std::vector<double> features =
+      NnBatchFeatures(kNnBatchRows, model.input_dim());
+  std::vector<PowerLawPcc> out(kNnBatchRows);
+  NnPccModel::InferenceScratch scratch;
+  for (auto _ : state) {
+    TASQ_CHECK(
+        model.PredictBatchInto(features.data(), kNnBatchRows, scratch,
+                               out.data())
+            .ok());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["nn_batch_rows_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * kNnBatchRows,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_NnForwardBatch);
+
+// --- Pre-change forward-pass replica -------------------------------------
+// Verbatim transcription of the PredictBatchInto pipeline as it was
+// before the ml/kernels.h restructure (see git history of nn_model.cc),
+// preserved in this TU as the baseline `nn_batch_rows_per_s` is judged
+// against (ISSUE 10: the batched forward must be >= 2x this): the batch
+// staged into a scratch matrix by copy, each dense layer an i,k,j matmul
+// with the float-eq zero-skip and no __restrict qualifiers, a SECOND full
+// pass applying bias + activation through a function pointer, and a
+// per-row decode through At() accessors.
+
+/// Just enough of the old Matrix surface for the transcription.
+struct RefMatrix {
+  size_t rows = 0;
+  size_t cols = 0;
+  std::vector<double> d;
+  void Resize(size_t r, size_t c) {
+    rows = r;
+    cols = c;
+    d.resize(r * c);
+  }
+  void SetZero() { std::fill(d.begin(), d.end(), 0.0); }
+  double At(size_t i, size_t j) const { return d[i * cols + j]; }
+};
+
+using ScalarActivation = double (*)(double);
+double ScalarRelu(double v) { return v > 0.0 ? v : 0.0; }
+double ScalarIdentity(double v) { return v; }
+double ScalarSoftplus(double v) { return StableSoftplus(v); }
+
+void RefDenseLayerInto(const RefMatrix& x, const RefMatrix& w,
+                       const RefMatrix& bias, ScalarActivation activation,
+                       RefMatrix* out) {
+  TASQ_CHECK_EQ(x.cols, w.rows);
+  size_t rows = x.rows;
+  size_t inner = x.cols;
+  size_t cols = w.cols;
+  out->Resize(rows, cols);
+  out->SetZero();
+  const double* xd = x.d.data();
+  const double* wd = w.d.data();
+  double* od = out->d.data();
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t k = 0; k < inner; ++k) {
+      double a = xd[i * inner + k];
+      if (a == 0.0) continue;  // num: pre-change zero-skip replica
+      const double* brow = &wd[k * cols];
+      double* orow = &od[i * cols];
+      for (size_t j = 0; j < cols; ++j) orow[j] += a * brow[j];
+    }
+  }
+  const double* bd = bias.d.data();
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < cols; ++j) {
+      od[i * cols + j] = activation(od[i * cols + j] + bd[j]);
+    }
+  }
+}
+
+void BM_NnForwardBatchScalarRef(benchmark::State& state) {
+  // Same shapes as NnOptions defaults (input -> 32 -> 16 -> two 1-wide
+  // heads); synthetic nonzero weights so the zero-skip never triggers —
+  // a trained net has no exactly-zero weights either.
+  const size_t dim = Featurizer::kJobFeatureDim;
+  const std::vector<size_t> widths = {dim, 32, 16};
+  std::vector<RefMatrix> weights(widths.size() - 1);
+  std::vector<RefMatrix> biases(widths.size() - 1);
+  for (size_t l = 0; l + 1 < widths.size(); ++l) {
+    weights[l].Resize(widths[l], widths[l + 1]);
+    for (size_t i = 0; i < weights[l].d.size(); ++i) {
+      weights[l].d[i] = 0.002 * static_cast<double>(i % 61 + 1) - 0.06;
+    }
+    biases[l].Resize(1, widths[l + 1]);
+    std::fill(biases[l].d.begin(), biases[l].d.end(), 0.01);
+  }
+  RefMatrix head_w;
+  head_w.Resize(widths.back(), 1);
+  std::fill(head_w.d.begin(), head_w.d.end(), 0.05);
+  RefMatrix head_b;
+  head_b.Resize(1, 1);
+  head_b.d[0] = 0.01;
+  std::vector<double> features = NnBatchFeatures(kNnBatchRows, dim);
+  // Scratch persists across calls exactly as the old InferenceScratch did.
+  RefMatrix input;
+  std::vector<RefMatrix> hidden(weights.size());
+  RefMatrix head1;
+  RefMatrix head2;
+  std::vector<PowerLawPcc> decoded(kNnBatchRows);
+  for (auto _ : state) {
+    input.Resize(kNnBatchRows, dim);
+    std::copy_n(features.data(), kNnBatchRows * dim, input.d.begin());
+    const RefMatrix* h = &input;
+    for (size_t l = 0; l < weights.size(); ++l) {
+      RefDenseLayerInto(*h, weights[l], biases[l], ScalarRelu, &hidden[l]);
+      h = &hidden[l];
+    }
+    RefDenseLayerInto(*h, head_w, head_b, ScalarSoftplus, &head1);
+    RefDenseLayerInto(*h, head_w, head_b, ScalarIdentity, &head2);
+    // Per-row FromScaled decode, as the pre-change PredictBatchInto did.
+    for (size_t i = 0; i < kNnBatchRows; ++i) {
+      decoded[i].a = -std::max(0.0, head1.At(i, 0)) * 1.7;
+      decoded[i].b = ClampedExp(head2.At(i, 0) * 0.9);
+    }
+    benchmark::DoNotOptimize(decoded.data());
+  }
+  state.counters["nn_batch_ref_rows_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * kNnBatchRows,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_NnForwardBatchScalarRef);
+
+void BM_GbdtHistogram(benchmark::State& state) {
+  // One root-node histogram build at trainer-realistic sizes: pack the
+  // node once, then one gather-free contiguous pass per feature — the
+  // exact gbdt_internal kernels GbdtRegressor::Train drives.
+  constexpr size_t kRows = 8192;
+  constexpr size_t kFeatures = 8;
+  constexpr size_t kBins = 32;
+  std::vector<int32_t> bins(kFeatures * kRows);
+  for (size_t i = 0; i < bins.size(); ++i) {
+    bins[i] = static_cast<int32_t>((i * 2654435761u) % kBins);
+  }
+  std::vector<double> grad(kRows);
+  std::vector<double> hess(kRows);
+  for (size_t r = 0; r < kRows; ++r) {
+    grad[r] = 0.001 * static_cast<double>(r % 113) - 0.05;
+    hess[r] = 1.0 + 0.0001 * static_cast<double>(r % 31);
+  }
+  std::vector<int> samples(kRows);
+  for (size_t r = 0; r < kRows; ++r) samples[r] = static_cast<int>(r);
+  gbdt_internal::HistScratch scratch;
+  for (auto _ : state) {
+    gbdt_internal::PackNode(samples, grad, hess, scratch);
+    for (size_t f = 0; f < kFeatures; ++f) {
+      gbdt_internal::BuildFeatureHistogram(&bins[f * kRows], samples, kBins,
+                                           scratch);
+    }
+    benchmark::DoNotOptimize(scratch.grad_sum.data());
+  }
+  state.counters["gbdt_hist_rows_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * kRows * kFeatures,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GbdtHistogram);
 
 void BM_GnnPredict(benchmark::State& state) {
   static const auto& setup = *new std::pair<GnnPccModel, GraphExample>([] {

@@ -95,27 +95,38 @@ def fmt(value):
 
 
 def diff_one(name, base, fresh):
+    """One file's diff. A file present on only one side (a bench added or
+    retired, or a binary that was not run) is a normal state, not an error:
+    every metric prints a `missing` row for the absent side and the step
+    stays non-blocking."""
     print(f"== {name}")
     if base is None and fresh is None:
         print("   (neither a committed copy nor a fresh run exists)")
         return
     if base is None:
-        print("   no committed copy at HEAD (new bench?); fresh metrics:")
+        print("   no committed copy at HEAD (new bench?):")
+        width = max((len(k) for k in fresh), default=0)
         for key, value in fresh.items():
-            print(f"   {key:48s} {fmt(value)}")
+            print(f"   {key:{width}s} {'missing':>14s} -> "
+                  f"{fmt(value):>14s}")
         return
     if fresh is None:
-        print("   no fresh run found (bench binary not executed?)")
+        print("   no fresh run found (bench binary not executed?):")
+        width = max((len(k) for k in base), default=0)
+        for key, value in base.items():
+            print(f"   {key:{width}s} {fmt(value):>14s} -> "
+                  f"{'missing':>14s}")
         return
     keys = list(base.keys()) + [k for k in fresh if k not in base]
     width = max((len(k) for k in keys), default=0)
     for key in keys:
         in_base, in_fresh = key in base, key in fresh
         if in_base and not in_fresh:
-            print(f"   {key:{width}s} {fmt(base[key]):>14s} -> (gone)")
+            print(f"   {key:{width}s} {fmt(base[key]):>14s} -> "
+                  f"{'missing':>14s}")
             continue
         if in_fresh and not in_base:
-            print(f"   {key:{width}s} {'(new)':>14s} -> "
+            print(f"   {key:{width}s} {'missing':>14s} -> "
                   f"{fmt(fresh[key]):>14s}")
             continue
         b, f = base[key], fresh[key]

@@ -2,11 +2,13 @@
 # Runs the full correctness matrix locally:
 #
 #   1. analyzers          every conformance analyzer (tasq_lint, tasq_arch,
-#                         tasq_num, tasq_hot, tasq_sync, tasq_own): repo run,
-#                         self-test, and an empty-baseline gate each. CI's
-#                         static-analysis job invokes this leg verbatim, so
-#                         the local and CI analyzer matrices cannot drift.
-#                         (`lint` is a deprecated alias.)
+#                         tasq_num, tasq_hot, tasq_sync, tasq_own,
+#                         tasq_vec): repo run, self-test, and an
+#                         empty-baseline gate each. tasq_vec first builds
+#                         the compiler's vectorization report (see below).
+#                         CI's static-analysis job invokes this leg
+#                         verbatim, so the local and CI analyzer matrices
+#                         cannot drift. (`lint` is a deprecated alias.)
 #   2. Release            build + full ctest
 #   3. ASan + UBSan       build + full ctest
 #   4. TSan               build + the concurrency-sensitive tests
@@ -14,8 +16,14 @@
 #                         unguarded log(0), 0/0, exp overflow, or ordered
 #                         NaN comparison crashes the test that reached it
 #
-# Every leg uses its own build tree (build-check-*), so an existing
-# `build/` stays untouched. Set TASQ_CHECK_JOBS to bound parallelism.
+# Build-tree naming convention: every leg that needs a configured tree
+# owns exactly one `build-check-<leg>` directory (build-check-release,
+# build-check-asan, build-check-tsan, build-check-fpe), and special-
+# purpose builds follow the same scheme — the fpe leg's Release+traps
+# tree is build-check-fpe, and the analyzers leg's vectorization-report
+# build is build-check-vec. An existing `build/` stays untouched, and
+# `rm -rf build-check-*` resets every leg at once. Set TASQ_CHECK_JOBS
+# to bound parallelism.
 #
 # Usage: scripts/check.sh [analyzers|release|asan|tsan|fpe]... (default: all)
 set -euo pipefail
@@ -84,6 +92,30 @@ analyzers_leg() {
                sync_baseline.txt
   run_analyzer tasq_own.py "ownership & allocation discipline" \
                own_baseline.txt
+  vec_analyzer
+}
+
+# tasq_vec.py is the one analyzer that audits compiler output rather
+# than source text, so it first builds src/ with -DTASQ_VEC_REPORT=ON
+# (Release flags — the vectorizer must see what the shipped code sees).
+# GCC *appends* to vec_report.txt: only TUs actually compiled contribute
+# lines, so the report is deleted up front AND the build runs
+# --clean-first — an incremental rebuild would produce a report missing
+# every up-to-date TU (their loops would all read as vec-unresolved),
+# while keeping the old report would let stale lines vouch for loops
+# that no longer vectorize.
+vec_analyzer() {
+  echo "== analyzers: tasq_vec.py report build (build-check-vec) =="
+  cmake -B build-check-vec -S . -DCMAKE_BUILD_TYPE=Release \
+        -DTASQ_VEC_REPORT=ON >/dev/null
+  rm -f build-check-vec/vec_report.txt
+  cmake --build build-check-vec --target tasq_vec_report -j "${JOBS}" \
+        --clean-first >/dev/null
+  echo "== analyzers: tasq_vec.py (vectorization conformance) =="
+  python3 scripts/tasq_vec.py --report build-check-vec/vec_report.txt
+  echo "== analyzers: tasq_vec.py self-test =="
+  python3 scripts/tasq_vec.py --self-test
+  require_empty_baseline scripts/vec_baseline.txt
 }
 
 LEGS=("$@")

@@ -1,0 +1,638 @@
+#!/usr/bin/env python3
+"""TASQ vectorization-conformance analyzer.
+
+The batch-major kernels under src/ (ml/kernels.cc, the gbdt histogram
+packs, the nn dense-layer epilogues) are written so the compiler's
+auto-vectorizer provably turns them into SIMD under strict IEEE flags —
+and nothing but this analyzer stops a future PR from quietly breaking
+that: one innocent-looking aliasing tweak or reduction rewrite and the
+loop silently drops back to scalar with zero test failures. Unlike its
+siblings (tasq_arch.py, tasq_hot.py, ...) this analyzer does not judge
+source text; it cross-checks source *annotations* against what the
+compiler actually did, as recorded in its vectorization report.
+
+Contract: every performance-critical loop carries `TASQ_VEC` (macro in
+src/common/hot.h) on its own line or the same line directly before the
+`for`/`while`. A dedicated build emits the vectorizer's per-loop
+decisions:
+
+  cmake -B build-check-vec -DCMAKE_BUILD_TYPE=Release -DTASQ_VEC_REPORT=ON
+  rm -f build-check-vec/vec_report.txt   # GCC appends; stale lines lie
+  cmake --build build-check-vec --target tasq_vec_report --clean-first
+  # (--clean-first matters: only recompiled TUs contribute lines, so an
+  # incremental build would leave every up-to-date loop "unresolved")
+
+and the analyzer maps each report line back to its annotated loop:
+
+  vec-not-vectorized   the compiler reported `missed: not vectorized`
+                       (and never `optimized`) for an annotated loop;
+                       the finding carries the compiler's own reason.
+  vec-unresolved       an annotated loop produced no vectorizer verdict
+                       at all. Usual causes: GCC rewrote the loop into
+                       memset/memcpy (annotate real arithmetic loops,
+                       not zero/copy loops), the annotation drifted off
+                       the loop, or the TU wasn't rebuilt into the
+                       report. Also fired when TASQ_VEC precedes no
+                       for/while at all.
+  vec-stale-waiver     a waived loop that the compiler now vectorizes;
+                       the waiver documents a limitation that no longer
+                       exists and must be removed (stale waivers
+                       grandfather future regressions in silently).
+
+Waivers: a loop that is deliberately annotated but known-scalar carries
+`// vec: <reason>` on the annotation line, the loop line, or the line
+directly above the annotation; the reason is mandatory.
+
+Report formats: GCC `-fopt-info-vec-all=<file>` text (one aggregate
+file, what check.sh builds) and, best-effort, Clang
+`-fsave-optimization-record` YAML (globbed as *.opt.yaml under --build).
+
+Known, accepted findings live in scripts/vec_baseline.txt; the analyzer
+exits nonzero only on findings not in the baseline. The baseline is
+empty as of PR 10 and CI fails if it regrows (job static-analysis, via
+scripts/check.sh analyzers).
+
+Usage:
+  python3 scripts/tasq_vec.py --report build-check-vec/vec_report.txt
+  python3 scripts/tasq_vec.py --build build-check-vec
+  python3 scripts/tasq_vec.py --update-baseline --report <file>
+  python3 scripts/tasq_vec.py --self-test        per-rule fixture check
+  python3 scripts/tasq_vec.py --list-vec         list annotated loops
+"""
+
+import argparse
+import glob
+import os
+import re
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BASELINE_PATH = os.path.join("scripts", "vec_baseline.txt")
+SOURCE_SUFFIXES = (".h", ".cc", ".cpp")
+SKIP_DIR_PREFIXES = ("build",)
+
+RULE_IDS_ALL = ("vec-not-vectorized", "vec-unresolved", "vec-stale-waiver")
+
+
+class Finding:
+    def __init__(self, rule, path, line, message):
+        self.rule = rule
+        self.path = path  # Repo-relative, forward slashes.
+        self.line = line  # 1-based.
+        self.message = message
+
+    def key(self):
+        # Line numbers shift too easily to key the baseline on them.
+        return f"{self.rule}\t{self.path}"
+
+    def __str__(self):
+        where = f"{self.path}:{self.line}" if self.line else self.path
+        return f"{where}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text):
+    """Blanks out comments and string/char literals, preserving newlines.
+
+    Identical policy to tasq_arch.py: a TASQ_VEC inside a comment or a
+    log string must not count as an annotation."""
+    out = []
+    i = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif c == "/" and nxt == "*":
+            i += 2
+            while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
+                if text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i += 2
+        elif c == '"' or c == "'":
+            quote = c
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    i += 1
+                elif text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+# ---------------------------------------------------------------------------
+# Annotation scan: TASQ_VEC sites and the loops they govern
+# ---------------------------------------------------------------------------
+
+VEC_ANNOT_RE = re.compile(r"\bTASQ_VEC\b")
+LOOP_RE = re.compile(r"\b(?:for|while)\s*\(")
+WAIVER_RE = re.compile(r"//\s*vec:\s*\S")
+
+
+class VecSite:
+    """One TASQ_VEC annotation and the loop line it governs."""
+
+    def __init__(self, rel, annot_line, loop_line, waived):
+        self.rel = rel
+        self.annot_line = annot_line  # 1-based line of TASQ_VEC.
+        self.loop_line = loop_line    # 1-based line of for/while, or None.
+        self.waived = waived
+
+
+def scan_sites(root):
+    """Finds every TASQ_VEC site under src/ (excluding the macro's own
+    definition in common/hot.h)."""
+    sites = []
+    base = os.path.join(root, "src")
+    files = []
+    if os.path.isdir(base):
+        for dirpath, dirnames, filenames in os.walk(base):
+            dirnames[:] = sorted(
+                d for d in dirnames
+                if not d.startswith(SKIP_DIR_PREFIXES) and d != ".git")
+            for fname in sorted(filenames):
+                if fname.endswith(SOURCE_SUFFIXES):
+                    rel = os.path.relpath(
+                        os.path.join(dirpath, fname),
+                        root).replace(os.sep, "/")
+                    files.append(rel)
+    for rel in files:
+        if rel.endswith("common/hot.h"):
+            continue
+        with open(os.path.join(root, rel), encoding="utf-8",
+                  errors="replace") as f:
+            raw = f.read()
+        stripped = strip_comments_and_strings(raw)
+        raw_lines = raw.split("\n")
+        for match in VEC_ANNOT_RE.finditer(stripped):
+            annot_line = stripped[:match.start()].count("\n") + 1
+            loop = LOOP_RE.search(stripped, match.end())
+            loop_line = None
+            if loop:
+                candidate = stripped[:loop.start()].count("\n") + 1
+                # The macro binds to the loop on its own line or the next
+                # one; anything farther is an orphaned annotation.
+                if candidate in (annot_line, annot_line + 1):
+                    loop_line = candidate
+            waiver_lines = [annot_line - 1, annot_line]
+            if loop_line is not None:
+                waiver_lines.append(loop_line)
+            waived = any(
+                0 <= ln - 1 < len(raw_lines)
+                and WAIVER_RE.search(raw_lines[ln - 1])
+                for ln in waiver_lines)
+            sites.append(VecSite(rel, annot_line, loop_line, waived))
+    return sites
+
+
+# ---------------------------------------------------------------------------
+# Compiler-report parsing (GCC text, Clang YAML best-effort)
+# ---------------------------------------------------------------------------
+
+# GCC -fopt-info-vec-all line:
+#   /abs/path/src/ml/kernels.cc:23:25: optimized: loop vectorized using ...
+#   /abs/path/src/gbdt/gbdt.cc:61:3: missed: not vectorized: <reason>
+GCC_LINE_RE = re.compile(
+    r"^(?P<path>[^:\n]+):(?P<line>\d+):\d+:\s*"
+    r"(?P<kind>optimized|missed):\s*(?P<msg>.*)$")
+
+VECTORIZED_RE = re.compile(r"\bloop vectorized\b")
+NOT_VECTORIZED_RE = re.compile(r"\bnot vectorized\b|\bcouldn't vectorize\b")
+
+
+def _path_keys(path):
+    """Lookup keys for one report path: the src/-relative suffix (the
+    stable spelling, immune to build-dir layout) plus the basename as a
+    fallback for compilers that print bare filenames."""
+    path = path.replace("\\", "/")
+    keys = []
+    if "src/" in path:
+        keys.append("src/" + path.rsplit("src/", 1)[1])
+    keys.append(path.rsplit("/", 1)[-1])
+    return keys
+
+
+class VecReport:
+    """Per-(file, line) vectorizer verdicts aggregated across TUs.
+
+    GCC appends one report section per TU (and re-reports inlined copies
+    at their original source location), so one loop can carry several
+    lines; `optimized: loop vectorized` anywhere wins — epilogue/versioned
+    `missed` lines for a loop that did vectorize are normal."""
+
+    def __init__(self):
+        self.optimized = {}  # key -> {line, ...}
+        self.missed = {}     # (key, line) -> first reason string
+        self.lines_seen = 0
+
+    def add(self, path, line, kind, msg):
+        self.lines_seen += 1
+        for key in _path_keys(path):
+            if kind == "optimized" and VECTORIZED_RE.search(msg):
+                self.optimized.setdefault(key, set()).add(line)
+            elif kind == "missed" and NOT_VECTORIZED_RE.search(msg):
+                self.missed.setdefault((key, line), msg)
+
+    def status(self, rel, line):
+        """('vectorized', msg) | ('missed', reason) | ('absent', None)."""
+        for key in _path_keys(rel):
+            if line in self.optimized.get(key, ()):
+                return ("vectorized", None)
+        for key in _path_keys(rel):
+            reason = self.missed.get((key, line))
+            if reason is not None:
+                return ("missed", reason)
+        return ("absent", None)
+
+
+def parse_gcc_report(text, report):
+    for raw in text.splitlines():
+        match = GCC_LINE_RE.match(raw)
+        if match:
+            report.add(match.group("path"), int(match.group("line")),
+                       match.group("kind"), match.group("msg"))
+
+
+CLANG_LOC_RE = re.compile(
+    r"File:\s*'?(?P<file>[^',\s]+)'?,\s*Line:\s*(?P<line>\d+)")
+
+
+def parse_clang_yaml(text, report):
+    """Best-effort reader for -fsave-optimization-record YAML: only
+    loop-vectorize remarks, no full YAML parser (stdlib-only)."""
+    for block in re.split(r"^--- !", text, flags=re.M)[1:]:
+        kind = block.split("\n", 1)[0].strip()
+        pass_match = re.search(r"^Pass:\s*'?([\w-]+)'?", block, re.M)
+        loc_match = CLANG_LOC_RE.search(block)
+        if not pass_match or not loc_match:
+            continue
+        if pass_match.group(1) != "loop-vectorize":
+            continue
+        path = loc_match.group("file")
+        line = int(loc_match.group("line"))
+        if kind == "Passed":
+            report.add(path, line, "optimized", "loop vectorized")
+        elif kind in ("Missed", "Analysis"):
+            strings = re.findall(r"String:\s*'((?:[^']|'')*)'", block)
+            reason = "not vectorized: " + (
+                "".join(strings).strip() or "clang missed remark")
+            report.add(path, line, "missed", reason)
+
+
+def load_report(report_path, build_dir):
+    """Resolves the vectorization report from --report/--build."""
+    report = VecReport()
+    if report_path:
+        with open(report_path, encoding="utf-8", errors="replace") as f:
+            text = f.read()
+        if text.lstrip().startswith("--- !"):
+            parse_clang_yaml(text, report)
+        else:
+            parse_gcc_report(text, report)
+        return report
+    if build_dir:
+        gcc_file = os.path.join(build_dir, "vec_report.txt")
+        if os.path.exists(gcc_file):
+            with open(gcc_file, encoding="utf-8", errors="replace") as f:
+                parse_gcc_report(f.read(), report)
+            return report
+        yamls = sorted(glob.glob(
+            os.path.join(build_dir, "**", "*.opt.yaml"), recursive=True))
+        for path in yamls:
+            with open(path, encoding="utf-8", errors="replace") as f:
+                parse_clang_yaml(f.read(), report)
+        if yamls:
+            return report
+        raise FileNotFoundError(
+            f"no vec_report.txt or *.opt.yaml under {build_dir}; build "
+            "with -DTASQ_VEC_REPORT=ON first (see CMakeLists.txt)")
+    for candidate in ("build-check-vec", "build"):
+        gcc_file = os.path.join(REPO_ROOT, candidate, "vec_report.txt")
+        if os.path.exists(gcc_file):
+            with open(gcc_file, encoding="utf-8", errors="replace") as f:
+                parse_gcc_report(f.read(), report)
+            return report
+    raise FileNotFoundError(
+        "no vectorization report found; pass --report <file> or --build "
+        "<dir> (build with -DTASQ_VEC_REPORT=ON, see scripts/check.sh)")
+
+
+# ---------------------------------------------------------------------------
+# Checks
+# ---------------------------------------------------------------------------
+
+def run_checks(root, report):
+    findings = []
+    for site in scan_sites(root):
+        if site.loop_line is None:
+            if not site.waived:
+                findings.append(Finding(
+                    "vec-unresolved", site.rel, site.annot_line,
+                    "TASQ_VEC does not precede a for/while loop on this "
+                    "or the next line; the annotation enforces nothing"))
+            continue
+        status, detail = report.status(site.rel, site.loop_line)
+        if status == "vectorized":
+            if site.waived:
+                findings.append(Finding(
+                    "vec-stale-waiver", site.rel, site.annot_line,
+                    "loop carries a `// vec:` waiver but the compiler "
+                    "vectorized it; remove the waiver (stale waivers "
+                    "grandfather future regressions in silently)"))
+        elif site.waived:
+            continue
+        elif status == "missed":
+            findings.append(Finding(
+                "vec-not-vectorized", site.rel, site.loop_line,
+                f"TASQ_VEC loop was not vectorized — compiler: "
+                f"\"{detail}\". Restructure the loop (see DESIGN.md "
+                "\"Vectorization policy\"), or waive with "
+                "`// vec: <reason>`"))
+        else:
+            findings.append(Finding(
+                "vec-unresolved", site.rel, site.loop_line,
+                "TASQ_VEC loop has no verdict in the vectorization "
+                "report: the loop may have been rewritten into "
+                "memset/memcpy (annotate arithmetic loops, not zero/copy "
+                "loops), the annotation may have drifted, or the TU was "
+                "not rebuilt into the report"))
+    findings.sort(key=lambda f: (f.path, f.rule, f.line))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Baseline
+# ---------------------------------------------------------------------------
+
+def load_baseline(root):
+    path = os.path.join(root, BASELINE_PATH)
+    entries = set()
+    if os.path.exists(path):
+        with open(path, encoding="utf-8") as f:
+            for line in f:
+                line = line.rstrip("\n")
+                if line and not line.startswith("#"):
+                    entries.add(line)
+    return entries
+
+
+def write_baseline(root, findings):
+    path = os.path.join(root, BASELINE_PATH)
+    with open(path, "w", encoding="utf-8") as f:
+        f.write("# Accepted tasq_vec.py findings (rule<TAB>path).\n")
+        f.write("# Regenerate with: python3 scripts/tasq_vec.py "
+                "--update-baseline --report <file>\n")
+        for key in sorted({finding.key() for finding in findings}):
+            f.write(key + "\n")
+
+
+# ---------------------------------------------------------------------------
+# Self-test: per-rule positive + quiet-negative fixtures + coverage gate
+# ---------------------------------------------------------------------------
+
+HOT_H = (
+    "#ifndef TASQ_COMMON_HOT_H_\n"
+    "#define TASQ_COMMON_HOT_H_\n"
+    "#define TASQ_VEC\n"
+    "#endif\n")
+
+# Conforming base: one annotated elementwise loop (line 4 of kern.cc is
+# the `for`), which the synthetic reports below rule on.
+GOOD_TREE = {
+    "src/common/hot.h": HOT_H,
+    "src/app/kern.cc": (
+        "#include \"common/hot.h\"\n"
+        "void Scale(double* __restrict o, double s, unsigned long n) {\n"
+        "  TASQ_VEC\n"
+        "  for (unsigned long i = 0; i < n; ++i) {\n"
+        "    o[i] = o[i] * s;\n"
+        "  }\n"
+        "}\n"),
+}
+
+WAIVED_TREE = {
+    "src/common/hot.h": HOT_H,
+    "src/app/kern.cc": GOOD_TREE["src/app/kern.cc"].replace(
+        "  TASQ_VEC\n",
+        "  TASQ_VEC  // vec: scatter lanes collide on shared bins\n"),
+}
+
+# Synthetic GCC-format reports aimed at kern.cc's loop line (4).
+REPORT_OPTIMIZED = (
+    "/tmp/x/src/app/kern.cc:4:25: optimized: loop vectorized using "
+    "16 byte vectors\n")
+REPORT_MISSED = (
+    "/tmp/x/src/app/kern.cc:4:25: missed: not vectorized: "
+    "complicated access pattern.\n")
+# A verdict for some other loop only: the annotated one stays absent.
+REPORT_ELSEWHERE = (
+    "/tmp/x/src/app/other.cc:9:3: optimized: loop vectorized using "
+    "16 byte vectors\n")
+
+ORPHAN_TREE = {
+    "src/common/hot.h": HOT_H,
+    "src/app/kern.cc": (
+        "#include \"common/hot.h\"\n"
+        "void Scale(double* o, unsigned long n) {\n"
+        "  TASQ_VEC\n"
+        "  o[0] = 1.0;\n"
+        "  for (unsigned long i = 0; i < n; ++i) o[i] = 0.0;\n"
+        "}\n"),
+}
+
+CLANG_YAML = (
+    "--- !Passed\n"
+    "Pass:            loop-vectorize\n"
+    "Name:            Vectorized\n"
+    "DebugLoc:        { File: 'src/app/kern.cc', Line: 4, Column: 3 }\n"
+    "Function:        Scale\n"
+    "...\n"
+    "--- !Missed\n"
+    "Pass:            loop-vectorize\n"
+    "Name:            MissedDetails\n"
+    "DebugLoc:        { File: 'src/app/cold.cc', Line: 11, Column: 3 }\n"
+    "Function:        Cold\n"
+    "Args:\n"
+    "  - String:          'loop not vectorized'\n"
+    "...\n")
+
+
+# rule -> (positive tree, positive report, negative tree, negative report)
+def self_test_cases():
+    cases = {}
+    cases["vec-not-vectorized"] = (
+        GOOD_TREE, REPORT_MISSED,
+        WAIVED_TREE, REPORT_MISSED)
+    cases["vec-unresolved"] = (
+        GOOD_TREE, REPORT_ELSEWHERE,
+        WAIVED_TREE, REPORT_ELSEWHERE)
+    cases["vec-stale-waiver"] = (
+        WAIVED_TREE, REPORT_OPTIMIZED,
+        GOOD_TREE, REPORT_OPTIMIZED)
+    return cases
+
+
+def _materialize(tmp, tree):
+    for rel, content in tree.items():
+        path = os.path.join(tmp, rel)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(content)
+
+
+def _run_on(tree, report_text):
+    with tempfile.TemporaryDirectory(prefix="tasq_vec_selftest_") as tmp:
+        _materialize(tmp, tree)
+        report = VecReport()
+        parse_gcc_report(report_text, report)
+        return run_checks(tmp, report)
+
+
+def self_test():
+    """Coverage-gated: every rule id must have a positive fixture firing
+    exactly that rule and a negative fixture that is completely quiet."""
+    cases = self_test_cases()
+    uncovered = set(RULE_IDS_ALL) - set(cases)
+    if uncovered:
+        print(f"self-test FAILED: rules without fixtures: "
+              f"{sorted(uncovered)}")
+        return 1
+    failures = 0
+    for rule, (pos_tree, pos_report, neg_tree, neg_report) in \
+            sorted(cases.items()):
+        findings = _run_on(pos_tree, pos_report)
+        fired = {f.rule for f in findings}
+        if rule not in fired:
+            print(f"self-test FAILED: [{rule}] positive fixture did not "
+                  f"fire (saw {sorted(fired) or 'nothing'})")
+            failures += 1
+        elif fired != {rule}:
+            print(f"self-test FAILED: [{rule}] positive fixture also "
+                  f"fired {sorted(fired - {rule})}")
+            for f in findings:
+                print(f"  saw: {f}")
+            failures += 1
+        leftover = _run_on(neg_tree, neg_report)
+        if leftover:
+            print(f"self-test FAILED: [{rule}] negative fixture is not "
+                  "quiet:")
+            for f in leftover:
+                print(f"  {f}")
+            failures += 1
+    # An annotation with no loop behind it must fire vec-unresolved even
+    # when the report is empty (the usual shape of this mistake).
+    orphan = _run_on(ORPHAN_TREE, "")
+    if {f.rule for f in orphan} != {"vec-unresolved"}:
+        print("self-test FAILED: orphan annotation did not fire "
+              f"vec-unresolved (saw {sorted(f.rule for f in orphan)})")
+        failures += 1
+    # Clang YAML best-effort parse: the Passed remark must mark line 4 of
+    # kern.cc vectorized, so the conforming tree is quiet.
+    clang_report = VecReport()
+    parse_clang_yaml(CLANG_YAML, clang_report)
+    if clang_report.status("src/app/kern.cc", 4)[0] != "vectorized":
+        print("self-test FAILED: clang YAML Passed remark not parsed")
+        failures += 1
+    if clang_report.status("src/app/cold.cc", 11)[0] != "missed":
+        print("self-test FAILED: clang YAML Missed remark not parsed")
+        failures += 1
+    if failures:
+        return 1
+    print(f"self-test passed: {len(cases)} rules with positive/negative "
+          "fixtures, orphan-annotation check, clang-YAML parse check")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--root", default=REPO_ROOT,
+                        help="repository root to analyze")
+    parser.add_argument("--report", metavar="PATH",
+                        help="vectorization report file (GCC "
+                        "-fopt-info-vec-all output, or Clang .opt.yaml)")
+    parser.add_argument("--build", metavar="DIR",
+                        help="build dir to locate vec_report.txt / "
+                        "*.opt.yaml in")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="accept all current findings into the baseline")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run per-rule positive/negative fixtures")
+    parser.add_argument("--list-vec", action="store_true",
+                        help="list every TASQ_VEC annotated loop")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    if args.list_vec:
+        sites = scan_sites(args.root)
+        for site in sites:
+            loop = (f"loop at line {site.loop_line}"
+                    if site.loop_line else "NO LOOP (orphaned)")
+            waived = " [waived]" if site.waived else ""
+            print(f"{site.rel}:{site.annot_line}: {loop}{waived}")
+        print(f"{len(sites)} TASQ_VEC annotation(s)")
+        return 0
+
+    try:
+        report = load_report(args.report, args.build)
+    except (FileNotFoundError, OSError) as err:
+        print(f"tasq_vec: {err}")
+        return 2
+    if report.lines_seen == 0 and args.report:
+        print(f"tasq_vec: warning: no vectorizer lines parsed from "
+              f"{args.report}; every annotated loop will read as "
+              "unresolved")
+
+    findings = run_checks(args.root, report)
+
+    if args.update_baseline:
+        write_baseline(args.root, findings)
+        print(f"baseline updated with {len(findings)} finding(s)")
+        return 0
+
+    baseline = load_baseline(args.root)
+    new = [f for f in findings if f.key() not in baseline]
+    found_keys = {f.key() for f in findings}
+    stale = sorted(baseline - found_keys)
+
+    for finding in new:
+        print(finding)
+    if stale:
+        print(f"note: {len(stale)} stale baseline entr"
+              f"{'y' if len(stale) == 1 else 'ies'} (fixed findings — "
+              "run --update-baseline to prune):")
+        for key in stale:
+            print(f"  {key}")
+    if new:
+        print(f"\n{len(new)} new vectorization finding(s). Fix them or, "
+              "if accepted, run: python3 scripts/tasq_vec.py "
+              "--update-baseline --report <file>")
+        return 1
+    sites = scan_sites(args.root)
+    confirmed = sum(
+        1 for s in sites
+        if s.loop_line is not None and not s.waived
+        and report.status(s.rel, s.loop_line)[0] == "vectorized")
+    print(f"vec ok ({confirmed}/{len(sites)} annotated loop(s) confirmed "
+          f"vectorized, {len(findings)} baselined finding(s), "
+          f"{len(stale)} stale)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,4 +37,36 @@
 /// measure exactly zero heap allocations per request.
 #define TASQ_HOT
 
+/// Vectorization annotation — the marker behind the scripts/tasq_vec.py
+/// conformance analyzer (see DESIGN.md, "Vectorization policy").
+///
+/// `TASQ_VEC` goes on its own line (or the same line) immediately before
+/// a `for`/`while` loop that MUST auto-vectorize:
+///
+///   TASQ_VEC
+///   for (size_t j = 0; j < n; ++j) out[j] += a * b[j];
+///
+/// Unlike the other conformance layers, the contract is not checked
+/// against the source text: a dedicated build (cmake -DTASQ_VEC_REPORT=ON)
+/// compiles src/ with the compiler's vectorizer report enabled
+/// (-fopt-info-vec-all on GCC, -fsave-optimization-record on Clang) and
+/// scripts/tasq_vec.py maps the report back to every annotated loop. An
+/// annotated loop the compiler reports as "not vectorized" fails the
+/// analyzer with the compiler's own reason (aliasing, non-contiguous
+/// access, function call in loop, ...); an annotation that binds to no
+/// vectorizer decision at all (loop deleted, turned into memset/memcpy,
+/// file not compiled) fails as vec-unresolved.
+///
+/// A deliberate, reviewed exception carries a `// vec: <reason>` waiver on
+/// the annotation line, the loop line, or the line directly above; the
+/// analyzer flags waivers whose loop vectorizes anyway as stale.
+///
+/// Kernels that carry this annotation must stay vectorizable under strict
+/// IEEE semantics — no -ffast-math anywhere in this repo. In practice:
+/// __restrict-qualified raw spans (so the vectorizer needs no runtime
+/// alias versioning), unit-stride accesses, no function calls in the loop
+/// body, and reductions restructured into fixed-lane accumulators
+/// (ml/kernels.h) instead of relying on reassociation.
+#define TASQ_VEC
+
 #endif  // TASQ_COMMON_HOT_H_

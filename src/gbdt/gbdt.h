@@ -34,6 +34,44 @@ struct GbdtOptions {
   uint64_t seed = 13;
 };
 
+/// Internal histogram-build kernels, exposed so the microbenchmarks
+/// (bench/microbench_core.cc) and the kernel-equivalence tests
+/// (tests/gbdt_test.cc) can drive the exact code the trainer runs. Not
+/// part of the model API.
+namespace gbdt_internal {
+
+/// Reusable buffers for one node's histogram build. The split search is
+/// restructured into gather-free per-feature contiguous passes: grad/hess
+/// and the feature's bin column are packed for the node's samples ONCE
+/// (the only indexed reads), after which the accumulation pass touches
+/// nothing but unit-stride spans.
+struct HistScratch {
+  /// Node-packed gradient/hessian, aligned with `samples` order.
+  std::vector<double> node_grad;
+  std::vector<double> node_hess;
+  /// Node-packed bin indices for the feature currently being scanned.
+  std::vector<int32_t> node_bins;
+  /// Per-bin accumulators for the feature currently being scanned.
+  std::vector<double> grad_sum;
+  std::vector<double> hess_sum;
+  std::vector<int> count;
+};
+
+/// Packs grad/hess for `samples` into scratch.node_grad/node_hess — the
+/// once-per-node vectorized gather pass.
+void PackNode(const std::vector<int>& samples, const std::vector<double>& grad,
+              const std::vector<double>& hess, HistScratch& scratch);
+
+/// Builds the per-bin grad/hess/count histogram for one feature. `col`
+/// is the feature's bin column (feature-major, one entry per training
+/// row); scratch must already hold the node packing from PackNode. A
+/// vectorized bin-gather pass fills node_bins, then the scalar scatter
+/// accumulates — every read in the accumulation is unit-stride.
+void BuildFeatureHistogram(const int32_t* col, const std::vector<int>& samples,
+                           size_t nbins, HistScratch& scratch);
+
+}  // namespace gbdt_internal
+
 /// Gradient-boosted regression trees trained with second-order (Newton)
 /// boosting, histogram splits on root-level quantile thresholds, and row
 /// subsampling — a from-scratch stand-in for XGBoost (see DESIGN.md).
@@ -89,10 +127,14 @@ class GbdtRegressor {
   };
 
   /// Recursively grows a tree over `samples`; returns the node index.
+  /// `bins` is the feature-major bin matrix (column f spans
+  /// [f*rows, (f+1)*rows)); `scratch` carries the reusable histogram
+  /// buffers down the recursion.
   int GrowNode(Tree& tree, std::vector<int>& samples, int depth,
                const std::vector<double>& grad, const std::vector<double>& hess,
-               const std::vector<uint16_t>& bins,
-               const std::vector<std::vector<double>>& thresholds);
+               const std::vector<int32_t>& bins, size_t rows,
+               const std::vector<std::vector<double>>& thresholds,
+               gbdt_internal::HistScratch& scratch);
 
   GbdtOptions options_;
   size_t dim_ = 0;

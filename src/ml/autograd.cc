@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/fmath.h"
+#include "ml/kernels.h"
 
 namespace tasq {
 namespace {
@@ -96,8 +97,10 @@ Var Add(const Var& a, const Var& b) {
   TASQ_CHECK(broadcast || av.SameShape(bv));
   Matrix value = av;
   if (broadcast) {
+    // Row-broadcast bias add through the batch-major kernel: one
+    // contiguous vectorized pass per batch row.
     for (size_t r = 0; r < av.rows(); ++r) {
-      for (size_t c = 0; c < av.cols(); ++c) value.At(r, c) += bv.At(0, c);
+      VecBiasAdd(value.Row(r), bv.Row(0), av.cols());
     }
   } else {
     value.AddInPlace(bv);
@@ -135,9 +138,7 @@ Var Sub(const Var& a, const Var& b) {
 Var Mul(const Var& a, const Var& b) {
   TASQ_CHECK(a->value.SameShape(b->value));
   Matrix value = a->value;
-  for (size_t i = 0; i < value.size(); ++i) {
-    value.data()[i] *= b->value.data()[i];
-  }
+  VecMulInPlace(value.data().data(), b->value.data().data(), value.size());
   Var out = MakeOp(std::move(value), {a, b});
   AutogradNode* o = out.get();
   out->backprop = [o, a, b]() {
@@ -151,7 +152,7 @@ Var Mul(const Var& a, const Var& b) {
 
 Var ScalarMul(const Var& a, double s) {
   Matrix value = a->value;
-  for (double& v : value.data()) v *= s;
+  VecScale(value.data().data(), s, value.size());
   Var out = MakeOp(std::move(value), {a});
   AutogradNode* o = out.get();
   out->backprop = [o, a, s]() { a->grad.AddScaledInPlace(o->grad, s); };

@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/fmath.h"
+#include "ml/kernels.h"
 
 namespace tasq {
 
@@ -39,30 +40,24 @@ void Matrix::AddInPlace(const Matrix& other) {
   // Shape agreement is the op's contract; mismatched operands would read
   // past other.data_ rather than produce a wrong sum.
   TASQ_CHECK(SameShape(other));
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  VecAddInPlace(data_.data(), other.data_.data(), data_.size());
 }
 
 void Matrix::AddScaledInPlace(const Matrix& other, double scale) {
   TASQ_CHECK(SameShape(other));
-  for (size_t i = 0; i < data_.size(); ++i) {
-    data_[i] += scale * other.data_[i];
-  }
+  VecAddScaledInPlace(data_.data(), other.data_.data(), scale, data_.size());
 }
 
 Matrix Matrix::MatMul(const Matrix& other) const {
   // Inner dimensions must agree or the k-loop walks off other's rows.
   TASQ_CHECK_EQ(cols_, other.rows_);
   Matrix out(rows_, other.cols_);
-  for (size_t i = 0; i < rows_; ++i) {
-    for (size_t k = 0; k < cols_; ++k) {
-      double a = data_[i * cols_ + k];
-      // num: float-eq exact-zero operand: skipping is a pure optimization
-      if (a == 0.0) continue;
-      const double* brow = &other.data_[k * other.cols_];
-      double* orow = &out.data_[i * other.cols_];
-      for (size_t j = 0; j < other.cols_; ++j) orow[j] += a * brow[j];
-    }
-  }
+  // The historical scalar path skipped exact-zero `a` operands; the
+  // kernel multiplies through instead (o + 0.0*b == o bitwise for the
+  // finite values this library trains on), keeping the k-unrolled loop
+  // branch-free and vectorizable.
+  MatMulAccum(out.data_.data(), data_.data(), other.data_.data(), rows_,
+              cols_, other.cols_);
   return out;
 }
 
@@ -75,9 +70,11 @@ Matrix Matrix::Transposed() const {
 }
 
 double Matrix::Sum() const {
-  double total = 0.0;
-  for (double v : data_) total += v;
-  return total;
+  // Fixed-4-lane reduction (ml/kernels.h): deterministic bit-for-bit at
+  // any vector width, vectorizable without FP reassociation. Lane order
+  // differs from the old left-to-right sum, so the switch regenerated the
+  // training goldens once (tests/golden, --update_golden).
+  return VecSum(data_.data(), data_.size());
 }
 
 }  // namespace tasq

@@ -12,6 +12,14 @@ namespace tasq {
 /// A dense row-major matrix of doubles — the value type of the autograd
 /// engine. Sized for this library's models (feature batches of thousands of
 /// rows, layers of tens of units): simple loops, no BLAS.
+///
+/// Layout contract (batch-major): storage is one contiguous
+/// rows x cols span; row r occupies [r*cols, (r+1)*cols). A batch of
+/// examples is stored one example per row, so every per-example kernel
+/// pass (matmul row update, bias broadcast, activation) walks memory with
+/// unit stride. The arithmetic lives in the __restrict raw-span kernels
+/// of ml/kernels.h, whose TASQ_VEC loops are machine-checked against the
+/// compiler's vectorizer report (scripts/tasq_vec.py).
 class Matrix {
  public:
   /// An empty 0x0 matrix.
@@ -55,6 +63,17 @@ class Matrix {
   std::vector<double>& data() { return data_; }
   const std::vector<double>& data() const { return data_; }
 
+  /// Contiguous raw span of row `r` (cols() doubles) — the handle the
+  /// batch-major kernels take. Valid only while the shape is unchanged.
+  double* Row(size_t r) {
+    TASQ_DCHECK_LT(r, rows_);
+    return data_.data() + r * cols_;
+  }
+  const double* Row(size_t r) const {
+    TASQ_DCHECK_LT(r, rows_);
+    return data_.data() + r * cols_;
+  }
+
   /// Reshapes to rows x cols, reusing the existing storage when its
   /// capacity allows (contents are unspecified afterwards). Scratch
   /// matrices on the serving path Resize per batch and stop allocating
@@ -80,7 +99,10 @@ class Matrix {
   /// Returns the transpose.
   Matrix Transposed() const;
 
-  /// Sum of all elements.
+  /// Sum of all elements, computed with the fixed-4-lane deterministic
+  /// reduction (ml/kernels.h VecSum): lanes fold strided quarters, then
+  /// combine as (l0+l1)+(l2+l3), tail left-to-right. Identical bits on
+  /// every machine; for n < 4 it degenerates to the plain sequential sum.
   double Sum() const;
 
  private:

@@ -6,6 +6,7 @@
 
 #include "common/fmath.h"
 #include "common/rng.h"
+#include "ml/kernels.h"
 #include "ml/matrix_io.h"
 #include "ml/optimizer.h"
 
@@ -13,44 +14,47 @@ namespace tasq {
 
 namespace {
 
-/// out = activation(x * w + bias) with bias row-broadcast. Replicates the
-/// autograd path bit-for-bit: the product accumulates in Matrix::MatMul's
-/// i,k,j order (including its exact-zero operand skip), the bias is added
-/// to the completed sum exactly as the Add node does, and the activation
-/// is applied elementwise last — so PredictBatchInto and the autograd
-/// Forward produce identical bytes (pinned by the determinism tests).
-void DenseLayerInto(const Matrix& x, const Matrix& w, const Matrix& bias,
-                    double (*activation)(double), Matrix* out) {
-  TASQ_CHECK_EQ(x.cols(), w.rows());
-  size_t rows = x.rows();
-  size_t inner = x.cols();
+/// Layer epilogues for the batched forward pass. The hidden layers and
+/// the identity head ride vectorized kernels; the softplus head is
+/// exp-based, and there is no vector math library under strict IEEE (no
+/// -ffast-math in this repo), so it stays scalar by design — it touches
+/// count x 1 outputs, not the count x width hidden activations.
+enum class Activation { kRelu, kSoftplus, kIdentity };
+
+/// out = activation(x * w + bias), with `x` a batch-major rows x inner
+/// raw span and bias row-broadcast. Replicates the autograd path
+/// bit-for-bit: the product rides the same MatMulAccum kernel (identical
+/// i,k,j association) as Matrix::MatMul, and the fused bias+activation
+/// epilogue performs the same per-element operations in the same order as
+/// the Add node followed by the elementwise activation — so
+/// PredictBatchInto and the autograd Forward produce identical bytes
+/// (pinned by the determinism tests).
+void DenseLayerInto(const double* x, size_t rows, size_t inner,
+                    const Matrix& w, const Matrix& bias,
+                    Activation activation, Matrix* out) {
+  TASQ_CHECK_EQ(inner, w.rows());
   size_t cols = w.cols();
   out->Resize(rows, cols);
   out->SetZero();
-  const double* xd = x.data().data();
-  const double* wd = w.data().data();
-  double* od = out->data().data();
-  for (size_t i = 0; i < rows; ++i) {
-    for (size_t k = 0; k < inner; ++k) {
-      double a = xd[i * inner + k];
-      // num: float-eq exact-zero operand: skipping is a pure optimization
-      if (a == 0.0) continue;
-      const double* brow = &wd[k * cols];
-      double* orow = &od[i * cols];
-      for (size_t j = 0; j < cols; ++j) orow[j] += a * brow[j];
-    }
-  }
+  MatMulAccum(out->data().data(), x, w.data().data(), rows, inner, cols);
   const double* bd = bias.data().data();
   for (size_t i = 0; i < rows; ++i) {
-    for (size_t j = 0; j < cols; ++j) {
-      od[i * cols + j] = activation(od[i * cols + j] + bd[j]);
+    double* orow = out->Row(i);
+    switch (activation) {
+      case Activation::kRelu:
+        VecBiasRelu(orow, bd, cols);
+        break;
+      case Activation::kSoftplus:
+        for (size_t j = 0; j < cols; ++j) {
+          orow[j] = StableSoftplus(orow[j] + bd[j]);
+        }
+        break;
+      case Activation::kIdentity:
+        VecBiasAdd(orow, bd, cols);
+        break;
     }
   }
 }
-
-double ActivationRelu(double x) { return x > 0.0 ? x : 0.0; }
-double ActivationSoftplus(double x) { return StableSoftplus(x); }
-double ActivationIdentity(double x) { return x; }
 
 }  // namespace
 
@@ -327,21 +331,24 @@ Status NnPccModel::PredictBatchInto(const double* features, size_t count,
     return Status::FailedPrecondition("model has not been trained");
   }
   if (count == 0) return Status::Ok();
-  scratch.input.Resize(count, input_dim_);
-  std::copy_n(features, count * input_dim_, scratch.input.data().begin());
   if (scratch.hidden.size() != layer_weights_.size()) {
     scratch.hidden.resize(layer_weights_.size());
   }
-  const Matrix* h = &scratch.input;
+  // The first layer reads the caller's batch-major feature span in place;
+  // the old path copied it into a scratch matrix first.
+  const double* h = features;
+  size_t h_cols = input_dim_;
   for (size_t i = 0; i < layer_weights_.size(); ++i) {
-    DenseLayerInto(*h, layer_weights_[i]->value, layer_biases_[i]->value,
-                   ActivationRelu, &scratch.hidden[i]);
-    h = &scratch.hidden[i];
+    DenseLayerInto(h, count, h_cols, layer_weights_[i]->value,
+                   layer_biases_[i]->value, Activation::kRelu,
+                   &scratch.hidden[i]);
+    h = scratch.hidden[i].data().data();
+    h_cols = scratch.hidden[i].cols();
   }
-  DenseLayerInto(*h, head1_weight_->value, head1_bias_->value,
-                 ActivationSoftplus, &scratch.head1);
-  DenseLayerInto(*h, head2_weight_->value, head2_bias_->value,
-                 ActivationIdentity, &scratch.head2);
+  DenseLayerInto(h, count, h_cols, head1_weight_->value, head1_bias_->value,
+                 Activation::kSoftplus, &scratch.head1);
+  DenseLayerInto(h, count, h_cols, head2_weight_->value, head2_bias_->value,
+                 Activation::kIdentity, &scratch.head2);
   for (size_t i = 0; i < count; ++i) {
     out[i] = scaling_->FromScaled(scratch.head1.At(i, 0),
                                   scratch.head2.At(i, 0));

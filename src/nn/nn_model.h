@@ -74,9 +74,10 @@ class NnPccModel {
 
   /// Reusable activation buffers for PredictBatchInto. Matrices keep
   /// their capacity across calls, so a serving loop that recycles one
-  /// scratch pays zero heap allocations per batch once warm.
+  /// scratch pays zero heap allocations per batch once warm. The first
+  /// layer reads the caller's feature span directly (batch-major,
+  /// count x input_dim contiguous), so there is no input staging buffer.
   struct InferenceScratch {
-    Matrix input;
     std::vector<Matrix> hidden;
     Matrix head1;
     Matrix head2;
@@ -84,10 +85,12 @@ class NnPccModel {
 
   /// Inference-only batch prediction into `out` (size `count`),
   /// allocation-free once `scratch` is warm. Bit-identical to the
-  /// autograd Forward pass: the dense layers replicate Matrix::MatMul's
-  /// accumulation order (and its exact-zero skip) plus the Add bias
-  /// broadcast and activations exactly — PredictBatch delegates here, so
-  /// the golden/determinism tests pin both paths to the same bytes.
+  /// autograd Forward pass: the dense layers ride the same MatMulAccum
+  /// kernel (ml/kernels.h, identical i,k,j association) as Matrix::MatMul
+  /// plus fused bias+activation epilogues performing the Add node's and
+  /// the activation's operations in the same order — PredictBatch
+  /// delegates here, so the golden/determinism tests pin both paths to
+  /// the same bytes.
   TASQ_NODISCARD Status PredictBatchInto(const double* features, size_t count,
                                          InferenceScratch& scratch,
                                          PowerLawPcc* out) const;

@@ -230,5 +230,76 @@ TEST(XgbRuntimeModelTest, ValidatesInput) {
   EXPECT_FALSE(model.PredictCurve({1.0, 2.0}, -5.0).ok());
 }
 
+// ---------------------------------------------------------------------------
+// Histogram-kernel conformance: the gather-free per-feature passes
+// (gbdt_internal, driven by GrowNode) must accumulate exactly what the
+// historical row-major scatter accumulated, in the same per-bin order.
+// ---------------------------------------------------------------------------
+
+TEST(GbdtHistogramTest, PackAndBuildMatchNaiveReference) {
+  Rng rng(42);
+  const size_t rows = 257;  // Not a multiple of any vector width.
+  const size_t nbins = 16;
+  std::vector<double> grad(rows);
+  std::vector<double> hess(rows);
+  std::vector<int32_t> col(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    grad[r] = rng.Uniform(-3.0, 3.0);
+    hess[r] = rng.Uniform(0.0, 1.0);
+    col[r] = static_cast<int32_t>(rng.Uniform(0.0, 1.0) * nbins);
+    if (col[r] == static_cast<int32_t>(nbins)) col[r] = nbins - 1;
+  }
+  // An unsorted, gappy sample subset, as subsampled tree nodes produce.
+  std::vector<int> samples;
+  for (size_t r = 0; r < rows; ++r) {
+    if (rng.Uniform(0.0, 1.0) < 0.7) samples.push_back(static_cast<int>(r));
+  }
+
+  gbdt_internal::HistScratch scratch;
+  gbdt_internal::PackNode(samples, grad, hess, scratch);
+  ASSERT_EQ(scratch.node_grad.size(), samples.size());
+  ASSERT_EQ(scratch.node_hess.size(), samples.size());
+  for (size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(scratch.node_grad[i], grad[static_cast<size_t>(samples[i])]);
+    EXPECT_EQ(scratch.node_hess[i], hess[static_cast<size_t>(samples[i])]);
+  }
+
+  gbdt_internal::BuildFeatureHistogram(col.data(), samples, nbins, scratch);
+  // The naive reference is the historical build: iterate samples in
+  // order, scatter into per-bin accumulators. Same iteration order means
+  // the restructured build must match to the bit, not to a tolerance.
+  std::vector<double> want_grad(nbins, 0.0);
+  std::vector<double> want_hess(nbins, 0.0);
+  std::vector<int> want_count(nbins, 0);
+  for (int r : samples) {
+    int32_t b = col[static_cast<size_t>(r)];
+    want_grad[static_cast<size_t>(b)] += grad[static_cast<size_t>(r)];
+    want_hess[static_cast<size_t>(b)] += hess[static_cast<size_t>(r)];
+    ++want_count[static_cast<size_t>(b)];
+  }
+  ASSERT_EQ(scratch.grad_sum.size(), nbins);
+  for (size_t b = 0; b < nbins; ++b) {
+    EXPECT_EQ(scratch.grad_sum[b], want_grad[b]) << "bin " << b;
+    EXPECT_EQ(scratch.hess_sum[b], want_hess[b]) << "bin " << b;
+    EXPECT_EQ(scratch.count[b], want_count[b]) << "bin " << b;
+  }
+}
+
+TEST(GbdtHistogramTest, EmptyNodeAndEmptyBinsAreWellFormed) {
+  gbdt_internal::HistScratch scratch;
+  std::vector<int> samples;  // Leaf with zero samples.
+  std::vector<double> grad;
+  std::vector<double> hess;
+  gbdt_internal::PackNode(samples, grad, hess, scratch);
+  EXPECT_TRUE(scratch.node_grad.empty());
+  std::vector<int32_t> col;
+  gbdt_internal::BuildFeatureHistogram(col.data(), samples, 4, scratch);
+  for (size_t b = 0; b < 4; ++b) {
+    EXPECT_EQ(scratch.grad_sum[b], 0.0);
+    EXPECT_EQ(scratch.hess_sum[b], 0.0);
+    EXPECT_EQ(scratch.count[b], 0);
+  }
+}
+
 }  // namespace
 }  // namespace tasq

@@ -5,6 +5,7 @@
 
 #include "common/rng.h"
 #include "ml/autograd.h"
+#include "ml/kernels.h"
 #include "ml/matrix.h"
 #include "ml/optimizer.h"
 
@@ -235,6 +236,191 @@ TEST(OptimizerTest, CountParameters) {
   Var a = MakeParameter(Matrix(3, 4));
   Var b = MakeParameter(Matrix(1, 5));
   EXPECT_EQ(CountParameters({a, b}), 17);
+}
+
+// ---------------------------------------------------------------------------
+// SIMD kernel conformance: the batch-major kernels (ml/kernels.h) must be
+// bit-identical to the pre-vectorization scalar paths wherever the
+// reduction order is unchanged. EXPECT_EQ on doubles is deliberate — the
+// contract is "same bytes", not "close".
+// ---------------------------------------------------------------------------
+
+// The historical Matrix::MatMul inner kernel: i,k,j order with the
+// exact-zero skip the scalar path used. MatMulAccum drops the skip (a
+// branch kills vectorization) — for finite inputs `out += 0.0 * b` is a
+// bit-exact no-op, which these tests prove on matrices salted with
+// exact zeros.
+Matrix ScalarMatMulReference(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t k = 0; k < a.cols(); ++k) {
+      double av = a.At(i, k);
+      if (av == 0.0) continue;  // num: float-eq exact-zero skip replica
+      for (size_t j = 0; j < b.cols(); ++j) {
+        out.At(i, j) += av * b.At(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix RandomMatrix(size_t rows, size_t cols, Rng& rng, double zero_frac) {
+  Matrix m(rows, cols);
+  for (double& v : m.data()) {
+    v = rng.Uniform(0.0, 1.0) < zero_frac ? 0.0 : rng.Uniform(-2.0, 2.0);
+  }
+  return m;
+}
+
+TEST(MatrixKernelTest, MatMulBitIdenticalToScalarReference) {
+  Rng rng(99);
+  // Shapes straddle every kernel boundary: cols not a multiple of the
+  // 2-lane SSE width or the 4-wide unroll, inner dims hitting both the
+  // k-unrolled body and the remainder loop, plus a zero-salted operand
+  // to cover the dropped exact-zero skip.
+  const size_t shapes[][3] = {
+      {1, 1, 1}, {1, 4, 1}, {2, 3, 5}, {3, 5, 7}, {4, 8, 4},
+      {5, 2, 9}, {7, 13, 3}, {8, 1, 6},
+  };
+  for (const auto& shape : shapes) {
+    Matrix a = RandomMatrix(shape[0], shape[1], rng, 0.3);
+    Matrix b = RandomMatrix(shape[1], shape[2], rng, 0.0);
+    Matrix got = a.MatMul(b);
+    Matrix want = ScalarMatMulReference(a, b);
+    ASSERT_EQ(got.rows(), want.rows());
+    ASSERT_EQ(got.cols(), want.cols());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got.data()[i], want.data()[i])
+          << shape[0] << "x" << shape[1] << "*" << shape[2]
+          << " elem " << i;
+    }
+  }
+}
+
+TEST(MatrixKernelTest, MatMulEdgeShapesEmptyDimensions) {
+  // 0xN, Nx0, and zero inner dimension must produce well-formed
+  // all-zero results, not UB — these exercise the n==0 guards in the
+  // raw-span kernels.
+  Matrix a0(0, 3);
+  Matrix b0(3, 4);
+  Matrix c0 = a0.MatMul(b0);
+  EXPECT_EQ(c0.rows(), 0u);
+  EXPECT_EQ(c0.cols(), 4u);
+
+  Matrix a1(2, 0);
+  Matrix b1(0, 4);
+  Matrix c1 = a1.MatMul(b1);
+  EXPECT_EQ(c1.rows(), 2u);
+  EXPECT_EQ(c1.cols(), 4u);
+  for (size_t i = 0; i < c1.size(); ++i) EXPECT_EQ(c1.data()[i], 0.0);
+
+  Matrix a2(2, 3);
+  Matrix b2(3, 0);
+  Matrix c2 = a2.MatMul(b2);
+  EXPECT_EQ(c2.rows(), 2u);
+  EXPECT_EQ(c2.cols(), 0u);
+  EXPECT_EQ(c2.size(), 0u);
+}
+
+TEST(MatrixKernelTest, ElementwiseOpsBitIdenticalToScalarLoops) {
+  Rng rng(7);
+  // 11 elements: 5 full 2-lane vectors plus a scalar tail.
+  Matrix a = RandomMatrix(1, 11, rng, 0.0);
+  Matrix b = RandomMatrix(1, 11, rng, 0.0);
+  Matrix add = a;
+  add.AddInPlace(b);
+  Matrix axpy = a;
+  axpy.AddScaledInPlace(b, -1.7);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(add.data()[i], a.data()[i] + b.data()[i]);
+    EXPECT_EQ(axpy.data()[i], a.data()[i] + -1.7 * b.data()[i]);
+  }
+}
+
+TEST(MatrixKernelTest, SumMatchesFixedFourLaneReference) {
+  Rng rng(11);
+  for (size_t n : {0u, 1u, 2u, 3u, 4u, 5u, 7u, 8u, 64u, 101u}) {
+    Matrix m = RandomMatrix(1, n, rng, 0.0);
+    const double* x = m.data().data();
+    double want;
+    if (n < 4) {
+      // Degenerate shapes fold left-to-right, same as the historical
+      // scalar sum.
+      want = 0.0;
+      for (size_t i = 0; i < n; ++i) want += x[i];
+    } else {
+      // The documented reduction: four strided lanes in source order,
+      // combined (l0+l1)+(l2+l3), tail left-to-right.
+      double lane[4] = {0.0, 0.0, 0.0, 0.0};
+      size_t n4 = n - n % 4;
+      for (size_t i = 0; i < n4; i += 4) {
+        for (size_t l = 0; l < 4; ++l) lane[l] += x[i + l];
+      }
+      want = (lane[0] + lane[1]) + (lane[2] + lane[3]);
+      for (size_t i = n4; i < n; ++i) want += x[i];
+    }
+    EXPECT_EQ(m.Sum(), want) << "n=" << n;
+    EXPECT_EQ(VecSum(x, n), want) << "n=" << n;
+  }
+}
+
+TEST(MatrixKernelTest, DotMatchesFixedFourLaneReference) {
+  Rng rng(13);
+  for (size_t n : {1u, 3u, 4u, 9u, 33u}) {
+    Matrix a = RandomMatrix(1, n, rng, 0.0);
+    Matrix b = RandomMatrix(1, n, rng, 0.0);
+    const double* x = a.data().data();
+    const double* y = b.data().data();
+    double want;
+    if (n < 4) {
+      want = 0.0;
+      for (size_t i = 0; i < n; ++i) want += x[i] * y[i];
+    } else {
+      double lane[4] = {0.0, 0.0, 0.0, 0.0};
+      size_t n4 = n - n % 4;
+      for (size_t i = 0; i < n4; i += 4) {
+        for (size_t l = 0; l < 4; ++l) lane[l] += x[i + l] * y[i + l];
+      }
+      want = (lane[0] + lane[1]) + (lane[2] + lane[3]);
+      for (size_t i = n4; i < n; ++i) want += x[i] * y[i];
+    }
+    EXPECT_EQ(VecDot(x, y, n), want) << "n=" << n;
+  }
+}
+
+TEST(MatrixKernelTest, BiasReluFusionBitIdenticalToUnfusedOps) {
+  Rng rng(17);
+  Matrix o = RandomMatrix(1, 9, rng, 0.0);
+  Matrix bias = RandomMatrix(1, 9, rng, 0.0);
+  Matrix fused = o;
+  VecBiasRelu(fused.data().data(), bias.data().data(), 9);
+  for (size_t i = 0; i < 9; ++i) {
+    double v = o.data()[i] + bias.data()[i];
+    EXPECT_EQ(fused.data()[i], v > 0.0 ? v : 0.0);
+  }
+}
+
+TEST(MatrixKernelTest, MatMulAccumAccumulatesOntoPartialSums) {
+  // `out` need not start zeroed: the kernel contract is +=, which the
+  // layered NN forward relies on never silently becoming =.
+  Rng rng(19);
+  Matrix a = RandomMatrix(2, 3, rng, 0.0);
+  Matrix b = RandomMatrix(3, 4, rng, 0.0);
+  Matrix out = RandomMatrix(2, 4, rng, 0.0);
+  // The reference accumulates in the same k order onto the same partial
+  // sums — adding a separately-computed product would round differently.
+  Matrix expected = out;
+  for (size_t i = 0; i < 2u; ++i) {
+    for (size_t k = 0; k < 3u; ++k) {
+      for (size_t j = 0; j < 4u; ++j) {
+        expected.At(i, j) += a.At(i, k) * b.At(k, j);
+      }
+    }
+  }
+  MatMulAccum(out.data().data(), a.data().data(), b.data().data(), 2, 3, 4);
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out.data()[i], expected.data()[i]);
+  }
 }
 
 }  // namespace
